@@ -1,0 +1,31 @@
+# commsched — reproduction of Orduña et al., ICPP 2000.
+
+GO ?= go
+
+.PHONY: all build test race bench figs figs-quick cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+figs:
+	$(GO) run ./cmd/paperfigs
+
+figs-quick:
+	$(GO) run ./cmd/paperfigs -quick
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,195 @@
+// Command commsched runs the communication-aware scheduling technique on
+// a network: it characterizes the topology (up*/down* routing + table of
+// equivalent distances), searches for the best mapping of logical process
+// clusters to switches, and prints the partition with its quality
+// coefficients.
+//
+// Usage:
+//
+//	commsched -switches 16 -clusters 4 -seed 1          random irregular net
+//	commsched -topo rings -rings 4 -ringsize 6          the Figure 4 network
+//	commsched -topo file -in net.txt                    a network from disk
+//	commsched ... -heuristic sa                         pick the searcher
+//	commsched ... -table                                also dump the distance table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"commsched/internal/core"
+	"commsched/internal/search"
+	"commsched/internal/topology"
+)
+
+func main() {
+	var (
+		topo      = flag.String("topo", "irregular", "topology kind: irregular, rings, ring, mesh, torus, hypercube, file")
+		switches  = flag.Int("switches", 16, "switch count (irregular/ring)")
+		degree    = flag.Int("degree", 3, "inter-switch degree (irregular)")
+		rings     = flag.Int("rings", 4, "ring count (rings topology)")
+		ringSize  = flag.Int("ringsize", 6, "switches per ring (rings topology)")
+		bridges   = flag.Int("bridges", 1, "links between consecutive rings")
+		rows      = flag.Int("rows", 4, "rows (mesh/torus)")
+		cols      = flag.Int("cols", 4, "columns (mesh/torus)")
+		dim       = flag.Int("dim", 4, "dimension (hypercube)")
+		in        = flag.String("in", "", "input topology file (file topology)")
+		topoSeed  = flag.Int64("toposeed", 1, "topology generation seed")
+		clusters  = flag.Int("clusters", 4, "number of logical clusters")
+		weights   = flag.String("weights", "", "optional per-cluster traffic weights, e.g. \"50,1,1,1\" (weighted scheduling)")
+		seed      = flag.Int64("seed", 42, "search seed")
+		heuristic = flag.String("heuristic", "tabu", "searcher: tabu, greedy, sa, ga, gsa, random, exhaustive")
+		metric    = flag.String("metric", "resistance", "distance model: resistance or hops")
+		randoms   = flag.Int("randoms", 3, "random baseline mappings to report")
+		dumpTable = flag.Bool("table", false, "print the table of equivalent distances")
+	)
+	flag.Parse()
+
+	if err := run(*topo, *switches, *degree, *rings, *ringSize, *bridges, *rows, *cols, *dim, *in,
+		*topoSeed, *clusters, *weights, *seed, *heuristic, *metric, *randoms, *dumpTable); err != nil {
+		fmt.Fprintln(os.Stderr, "commsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo string, switches, degree, rings, ringSize, bridges, rows, cols, dim int, in string,
+	topoSeed int64, clusters int, weights string, seed int64, heuristic, metric string, randoms int, dumpTable bool) error {
+
+	net, err := buildTopology(topo, switches, degree, rings, ringSize, bridges, rows, cols, dim, in, topoSeed)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{}
+	switch metric {
+	case "resistance":
+		opts.Metric = core.MetricResistance
+	case "hops":
+		opts.Metric = core.MetricHops
+	default:
+		return fmt.Errorf("unknown metric %q", metric)
+	}
+	sys, err := core.NewSystem(net, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network %s: %d switches, %d hosts, %d links, up*/down* root %d\n",
+		net.Name(), net.Switches(), net.Hosts(), net.NumLinks(), sys.Routing().Root())
+	if dumpTable {
+		fmt.Println("\ntable of equivalent distances:")
+		fmt.Print(sys.DistanceTable().String())
+	}
+
+	searcher, err := pickSearcher(heuristic)
+	if err != nil {
+		return err
+	}
+	var sched *core.Schedule
+	label := searcher.Name()
+	if weights != "" {
+		ws, err := parseWeights(weights)
+		if err != nil {
+			return err
+		}
+		if clusters <= 0 || net.Switches()%len(ws) != 0 {
+			return fmt.Errorf("cannot split %d switches into %d weighted clusters", net.Switches(), len(ws))
+		}
+		sizes := make([]int, len(ws))
+		for i := range sizes {
+			sizes[i] = net.Switches() / len(ws)
+		}
+		clusters = len(ws)
+		label = "weighted-tabu"
+		sched, err = sys.ScheduleWeighted(sizes, ws, seed)
+		if err != nil {
+			return err
+		}
+	} else {
+		sched, err = sys.Schedule(core.ScheduleOptions{Clusters: clusters, Searcher: searcher, Seed: seed})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nscheduled partition (%s): %s\n", label, sched.Partition)
+	fmt.Printf("F_G = %.4f   D_G = %.4f   Cc = %.4f   (evaluations: %d)\n",
+		sched.Quality.FG, sched.Quality.DG, sched.Quality.Cc, sched.Search.Evaluations)
+
+	for i := 0; i < randoms; i++ {
+		p, err := sys.RandomMapping(clusters, int64(100+i))
+		if err != nil {
+			return err
+		}
+		q := sys.Evaluate(p)
+		fmt.Printf("random R%d: Cc = %.4f   %s\n", i+1, q.Cc, p)
+	}
+	return nil
+}
+
+func buildTopology(kind string, switches, degree, rings, ringSize, bridges, rows, cols, dim int,
+	in string, seed int64) (*topology.Network, error) {
+	cfg := topology.Config{}
+	switch kind {
+	case "irregular":
+		return topology.RandomIrregular(switches, degree, rand.New(rand.NewSource(seed)), cfg)
+	case "rings":
+		return topology.InterconnectedRings(rings, ringSize, bridges, cfg)
+	case "ring":
+		return topology.Ring(switches, cfg)
+	case "mesh":
+		return topology.Mesh2D(rows, cols, cfg)
+	case "torus":
+		return topology.Torus2D(rows, cols, cfg)
+	case "hypercube":
+		return topology.Hypercube(dim, cfg)
+	case "file":
+		if in == "" {
+			return nil, fmt.Errorf("file topology needs -in")
+		}
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.ParseText(f)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+// parseWeights parses a comma-separated positive weight list.
+func parseWeights(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	ws := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad weight %q (want positive numbers, e.g. 50,1,1,1)", p)
+		}
+		ws = append(ws, v)
+	}
+	return ws, nil
+}
+
+func pickSearcher(name string) (search.Searcher, error) {
+	switch name {
+	case "tabu":
+		return search.NewTabu(), nil
+	case "greedy":
+		return search.NewGreedy(), nil
+	case "sa":
+		return search.NewAnneal(), nil
+	case "ga":
+		return search.NewGenetic(), nil
+	case "gsa":
+		return search.NewGSA(), nil
+	case "random":
+		return &search.RandomSample{Samples: 1000}, nil
+	case "exhaustive":
+		return search.NewExhaustive(), nil
+	default:
+		return nil, fmt.Errorf("unknown heuristic %q", name)
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, ferr
+}
+
+func TestRunScheduledMapping(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(12, 3, 1, false, 4, "scheduled", 100, 3, 0.3, 200, 800, 16, 2, 7, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mapping OP", "S1", "S3", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRandomMappingOnRings(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(0, 0, 0, true, 4, "random", 5, 2, 0.2, 100, 500, 16, 2, 7, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rings-4x6") || !strings.Contains(out, "mapping R") {
+		t.Fatalf("rings/random output wrong:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run(12, 3, 1, false, 4, "bogus", 100, 3, 0.3, 100, 500, 16, 2, 7, false)
+	}); err == nil {
+		t.Fatal("unknown mapping kind accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run(10, 3, 1, false, 4, "scheduled", 100, 3, 0.3, 100, 500, 16, 2, 7, false)
+	}); err == nil {
+		t.Fatal("indivisible cluster split accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run(12, 3, 1, false, 4, "scheduled", 100, 3, 1.7, 100, 500, 16, 2, 7, false)
+	}); err == nil {
+		t.Fatal("out-of-range injection rate accepted")
+	}
+}
+
+func TestRunWithPlot(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(12, 3, 1, false, 4, "scheduled", 100, 3, 0.3, 200, 800, 16, 2, 7, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "latency vs accepted traffic") {
+		t.Fatalf("plot missing:\n%s", out)
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"commsched/internal/experiments"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, ferr
+}
+
+// tinyScale keeps the CLI tests fast.
+func tinyScale() experiments.Scale {
+	sc := experiments.QuickScale()
+	sc.RandomMappings = 3
+	return sc
+}
+
+func TestRunSingleFigures(t *testing.T) {
+	cases := []struct {
+		fig  string
+		want string
+	}{
+		{"1", "best F"},
+		{"2", "OP partition"},
+		{"4", "identified: true"},
+	}
+	for _, c := range cases {
+		out, err := capture(t, func() error { return run(c.fig, tinyScale()) })
+		if err != nil {
+			t.Fatalf("fig %s: %v", c.fig, err)
+		}
+		if !strings.Contains(out, c.want) {
+			t.Fatalf("fig %s output missing %q:\n%s", c.fig, c.want, out)
+		}
+	}
+}
+
+func TestRunFig3And6(t *testing.T) {
+	out, err := capture(t, func() error { return run("3", tinyScale()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "gain over best random") {
+		t.Fatalf("fig 3 output missing gain:\n%s", out)
+	}
+	sc := tinyScale()
+	sc.RandomMappings = 5
+	out, err = capture(t, func() error { return run("6", sc) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "r_accepted") {
+		t.Fatalf("fig 6 output missing correlations:\n%s", out)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := capture(t, func() error { return run("42", tinyScale()) }); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	sc := tinyScale()
+	sc.RandomMappings = 3
+	if _, err := capture(t, func() error { return writeCSVs(dir, sc) }); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig1.csv", "fig3.csv", "fig5.csv", "fig6.csv"} {
+		data, err := os.ReadFile(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines < 2 {
+			t.Fatalf("%s has only %d lines", name, lines)
+		}
+	}
+	// fig3.csv carries one row per (mapping, point) plus header.
+	data, _ := os.ReadFile(dir + "/fig3.csv")
+	wantRows := (1 + sc.RandomMappings) * sc.SweepPoints
+	if got := strings.Count(string(data), "\n") - 1; got != wantRows {
+		t.Fatalf("fig3.csv rows = %d, want %d", got, wantRows)
+	}
+	if !strings.HasPrefix(string(data), "mapping,cc,point,") {
+		t.Fatalf("fig3.csv header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}

@@ -1,0 +1,137 @@
+// Command strategy runs the integrated scheduling strategy of the paper's
+// Section 1: it analyzes an application mix on a heterogeneous NOW,
+// reports which resource is the bottleneck, and dispatches to the
+// computation-aware or communication-aware scheduler.
+//
+// Applications are given as name:processes:cpu:comm tuples:
+//
+//	strategy -apps "cfd:16:8:0.005,vod:16:0.05:0.4"
+//	strategy -switches 12 -fastfrac 0.5 -speedup 4 -apps "render:24:6:0.002"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"commsched/internal/distance"
+	"commsched/internal/routing"
+	"commsched/internal/strategy"
+	"commsched/internal/topology"
+)
+
+func main() {
+	var (
+		switches = flag.Int("switches", 12, "switch count")
+		degree   = flag.Int("degree", 3, "inter-switch degree")
+		topoSeed = flag.Int64("toposeed", 21, "topology seed")
+		fastFrac = flag.Float64("fastfrac", 0.5, "fraction of workstations that are fast")
+		speedup  = flag.Float64("speedup", 4, "relative speed of the fast workstations")
+		apps     = flag.String("apps", "cfd:16:8:0.005,vod:16:0.05:0.4", "comma-separated name:processes:cpu:comm tuples")
+		seed     = flag.Int64("seed", 7, "scheduling seed")
+	)
+	flag.Parse()
+	if err := run(*switches, *degree, *topoSeed, *fastFrac, *speedup, *apps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "strategy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(switches, degree int, topoSeed int64, fastFrac, speedup float64, appSpec string, seed int64) error {
+	applications, err := parseApps(appSpec)
+	if err != nil {
+		return err
+	}
+	if fastFrac < 0 || fastFrac > 1 || speedup <= 0 {
+		return fmt.Errorf("invalid heterogeneity: fastfrac=%v speedup=%v", fastFrac, speedup)
+	}
+	net, err := topology.RandomIrregular(switches, degree, rand.New(rand.NewSource(topoSeed)), topology.Config{})
+	if err != nil {
+		return err
+	}
+	rt, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		return err
+	}
+	tab, err := distance.Compute(net, rt)
+	if err != nil {
+		return err
+	}
+	speeds := make([]float64, net.Hosts())
+	cut := int(fastFrac * float64(net.Hosts()))
+	for h := range speeds {
+		if h < cut {
+			speeds[h] = speedup
+		} else {
+			speeds[h] = 1
+		}
+	}
+	sys, err := strategy.NewSystem(net, rt, tab, speeds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system: %d switches, %d workstations (%d fast × %.1fx)\n",
+		net.Switches(), net.Hosts(), cut, speedup)
+	for _, a := range applications {
+		fmt.Printf("  %-10s %3d processes, cpu %.3f, comm %.3f flits/cycle\n",
+			a.Name, a.Processes, a.CPUDemand, a.CommIntensity)
+	}
+	pl, err := sys.Schedule(applications, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nanalysis: cpu utilization %.2f, network utilization %.2f → %s\n",
+		pl.Analysis.CPUUtilization, pl.Analysis.NetworkUtilization, pl.Analysis.Bottleneck)
+	fmt.Printf("dispatched to %s\n", pl.Scheduler)
+	// Per-application placement footprint.
+	for c, a := range applications {
+		switchesUsed := map[int]bool{}
+		fast := 0
+		for p, cl := range pl.ClusterOf {
+			if cl != c {
+				continue
+			}
+			h := pl.HostOf[p]
+			switchesUsed[net.HostSwitch(h)] = true
+			if h < cut {
+				fast++
+			}
+		}
+		fmt.Printf("  %-10s on %d switches, %d/%d processes on fast hosts\n",
+			a.Name, len(switchesUsed), fast, a.Processes)
+	}
+	return nil
+}
+
+// parseApps parses name:processes:cpu:comm tuples.
+func parseApps(s string) ([]strategy.Application, error) {
+	var out []strategy.Application
+	for _, tuple := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(tuple), ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("bad application %q (want name:processes:cpu:comm)", tuple)
+		}
+		procs, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad process count in %q", tuple)
+		}
+		cpu, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cpu demand in %q", tuple)
+		}
+		comm, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad comm intensity in %q", tuple)
+		}
+		out = append(out, strategy.Application{
+			Name: parts[0], Processes: procs, CPUDemand: cpu, CommIntensity: comm,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no applications given")
+	}
+	return out, nil
+}

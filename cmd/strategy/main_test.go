@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, ferr
+}
+
+func TestParseApps(t *testing.T) {
+	apps, err := parseApps("cfd:16:8:0.005, vod:8:0.05:0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 2 || apps[0].Name != "cfd" || apps[1].Processes != 8 {
+		t.Fatalf("apps = %+v", apps)
+	}
+	for _, bad := range []string{"", "x:1:2", "x:a:1:1", "x:1:a:1", "x:1:1:a"} {
+		if _, err := parseApps(bad); err == nil {
+			t.Errorf("parseApps(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunNetworkBoundMix(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(8, 3, 21, 0.5, 4, "vod:16:0.05:0.4,voe:16:0.05:0.4", 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "network-bound") || !strings.Contains(out, "communication-aware-tabu") {
+		t.Fatalf("network-bound dispatch missing:\n%s", out)
+	}
+}
+
+func TestRunCPUBoundMix(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(8, 3, 21, 0.5, 4, "cfd:16:8:0.001", 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cpu-bound") || !strings.Contains(out, "computation-aware-mct") {
+		t.Fatalf("cpu-bound dispatch missing:\n%s", out)
+	}
+	if !strings.Contains(out, "fast hosts") {
+		t.Fatalf("placement footprint missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run(8, 3, 21, 0.5, 4, "garbage", 7)
+	}); err == nil {
+		t.Fatal("bad app spec accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run(8, 3, 21, 1.5, 4, "a:8:1:0.1", 7)
+	}); err == nil {
+		t.Fatal("bad fastfrac accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run(8, 3, 21, 0.5, 4, "a:999:1:0.1", 7)
+	}); err == nil {
+		t.Fatal("over-capacity mix accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Command topogen generates and analyzes the topologies the paper's
+// evaluation uses: it emits the portable text format (consumable by
+// `commsched -topo file`) and reports the structural and distance-model
+// properties of a network.
+//
+// Usage:
+//
+//	topogen -switches 16 -seed 2000 -out net.txt     generate + save
+//	topogen -topo rings -analyze                     properties of the Fig. 4 net
+//	topogen -in net.txt -analyze                     analyze a saved network
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"commsched/internal/distance"
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topo", "irregular", "topology kind: irregular, rings, ring, mesh, torus, hypercube")
+		switches = flag.Int("switches", 16, "switch count (irregular/ring)")
+		degree   = flag.Int("degree", 3, "inter-switch degree (irregular)")
+		rings    = flag.Int("rings", 4, "ring count (rings)")
+		ringSize = flag.Int("ringsize", 6, "switches per ring (rings)")
+		bridges  = flag.Int("bridges", 1, "links between consecutive rings")
+		rows     = flag.Int("rows", 4, "rows (mesh/torus)")
+		cols     = flag.Int("cols", 4, "columns (mesh/torus)")
+		dim      = flag.Int("dim", 4, "dimension (hypercube)")
+		seed     = flag.Int64("seed", 2000, "generation seed")
+		in       = flag.String("in", "", "analyze an existing topology file instead of generating")
+		out      = flag.String("out", "", "write the topology to this file ('-' = stdout)")
+		analyze  = flag.Bool("analyze", false, "print structural and distance-model properties")
+	)
+	flag.Parse()
+	if err := run(*topo, *switches, *degree, *rings, *ringSize, *bridges, *rows, *cols, *dim,
+		*seed, *in, *out, *analyze); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo string, switches, degree, rings, ringSize, bridges, rows, cols, dim int,
+	seed int64, in, out string, analyze bool) error {
+
+	var (
+		net *topology.Network
+		err error
+	)
+	if in != "" {
+		f, err2 := os.Open(in)
+		if err2 != nil {
+			return err2
+		}
+		defer f.Close()
+		net, err = topology.ParseText(f)
+	} else {
+		cfg := topology.Config{}
+		switch topo {
+		case "irregular":
+			net, err = topology.RandomIrregular(switches, degree, rand.New(rand.NewSource(seed)), cfg)
+		case "rings":
+			net, err = topology.InterconnectedRings(rings, ringSize, bridges, cfg)
+		case "ring":
+			net, err = topology.Ring(switches, cfg)
+		case "mesh":
+			net, err = topology.Mesh2D(rows, cols, cfg)
+		case "torus":
+			net, err = topology.Torus2D(rows, cols, cfg)
+		case "hypercube":
+			net, err = topology.Hypercube(dim, cfg)
+		default:
+			return fmt.Errorf("unknown topology %q", topo)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	switch out {
+	case "":
+	case "-":
+		if err := net.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	default:
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := net.WriteText(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d switches, %d links)\n", out, net.Switches(), net.NumLinks())
+	}
+
+	if analyze {
+		return report(net)
+	}
+	if out == "" {
+		// Neither saved nor analyzed: at least summarize.
+		fmt.Printf("%s: %d switches, %d hosts, %d links, diameter %d\n",
+			net.Name(), net.Switches(), net.Hosts(), net.NumLinks(), net.Diameter())
+	}
+	return nil
+}
+
+func report(net *topology.Network) error {
+	fmt.Printf("network %s\n", net.Name())
+	fmt.Printf("  switches:       %d (%d-port, %d hosts each)\n", net.Switches(), net.Ports(), net.HostsPerSwitch())
+	fmt.Printf("  hosts:          %d\n", net.Hosts())
+	fmt.Printf("  links:          %d\n", net.NumLinks())
+	fmt.Printf("  connected:      %v\n", net.Connected())
+	fmt.Printf("  diameter:       %d hops\n", net.Diameter())
+	fmt.Printf("  average degree: %.2f\n", net.AverageDegree())
+	fmt.Printf("  bisection width (estimate): %d links\n",
+		net.EstimateBisectionWidth(rand.New(rand.NewSource(1)), 5))
+	hist := net.DegreeHistogram()
+	degrees := make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	fmt.Printf("  degree histogram:")
+	for _, d := range degrees {
+		fmt.Printf(" %d×deg%d", hist[d], d)
+	}
+	fmt.Println()
+
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  up*/down* root: switch %d\n", ud.Root())
+	tab, err := distance.Compute(net, ud)
+	if err != nil {
+		return err
+	}
+	sum, pairs, max := 0.0, 0, 0.0
+	for i := 0; i < net.Switches(); i++ {
+		for j := i + 1; j < net.Switches(); j++ {
+			d := tab.At(i, j)
+			sum += d
+			pairs++
+			if d > max {
+				max = d
+			}
+		}
+	}
+	fmt.Printf("  equivalent distances: mean %.4f, max %.4f, quadratic mean %.4f\n",
+		sum/float64(pairs), max, tab.QuadraticMean())
+	fmt.Printf("  triangle violations:  %d ordered triples (the table is not a metric)\n",
+		tab.TriangleViolations(1e-9))
+	return nil
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, ferr
+}
+
+func TestGenerateAndAnalyze(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("irregular", 12, 3, 0, 0, 0, 0, 0, 0, 1, "", "", true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"diameter", "up*/down* root", "equivalent distances", "triangle violations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analysis missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateToFileAndReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	if _, err := capture(t, func() error {
+		return run("rings", 0, 0, 4, 6, 1, 0, 0, 0, 1, "", path, false)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run("", 0, 0, 0, 0, 0, 0, 0, 0, 1, path, "", true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rings-4x6") {
+		t.Fatalf("reloaded analysis missing name:\n%s", out)
+	}
+}
+
+func TestWriteToStdout(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("ring", 5, 0, 0, 0, 0, 0, 0, 0, 1, "", "-", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "network ring-5") || !strings.Contains(out, "link 0 1") {
+		t.Fatalf("stdout topology missing:\n%s", out)
+	}
+}
+
+func TestSummaryWithoutFlags(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("mesh", 0, 0, 0, 0, 0, 3, 3, 0, 1, "", "", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mesh-3x3") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("bogus", 8, 3, 0, 0, 0, 0, 0, 0, 1, "", "", false)
+	}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run("", 0, 0, 0, 0, 0, 0, 0, 0, 1, "/does/not/exist", "", true)
+	}); err == nil {
+		t.Fatal("missing input file accepted")
+	}
+}

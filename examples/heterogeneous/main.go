@@ -1,0 +1,98 @@
+// Heterogeneous: the paper's Section 1 scenario end to end — a NOW of
+// workstations with different computing power running a mixed workload,
+// where "the scheduler would choose either a computation-aware or a
+// communication-aware task scheduling strategy depending on the kind of
+// requirements that leads to the system performance bottleneck."
+//
+// Two workload mixes run on the same 12-switch machine (half the
+// workstations are 4x faster): a compute-heavy batch mix and a
+// bandwidth-heavy streaming mix. The strategy classifies each and
+// dispatches to the matching scheduler family.
+//
+// Run with: go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"commsched/internal/distance"
+	"commsched/internal/procsched"
+	"commsched/internal/routing"
+	"commsched/internal/strategy"
+	"commsched/internal/topology"
+)
+
+func main() {
+	net, err := topology.RandomIrregular(12, 3, rand.New(rand.NewSource(21)), topology.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab, err := distance.Compute(net, rt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	speed := make([]float64, net.Hosts())
+	for h := range speed {
+		if h%2 == 0 {
+			speed[h] = 4 // the newer half of the NOW
+		} else {
+			speed[h] = 1
+		}
+	}
+	sys, err := strategy.NewSystem(net, rt, tab, speed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heterogeneous NOW: %d switches, %d workstations (half 4x faster)\n\n",
+		net.Switches(), net.Hosts())
+
+	mixes := map[string][]strategy.Application{
+		"batch simulation mix": {
+			{Name: "cfd", Processes: 16, CPUDemand: 8, CommIntensity: 0.005},
+			{Name: "render", Processes: 16, CPUDemand: 6, CommIntensity: 0.002},
+		},
+		"video streaming mix": {
+			{Name: "vod-a", Processes: 16, CPUDemand: 0.05, CommIntensity: 0.4},
+			{Name: "vod-b", Processes: 16, CPUDemand: 0.05, CommIntensity: 0.4},
+		},
+	}
+	for label, apps := range mixes {
+		pl, err := sys.Schedule(apps, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", label)
+		fmt.Printf("  cpu utilization ≈ %.2f, network utilization ≈ %.2f → %s\n",
+			pl.Analysis.CPUUtilization, pl.Analysis.NetworkUtilization, pl.Analysis.Bottleneck)
+		fmt.Printf("  dispatched to: %s\n", pl.Scheduler)
+		if pl.Analysis.Bottleneck == strategy.NetworkBound {
+			pr, err := procsched.NewProblem(net, tab, pl.ClusterOf, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			a, err := pr.NewAssignment(pl.HostOf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rnd := pr.RandomAssignment(rand.New(rand.NewSource(3)))
+			fmt.Printf("  communication objective: %.1f (random placement: %.1f)\n",
+				pr.Cost(a), pr.Cost(rnd))
+		} else {
+			fast, total := 0, 0
+			for _, h := range pl.HostOf {
+				if speed[h] == 4 {
+					fast++
+				}
+				total++
+			}
+			fmt.Printf("  processes on fast workstations: %d of %d\n", fast, total)
+		}
+		fmt.Println()
+	}
+}

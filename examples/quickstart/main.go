@@ -1,0 +1,72 @@
+// Quickstart: the complete pipeline of the paper in a few calls.
+//
+// It generates a random irregular NOW (16 switches, 64 workstations),
+// characterizes it with the table of equivalent distances under up*/down*
+// routing, runs the communication-aware Tabu scheduler for 4 parallel
+// applications (logical clusters), and compares the scheduled mapping
+// against a random mapping both by clustering coefficient and by actual
+// simulated network performance.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"commsched/internal/core"
+	"commsched/internal/simnet"
+	"commsched/internal/topology"
+)
+
+func main() {
+	// 1. A heterogeneous NOW: 16 eight-port switches, 4 workstations each.
+	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(1)), topology.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d switches, %d workstations, %d links\n",
+		net.Switches(), net.Hosts(), net.NumLinks())
+
+	// 2. Characterize it: up*/down* routing + table of equivalent distances.
+	sys, err := core.NewSystem(net, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("up*/down* root: switch %d\n", sys.Routing().Root())
+
+	// 3. Schedule 4 parallel applications communication-aware.
+	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscheduled mapping: %s\n", sched.Partition)
+	fmt.Printf("clustering coefficient Cc = %.3f (F_G %.3f, D_G %.3f)\n",
+		sched.Quality.Cc, sched.Quality.FG, sched.Quality.DG)
+
+	// 4. A random mapping for comparison.
+	random, err := sys.RandomMapping(4, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random mapping:    %s\nclustering coefficient Cc = %.3f\n",
+		random, sys.Evaluate(random).Cc)
+
+	// 5. Does Cc predict real performance? Simulate both at the same load.
+	cfg := simnet.Config{InjectionRate: 0.25, WarmupCycles: 1000, MeasureCycles: 5000, Seed: 3}
+	opM, err := sys.Simulate(sched.Partition, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rdM, err := sys.Simulate(random, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated at %.2f flits/cycle/host:\n", cfg.InjectionRate)
+	fmt.Printf("  scheduled: %s\n", opM.String())
+	fmt.Printf("  random:    %s\n", rdM.String())
+	if opM.AcceptedTraffic > rdM.AcceptedTraffic {
+		fmt.Println("\nthe communication-aware mapping delivers more traffic, as the paper predicts.")
+	}
+}

@@ -1,0 +1,3 @@
+module commsched
+
+go 1.22

@@ -1,0 +1,260 @@
+// Package core is the public façade of the library: it bundles a network
+// with its routing algorithm and table of equivalent distances into a
+// System, exposes the paper's quality criterion, runs the
+// communication-aware scheduling technique (Tabu search by default), and
+// drives the flit-level simulator to evaluate mappings — the complete
+// pipeline of the paper in a handful of calls:
+//
+//	net, _ := topology.RandomIrregular(16, 3, rng, topology.Config{})
+//	sys, _ := core.NewSystem(net, core.Options{})
+//	sched, _ := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 1})
+//	metrics, _ := sys.Simulate(sched.Partition, simnet.Config{InjectionRate: 0.1})
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"commsched/internal/distance"
+	"commsched/internal/mapping"
+	"commsched/internal/quality"
+	"commsched/internal/routing"
+	"commsched/internal/search"
+	"commsched/internal/simnet"
+	"commsched/internal/topology"
+	"commsched/internal/traffic"
+)
+
+// Metric selects the distance model driving the scheduler.
+type Metric int
+
+const (
+	// MetricResistance is the paper's equivalent-distance model
+	// (electrical resistance over shortest legal paths).
+	MetricResistance Metric = iota
+	// MetricHops uses plain legal hop counts — the ablation baseline.
+	MetricHops
+)
+
+// Options configures system construction.
+type Options struct {
+	// Root pins the up*/down* spanning-tree root to a specific switch;
+	// nil auto-elects (highest degree, lowest ID on ties).
+	Root *int
+	// Metric selects the distance model (default MetricResistance).
+	Metric Metric
+}
+
+// System is a characterized network: topology + routing + distance table.
+type System struct {
+	net  *topology.Network
+	rt   *routing.UpDown
+	tab  *distance.Table
+	eval *quality.Evaluator
+}
+
+// NewSystem characterizes a network: builds up*/down* routing and computes
+// the table of equivalent distances (or hop distances, per opts.Metric).
+func NewSystem(net *topology.Network, opts Options) (*System, error) {
+	root := -1
+	if opts.Root != nil {
+		root = *opts.Root
+		if root < 0 || root >= net.Switches() {
+			return nil, fmt.Errorf("core: root %d out of range [0,%d)", root, net.Switches())
+		}
+	}
+	rt, err := routing.NewUpDown(net, root)
+	if err != nil {
+		return nil, err
+	}
+	var tab *distance.Table
+	switch opts.Metric {
+	case MetricResistance:
+		tab, err = distance.Compute(net, rt)
+		if err != nil {
+			return nil, err
+		}
+	case MetricHops:
+		tab = distance.HopTable(net, rt)
+	default:
+		return nil, fmt.Errorf("core: unknown metric %d", opts.Metric)
+	}
+	return &System{net: net, rt: rt, tab: tab, eval: quality.NewEvaluator(tab)}, nil
+}
+
+// Network returns the system's topology.
+func (s *System) Network() *topology.Network { return s.net }
+
+// Routing returns the up*/down* routing structure.
+func (s *System) Routing() *routing.UpDown { return s.rt }
+
+// DistanceTable returns the table of equivalent distances.
+func (s *System) DistanceTable() *distance.Table { return s.tab }
+
+// Evaluator returns the quality evaluator over the distance table.
+func (s *System) Evaluator() *quality.Evaluator { return s.eval }
+
+// Quality is the paper's full quality report for one mapping.
+type Quality struct {
+	// FG is the global similarity function (intra-cluster cost).
+	FG float64
+	// DG is the global dissimilarity function (inter-cluster cost).
+	DG float64
+	// Cc = DG / FG is the clustering coefficient the scheduler maximizes.
+	Cc float64
+}
+
+// Evaluate computes F_G, D_G, and Cc for a partition.
+func (s *System) Evaluate(p *mapping.Partition) Quality {
+	return Quality{
+		FG: s.eval.Similarity(p),
+		DG: s.eval.Dissimilarity(p),
+		Cc: s.eval.ClusteringCoefficient(p),
+	}
+}
+
+// ScheduleOptions configures a scheduling run.
+type ScheduleOptions struct {
+	// Clusters is the number of equal-size logical clusters (ignored when
+	// Sizes is set). The paper's evaluation uses 4.
+	Clusters int
+	// Sizes optionally gives explicit cluster sizes in switches (the
+	// unequal-requirements extension).
+	Sizes []int
+	// Searcher overrides the heuristic (default: the paper's Tabu).
+	Searcher search.Searcher
+	// Seed drives the random restarts.
+	Seed int64
+	// RecordTrace asks Tabu-like searchers for their trajectory.
+	RecordTrace bool
+}
+
+// Schedule is the result of the communication-aware scheduling technique.
+type Schedule struct {
+	// Partition is the chosen mapping of clusters to switches.
+	Partition *mapping.Partition
+	// Quality holds F_G, D_G, and Cc of the partition.
+	Quality Quality
+	// Search carries the raw searcher result (trace, cost counters).
+	Search *search.Result
+}
+
+// Schedule runs the scheduling technique: it searches for the partition
+// minimizing F_G (maximizing Cc) over the system's distance table.
+func (s *System) Schedule(opts ScheduleOptions) (*Schedule, error) {
+	var spec search.Spec
+	var err error
+	if opts.Sizes != nil {
+		spec = search.Spec{Sizes: opts.Sizes}
+	} else {
+		if opts.Clusters <= 0 {
+			return nil, fmt.Errorf("core: ScheduleOptions needs Clusters or Sizes")
+		}
+		spec, err = search.BalancedSpec(s.net.Switches(), opts.Clusters)
+		if err != nil {
+			return nil, err
+		}
+	}
+	searcher := opts.Searcher
+	if searcher == nil {
+		tb := search.NewTabu()
+		tb.RecordTrace = opts.RecordTrace
+		searcher = tb
+	}
+	res, err := searcher.Search(s.eval, spec, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{
+		Partition: res.Best,
+		Quality:   s.Evaluate(res.Best),
+		Search:    res,
+	}, nil
+}
+
+// ScheduleWeighted runs the scheduling technique with per-cluster traffic
+// weights — the paper's future-work extension where applications have
+// unequal communication requirements. Sizes[i] is cluster i's switch
+// count, Weights[i] its relative traffic intensity; heavier clusters get
+// the better-connected switch sets.
+func (s *System) ScheduleWeighted(sizes []int, weights []float64, seed int64) (*Schedule, error) {
+	if len(sizes) != len(weights) {
+		return nil, fmt.Errorf("core: %d sizes vs %d weights", len(sizes), len(weights))
+	}
+	we, err := quality.NewWeightedEvaluator(s.tab, weights)
+	if err != nil {
+		return nil, err
+	}
+	res, err := search.NewTabu().SearchObjective(we, search.Spec{Sizes: sizes}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{
+		Partition: res.Best,
+		Quality:   s.Evaluate(res.Best),
+		Search:    res,
+	}, nil
+}
+
+// RandomMapping draws one random balanced mapping — the paper's R_i
+// baseline points.
+func (s *System) RandomMapping(clusters int, seed int64) (*mapping.Partition, error) {
+	return mapping.Random(s.net.Switches(), clusters, rand.New(rand.NewSource(seed)))
+}
+
+// IntraClusterPattern builds the paper's traffic pattern (every message to
+// a peer of the sender's own logical cluster) for a partition.
+func (s *System) IntraClusterPattern(p *mapping.Partition) (traffic.Pattern, error) {
+	pm, err := mapping.NewProcessMap(s.net, p)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.NewIntraCluster(pm)
+}
+
+// Simulate runs the flit-level simulator for one mapping under the
+// paper's intra-cluster workload at the configured injection rate. When
+// cfg.HostCluster is unset, it is filled from the partition so the
+// returned metrics include the per-application breakdown.
+func (s *System) Simulate(p *mapping.Partition, cfg simnet.Config) (simnet.Metrics, error) {
+	pm, err := mapping.NewProcessMap(s.net, p)
+	if err != nil {
+		return simnet.Metrics{}, err
+	}
+	pattern, err := traffic.NewIntraCluster(pm)
+	if err != nil {
+		return simnet.Metrics{}, err
+	}
+	if cfg.HostCluster == nil {
+		labels := make([]int, s.net.Hosts())
+		for h := range labels {
+			labels[h] = pm.HostCluster(h)
+		}
+		cfg.HostCluster = labels
+	}
+	sim, err := simnet.New(s.net, s.rt, pattern, cfg)
+	if err != nil {
+		return simnet.Metrics{}, err
+	}
+	return sim.Run(), nil
+}
+
+// SimulateSweep runs the simulator across a load ladder (the paper's
+// S1…S9) for one mapping.
+func (s *System) SimulateSweep(p *mapping.Partition, cfg simnet.Config, rates []float64) ([]simnet.SweepPoint, error) {
+	pattern, err := s.IntraClusterPattern(p)
+	if err != nil {
+		return nil, err
+	}
+	return simnet.Sweep(s.net, s.rt, pattern, cfg, rates)
+}
+
+// SimulatePattern runs the simulator with an arbitrary traffic pattern —
+// the future-work extension beyond pure intra-cluster traffic.
+func (s *System) SimulatePattern(pattern traffic.Pattern, cfg simnet.Config) (simnet.Metrics, error) {
+	sim, err := simnet.New(s.net, s.rt, pattern, cfg)
+	if err != nil {
+		return simnet.Metrics{}, err
+	}
+	return sim.Run(), nil
+}

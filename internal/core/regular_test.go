@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"commsched/internal/mapping"
+	"commsched/internal/simnet"
+	"commsched/internal/topology"
+)
+
+// The paper claims the technique applies to regular topologies too. Drive
+// the full pipeline end to end on each regular family.
+func TestPipelineOnRegularTopologies(t *testing.T) {
+	builders := []struct {
+		name     string
+		build    func() (*topology.Network, error)
+		clusters int
+	}{
+		{"mesh-4x4", func() (*topology.Network, error) { return topology.Mesh2D(4, 4, topology.Config{}) }, 4},
+		{"torus-4x4", func() (*topology.Network, error) { return topology.Torus2D(4, 4, topology.Config{}) }, 4},
+		{"hypercube-4", func() (*topology.Network, error) { return topology.Hypercube(4, topology.Config{}) }, 4},
+		{"ring-12", func() (*topology.Network, error) { return topology.Ring(12, topology.Config{}) }, 4},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			net, err := b.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := NewSystem(net, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := sys.Schedule(ScheduleOptions{Clusters: b.clusters, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sched.Quality.Cc <= 0 {
+				t.Fatalf("degenerate Cc on %s", b.name)
+			}
+			// Scheduled beats random on Cc.
+			rnd, err := sys.RandomMapping(b.clusters, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sys.Evaluate(rnd).Cc > sched.Quality.Cc {
+				t.Fatalf("%s: random Cc %.3f beat scheduled %.3f",
+					b.name, sys.Evaluate(rnd).Cc, sched.Quality.Cc)
+			}
+			// And the simulator runs on it.
+			m, err := sys.Simulate(sched.Partition, simnet.Config{
+				InjectionRate: 0.1, WarmupCycles: 200, MeasureCycles: 1000, Seed: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.DeliveredMessages == 0 {
+				t.Fatalf("%s: nothing delivered", b.name)
+			}
+		})
+	}
+}
+
+// On a mesh, the natural quadrant clustering must beat a striped one.
+func TestMeshQuadrantsBeatStripes(t *testing.T) {
+	net, err := topology.Mesh2D(4, 4, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad := make([]int, 16)
+	stripe := make([]int, 16)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			quad[r*4+c] = (r/2)*2 + c/2
+			stripe[r*4+c] = c
+		}
+	}
+	qp, err := mapping.New(quad, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := mapping.New(stripe, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Evaluate(qp).Cc <= sys.Evaluate(sp).Cc {
+		t.Fatalf("quadrants Cc %.3f not above stripes %.3f",
+			sys.Evaluate(qp).Cc, sys.Evaluate(sp).Cc)
+	}
+}

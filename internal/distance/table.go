@@ -1,0 +1,279 @@
+// Package distance implements the paper's model of communication cost: the
+// table of equivalent distances (Arnau, Orduña, Ruiz, Duato — PDCS'99).
+//
+// For each pair of switches (i, j), only the links belonging to shortest
+// paths *supplied by the routing algorithm* are kept; each kept link is
+// replaced by a unit resistor; and the equivalent distance T[i][j] is the
+// electrical equivalent resistance between i and j in that resistor
+// network. A pair joined by many disjoint minimal routes therefore looks
+// "closer" than a pair joined by a single route of the same hop length —
+// capturing available bandwidth, not just latency.
+//
+// The table depends only on the topology and the routing algorithm, never
+// on the traffic pattern, and in general does not satisfy the triangle
+// inequality (it is not a metric).
+package distance
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"commsched/internal/linalg"
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+)
+
+// Table is the symmetric N×N table of equivalent distances between
+// switches.
+type Table struct {
+	n int
+	d [][]float64
+}
+
+// Compute builds the table of equivalent distances for the network using
+// the shortest paths supplied by the given routing algorithm. The N(N−1)/2
+// effective-resistance solves are independent, so they are fanned out
+// across GOMAXPROCS workers; the result is deterministic regardless of
+// scheduling because each pair writes its own cells.
+func Compute(net *topology.Network, provider routing.PathProvider) (*Table, error) {
+	n := net.Switches()
+	t := newTable(n)
+
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		failed atomic.Pointer[error]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(pairs) || failed.Load() != nil {
+					return
+				}
+				p := pairs[k]
+				r, err := pairResistance(net, provider, p.i, p.j)
+				if err != nil {
+					failed.CompareAndSwap(nil, &err)
+					return
+				}
+				t.d[p.i][p.j] = r
+				t.d[p.j][p.i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := failed.Load(); errp != nil {
+		return nil, *errp
+	}
+	return t, nil
+}
+
+// cgThreshold selects the solver: networks above this switch count use
+// the sparse conjugate-gradient path (the dense Cholesky solve is cubic
+// in the subgraph size). Overridable in tests.
+var cgThreshold = 64
+
+// pairResistance computes one cell: the effective resistance between i and
+// j over the links of their shortest supplied routes.
+func pairResistance(net *topology.Network, provider routing.PathProvider, i, j int) (float64, error) {
+	links := provider.PathLinks(i, j)
+	if len(links) == 0 {
+		return 0, fmt.Errorf("distance: no route between switches %d and %d", i, j)
+	}
+	edges := make([]linalg.WeightedEdge, len(links))
+	for k, l := range links {
+		edges[k] = linalg.WeightedEdge{U: l.A, V: l.B, Weight: 1}
+	}
+	var (
+		r   float64
+		err error
+	)
+	if net.Switches() > cgThreshold {
+		r, err = linalg.EffectiveResistanceCG(net.Switches(), edges, i, j)
+	} else {
+		r, err = linalg.EffectiveResistance(net.Switches(), edges, i, j)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("distance: resistance between %d and %d: %w", i, j, err)
+	}
+	return r, nil
+}
+
+// HopTable builds a plain hop-count table from the same path provider —
+// the ablation baseline that ignores path multiplicity.
+func HopTable(net *topology.Network, provider routing.PathProvider) *Table {
+	n := net.Switches()
+	t := newTable(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				t.d[i][j] = float64(provider.Distance(i, j))
+			}
+		}
+	}
+	return t
+}
+
+// FromMatrix wraps an explicit symmetric matrix of distances (used by
+// tests and by deserialization). The diagonal must be zero.
+func FromMatrix(d [][]float64) (*Table, error) {
+	n := len(d)
+	t := newTable(n)
+	for i := range d {
+		if len(d[i]) != n {
+			return nil, fmt.Errorf("distance: row %d has %d entries, want %d", i, len(d[i]), n)
+		}
+		if d[i][i] != 0 {
+			return nil, fmt.Errorf("distance: diagonal entry (%d,%d) = %v, want 0", i, i, d[i][i])
+		}
+		for j := range d[i] {
+			if d[i][j] < 0 {
+				return nil, fmt.Errorf("distance: negative distance at (%d,%d)", i, j)
+			}
+			if math.Abs(d[i][j]-d[j][i]) > 1e-9 {
+				return nil, fmt.Errorf("distance: asymmetric entries at (%d,%d)", i, j)
+			}
+			t.d[i][j] = d[i][j]
+		}
+	}
+	return t, nil
+}
+
+func newTable(n int) *Table {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	return &Table{n: n, d: d}
+}
+
+// N returns the number of switches the table covers.
+func (t *Table) N() int { return t.n }
+
+// At returns the equivalent distance between switches i and j.
+func (t *Table) At(i, j int) float64 { return t.d[i][j] }
+
+// QuadraticMean returns the quadratic average of all pairwise distances,
+//
+//	Σ_{i<j} T[i][j]² / (N(N−1)/2),
+//
+// the normalization constant of the paper's global quality functions.
+func (t *Table) QuadraticMean() float64 {
+	if t.n < 2 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < t.n; i++ {
+		for j := i + 1; j < t.n; j++ {
+			s += t.d[i][j] * t.d[i][j]
+		}
+	}
+	return s / float64(t.n*(t.n-1)/2)
+}
+
+// SumSquares returns Σ_{i<j} T[i][j]².
+func (t *Table) SumSquares() float64 {
+	s := 0.0
+	for i := 0; i < t.n; i++ {
+		for j := i + 1; j < t.n; j++ {
+			s += t.d[i][j] * t.d[i][j]
+		}
+	}
+	return s
+}
+
+// TriangleViolations counts ordered triples (i,j,k) with
+// T[i][k] > T[i][j] + T[j][k] + eps — the paper's observation that the
+// table does not define a metric space.
+func (t *Table) TriangleViolations(eps float64) int {
+	count := 0
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			if j == i {
+				continue
+			}
+			for k := 0; k < t.n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if t.d[i][k] > t.d[i][j]+t.d[j][k]+eps {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// MaxDistance returns the largest entry.
+func (t *Table) MaxDistance() float64 {
+	max := 0.0
+	for i := 0; i < t.n; i++ {
+		for j := i + 1; j < t.n; j++ {
+			if t.d[i][j] > max {
+				max = t.d[i][j]
+			}
+		}
+	}
+	return max
+}
+
+// MarshalJSON encodes the table as {"n":N,"d":[[...]]}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		N int         `json:"n"`
+		D [][]float64 `json:"d"`
+	}{t.n, t.d})
+}
+
+// UnmarshalTableJSON decodes a table written by MarshalJSON.
+func UnmarshalTableJSON(data []byte) (*Table, error) {
+	var w struct {
+		N int         `json:"n"`
+		D [][]float64 `json:"d"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("distance: decoding table: %w", err)
+	}
+	if len(w.D) != w.N {
+		return nil, fmt.Errorf("distance: table claims n=%d but has %d rows", w.N, len(w.D))
+	}
+	return FromMatrix(w.D)
+}
+
+// String renders the table with 3 decimal places for inspection.
+func (t *Table) String() string {
+	var b strings.Builder
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%6.3f", t.d[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+
+	"commsched/internal/core"
+	"commsched/internal/simnet"
+	"commsched/internal/stats"
+	"commsched/internal/traffic"
+)
+
+// MetricAblation compares the paper's equivalent-resistance distance model
+// against plain hop counts as the table driving the search, scoring both
+// resulting mappings on the resistance-based Cc *and* on simulated
+// throughput.
+type MetricAblation struct {
+	// CcResistance and CcHop score the two mappings on the resistance
+	// table (comparable numbers).
+	CcResistance, CcHop float64
+	// ThroughputResistance and ThroughputHop are the simulated saturation
+	// throughputs of the two mappings.
+	ThroughputResistance, ThroughputHop float64
+}
+
+// AblateMetric runs the metric ablation on the canonical 16-switch
+// network.
+func AblateMetric(sc Scale) (*MetricAblation, error) {
+	net, err := Network16()
+	if err != nil {
+		return nil, err
+	}
+	resSys, err := core.NewSystem(net, core.Options{Metric: core.MetricResistance})
+	if err != nil {
+		return nil, err
+	}
+	hopSys, err := core.NewSystem(net, core.Options{Metric: core.MetricHops})
+	if err != nil {
+		return nil, err
+	}
+	schedRes, err := resSys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
+	if err != nil {
+		return nil, err
+	}
+	schedHop, err := hopSys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
+	if err != nil {
+		return nil, err
+	}
+	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
+	cfg := simConfig(sc)
+	sweepRes, err := resSys.SimulateSweep(schedRes.Partition, cfg, rates)
+	if err != nil {
+		return nil, err
+	}
+	sweepHop, err := resSys.SimulateSweep(schedHop.Partition, cfg, rates)
+	if err != nil {
+		return nil, err
+	}
+	return &MetricAblation{
+		CcResistance:         schedRes.Quality.Cc,
+		CcHop:                resSys.Evaluate(schedHop.Partition).Cc,
+		ThroughputResistance: simnet.Throughput(sweepRes),
+		ThroughputHop:        simnet.Throughput(sweepHop),
+	}, nil
+}
+
+// Table renders the metric ablation.
+func (r *MetricAblation) Table() string {
+	t := stats.NewTable("table_metric", "Cc", "throughput")
+	t.AddRow("equivalent-resistance", fmt.Sprintf("%.4f", r.CcResistance), fmt.Sprintf("%.4f", r.ThroughputResistance))
+	t.AddRow("hop-count", fmt.Sprintf("%.4f", r.CcHop), fmt.Sprintf("%.4f", r.ThroughputHop))
+	return t.String()
+}
+
+// MixedTrafficPoint is the scheduled-vs-random throughput gain at one
+// intra-cluster traffic fraction.
+type MixedTrafficPoint struct {
+	// IntraFraction is the probability a message stays in its cluster.
+	IntraFraction float64
+	// Gain is scheduled throughput / random-mapping throughput.
+	Gain float64
+}
+
+// MixedTrafficStudy is the future-work extension study: how the benefit of
+// communication-aware scheduling decays as traffic declusters.
+type MixedTrafficStudy struct {
+	Points []MixedTrafficPoint
+}
+
+// StudyMixedTraffic evaluates the scheduled and a random mapping under
+// mixtures of intra-cluster and global-uniform traffic.
+func StudyMixedTraffic(fractions []float64, sc Scale) (*MixedTrafficStudy, error) {
+	net, err := Network16()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(net, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
+	if err != nil {
+		return nil, err
+	}
+	rnd, err := sys.RandomMapping(4, RandomMappingSeedBase)
+	if err != nil {
+		return nil, err
+	}
+	uni, err := traffic.NewUniform(net.Hosts())
+	if err != nil {
+		return nil, err
+	}
+	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
+	cfg := simConfig(sc)
+	study := &MixedTrafficStudy{}
+	for _, frac := range fractions {
+		// Build patterns for each mapping at this fraction.
+		schedIntra, err := sys.IntraClusterPattern(sched.Partition)
+		if err != nil {
+			return nil, err
+		}
+		rndIntra, err := sys.IntraClusterPattern(rnd)
+		if err != nil {
+			return nil, err
+		}
+		schedMix, err := traffic.NewMixed(schedIntra, uni, frac)
+		if err != nil {
+			return nil, err
+		}
+		rndMix, err := traffic.NewMixed(rndIntra, uni, frac)
+		if err != nil {
+			return nil, err
+		}
+		tp := func(pat traffic.Pattern) (float64, error) {
+			points, err := simnet.Sweep(net, sys.Routing(), pat, cfg, rates)
+			if err != nil {
+				return 0, err
+			}
+			return simnet.Throughput(points), nil
+		}
+		ts, err := tp(schedMix)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := tp(rndMix)
+		if err != nil {
+			return nil, err
+		}
+		gain := 0.0
+		if tr > 0 {
+			gain = ts / tr
+		}
+		study.Points = append(study.Points, MixedTrafficPoint{IntraFraction: frac, Gain: gain})
+	}
+	return study, nil
+}
+
+// Table renders the mixed-traffic study.
+func (r *MixedTrafficStudy) Table() string {
+	t := stats.NewTable("intra_fraction", "scheduled/random_gain")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.0f%%", p.IntraFraction*100), fmt.Sprintf("%.2fx", p.Gain))
+	}
+	return t.String()
+}
+
+// WeightedExtension demonstrates ScheduleWeighted: one heavy cluster and
+// three light ones.
+type WeightedExtension struct {
+	// HeavyIntraWeighted and HeavyIntraPlain are the heavy cluster's
+	// intra-cluster cost under weighted vs unweighted scheduling (lower is
+	// better for the heavy application).
+	HeavyIntraWeighted, HeavyIntraPlain float64
+	// Partition is the weighted mapping.
+	Partition string
+}
+
+// StudyWeighted runs the unequal-requirements extension on the canonical
+// network.
+func StudyWeighted(heavyWeight float64) (*WeightedExtension, error) {
+	net, err := Network16()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(net, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{4, 4, 4, 4}
+	weighted, err := sys.ScheduleWeighted(sizes, []float64{heavyWeight, 1, 1, 1}, ScheduleSeed)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
+	if err != nil {
+		return nil, err
+	}
+	ev := sys.Evaluator()
+	return &WeightedExtension{
+		HeavyIntraWeighted: ev.ClusterSimilarity(weighted.Partition, 0),
+		HeavyIntraPlain:    ev.ClusterSimilarity(plain.Partition, 0),
+		Partition:          weighted.Partition.String(),
+	}, nil
+}
+
+// Table renders the weighted extension result.
+func (r *WeightedExtension) Table() string {
+	t := stats.NewTable("scheduler", "heavy_cluster_intra_cost")
+	t.AddRow("weighted", fmt.Sprintf("%.4f", r.HeavyIntraWeighted))
+	t.AddRow("unweighted", fmt.Sprintf("%.4f", r.HeavyIntraPlain))
+	return t.String() + fmt.Sprintf("\nweighted partition: %s\n", r.Partition)
+}

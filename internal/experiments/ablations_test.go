@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateMetric(t *testing.T) {
+	r, err := AblateMetric(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resistance-driven search cannot score worse than the hop-driven
+	// one on the resistance-based coefficient it optimizes.
+	if r.CcResistance < r.CcHop-1e-9 {
+		t.Fatalf("resistance-driven Cc %.4f below hop-driven %.4f", r.CcResistance, r.CcHop)
+	}
+	if r.ThroughputResistance <= 0 || r.ThroughputHop <= 0 {
+		t.Fatal("zero throughput in ablation")
+	}
+	if !strings.Contains(r.Table(), "hop-count") {
+		t.Fatal("table missing rows")
+	}
+}
+
+func TestStudyMixedTraffic(t *testing.T) {
+	sc := QuickScale()
+	r, err := StudyMixedTraffic([]float64{1.0, 0.5}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(r.Points))
+	}
+	// Pure intra-cluster traffic must benefit more from the scheduled
+	// mapping than half-declustered traffic.
+	if r.Points[0].Gain <= r.Points[1].Gain {
+		t.Fatalf("gain at 100%% intra (%.2f) not above 50%% intra (%.2f)",
+			r.Points[0].Gain, r.Points[1].Gain)
+	}
+	if r.Points[0].Gain <= 1 {
+		t.Fatalf("scheduled mapping did not win at 100%% intra: %.2f", r.Points[0].Gain)
+	}
+	if !strings.Contains(r.Table(), "100%") {
+		t.Fatal("table missing fraction rows")
+	}
+}
+
+func TestStudyWeighted(t *testing.T) {
+	r, err := StudyWeighted(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The weighted scheduler must give the heavy cluster an intra cost no
+	// worse than the unweighted scheduler does.
+	if r.HeavyIntraWeighted > r.HeavyIntraPlain+1e-9 {
+		t.Fatalf("weighted heavy-cluster cost %.4f above unweighted %.4f",
+			r.HeavyIntraWeighted, r.HeavyIntraPlain)
+	}
+	if r.Partition == "" {
+		t.Fatal("missing partition rendering")
+	}
+	if !strings.Contains(r.Table(), "weighted") {
+		t.Fatal("table missing rows")
+	}
+}

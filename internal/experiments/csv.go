@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the Figure 1 trace as CSV (iter,restart,F) for external
+// plotting tools.
+func (r *Fig1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"iter", "restart", "F"}); err != nil {
+		return err
+	}
+	for _, tp := range r.Trace {
+		rec := []string{
+			strconv.Itoa(tp.Iteration),
+			strconv.Itoa(tp.Restart),
+			strconv.FormatFloat(tp.F, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 3/5 series as CSV
+// (mapping,cc,point,rate,offered,accepted,latency,latency_q).
+func (r *SimResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mapping", "cc", "point", "rate", "offered", "accepted", "latency", "latency_with_queueing"}); err != nil {
+		return err
+	}
+	write := func(s SimSeries) error {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Mapping.Label,
+				strconv.FormatFloat(s.Mapping.Cc, 'f', 4, 64),
+				fmt.Sprintf("S%d", p.Index),
+				strconv.FormatFloat(p.Rate, 'f', 4, 64),
+				strconv.FormatFloat(p.Metrics.OfferedTraffic, 'f', 6, 64),
+				strconv.FormatFloat(p.Metrics.AcceptedTraffic, 'f', 6, 64),
+				strconv.FormatFloat(p.Metrics.AvgLatency, 'f', 2, 64),
+				strconv.FormatFloat(p.Metrics.AvgTotalLatency, 'f', 2, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(r.OP); err != nil {
+		return err
+	}
+	for _, s := range r.Randoms {
+		if err := write(s); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 6 correlations as CSV
+// (point,r_accepted,r_latency).
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"point", "r_accepted", "r_latency"}); err != nil {
+		return err
+	}
+	fmtR := func(v float64, ok bool) string {
+		if !ok {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	}
+	for _, p := range r.PerPoint {
+		rec := []string{
+			fmt.Sprintf("S%d", p.Index),
+			fmtR(p.R, p.Defined),
+			fmtR(p.RLatency, p.LatencyDefined),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

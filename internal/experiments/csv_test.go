@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig1CSV(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "iter,restart,F" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != len(r.Trace)+1 {
+		t.Fatalf("rows = %d, want %d", len(lines)-1, len(r.Trace))
+	}
+}
+
+func TestSimResultCSV(t *testing.T) {
+	sc := QuickScale()
+	r, err := Fig3(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := 1 + (1+len(r.Randoms))*sc.SweepPoints
+	if len(lines) != want {
+		t.Fatalf("lines = %d, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[1], "OP,") {
+		t.Fatalf("first data row = %q, want OP series first", lines[1])
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	sc := QuickScale()
+	sc.RandomMappings = 5
+	r, err := Fig6(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "point,r_accepted,r_latency" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != sc.SweepPoints+1 {
+		t.Fatalf("rows = %d, want %d", len(lines)-1, sc.SweepPoints)
+	}
+}

@@ -1,0 +1,123 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Section 5) end to end: it builds the canonical network instances, runs
+// the scheduling technique and the random-mapping baselines, drives the
+// flit-level simulator across the S1…S9 load ladder, and reports the
+// series/tables behind Figures 1–6 plus the paper's headline claims.
+//
+// All drivers are deterministic: the seeds of every topology, mapping,
+// search, and simulation are fixed here.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"commsched/internal/core"
+	"commsched/internal/mapping"
+	"commsched/internal/simnet"
+	"commsched/internal/topology"
+)
+
+// Canonical seeds of the reproduction. Changing them changes the concrete
+// instances but not the qualitative results.
+const (
+	// TopologySeed16 generates the 16-switch irregular network standing in
+	// for the paper's (unpublished) Figure 2/3 instance.
+	TopologySeed16 = 2000
+	// ScheduleSeed drives the Tabu restarts.
+	ScheduleSeed = 42
+	// RandomMappingSeedBase numbers the R_i baseline mappings.
+	RandomMappingSeedBase = 100
+	// SimSeed drives message generation.
+	SimSeed = 7
+)
+
+// Scale selects the simulation effort. Full reproduces the paper-scale
+// windows; Quick is for tests and smoke runs.
+type Scale struct {
+	// WarmupCycles precede measurement.
+	WarmupCycles int
+	// MeasureCycles is the measurement window.
+	MeasureCycles int
+	// RandomMappings is the number of R_i baselines.
+	RandomMappings int
+	// SweepPoints is the number of load points (the paper's 9: S1…S9).
+	SweepPoints int
+	// MaxRate is the injection rate of the last point, flits/cycle/host.
+	MaxRate float64
+}
+
+// FullScale mirrors the paper's setup: 9 simulation points from low load
+// to deep saturation, 9 random mappings on the 16-switch network.
+func FullScale() Scale {
+	return Scale{WarmupCycles: 2000, MeasureCycles: 10000, RandomMappings: 9, SweepPoints: 9, MaxRate: 0.45}
+}
+
+// QuickScale is a reduced-effort variant for tests.
+func QuickScale() Scale {
+	return Scale{WarmupCycles: 400, MeasureCycles: 1600, RandomMappings: 3, SweepPoints: 4, MaxRate: 0.4}
+}
+
+// Network16 builds the canonical 16-switch irregular instance (64
+// workstations, degree 3, single links — the paper's Section 5.1
+// constraints).
+func Network16() (*topology.Network, error) {
+	return topology.RandomIrregular(16, topology.DefaultSwitchDegree,
+		rand.New(rand.NewSource(TopologySeed16)), topology.Config{})
+}
+
+// Network24Rings builds the specially designed 24-switch network of
+// Figure 4: four interconnected rings of six switches.
+func Network24Rings() (*topology.Network, error) {
+	return topology.InterconnectedRings(4, 6, 1, topology.Config{})
+}
+
+// NetworkOfSize builds an irregular instance of the given size with a
+// size-derived seed (the paper evaluates 16–24 switches).
+func NetworkOfSize(switches int, seed int64) (*topology.Network, error) {
+	return topology.RandomIrregular(switches, topology.DefaultSwitchDegree,
+		rand.New(rand.NewSource(seed)), topology.Config{})
+}
+
+// MappingPoint is one labeled mapping with its clustering coefficient —
+// a row of the paper's Figure 3/5 legends ("OP 2.31", "R1 1.05", …).
+type MappingPoint struct {
+	// Label is "OP" for the scheduled mapping or "R<i>" for random ones.
+	Label string
+	// Partition is the mapping itself.
+	Partition *mapping.Partition
+	// Cc is the clustering coefficient.
+	Cc float64
+}
+
+// buildMappings produces the OP mapping (scheduling technique) and the
+// random baselines for a system.
+func buildMappings(sys *core.System, clusters, randoms int) (MappingPoint, []MappingPoint, error) {
+	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: clusters, Seed: ScheduleSeed})
+	if err != nil {
+		return MappingPoint{}, nil, err
+	}
+	op := MappingPoint{Label: "OP", Partition: sched.Partition, Cc: sched.Quality.Cc}
+	rs := make([]MappingPoint, 0, randoms)
+	for i := 0; i < randoms; i++ {
+		p, err := sys.RandomMapping(clusters, RandomMappingSeedBase+int64(i))
+		if err != nil {
+			return MappingPoint{}, nil, err
+		}
+		rs = append(rs, MappingPoint{
+			Label:     fmt.Sprintf("R%d", i+1),
+			Partition: p,
+			Cc:        sys.Evaluate(p).Cc,
+		})
+	}
+	return op, rs, nil
+}
+
+// simConfig builds the simulator configuration for a scale.
+func simConfig(sc Scale) simnet.Config {
+	return simnet.Config{
+		WarmupCycles:  sc.WarmupCycles,
+		MeasureCycles: sc.MeasureCycles,
+		Seed:          SimSeed,
+	}
+}

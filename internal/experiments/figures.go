@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"commsched/internal/core"
+	"commsched/internal/mapping"
+	"commsched/internal/search"
+	"commsched/internal/simnet"
+	"commsched/internal/stats"
+	"commsched/internal/topology"
+)
+
+// Fig1Result is the Tabu trajectory of Figure 1: F(P_i) against the total
+// iteration number across the ten restarts on the 16-switch network.
+type Fig1Result struct {
+	// Trace is the per-iteration value of F_G; restart boundaries appear
+	// as the peaks the paper describes.
+	Trace []search.TracePoint
+	// BestF is the minimum reached.
+	BestF float64
+	// Restarts is the number of random seeds used.
+	Restarts int
+	// RestartsReachingBest counts seeds whose trajectory touched BestF —
+	// the paper notes only some starting points reach the minimum.
+	RestartsReachingBest int
+}
+
+// Fig1 reproduces Figure 1 (Tabu search trace in a 16-switch network).
+func Fig1() (*Fig1Result, error) {
+	net, err := Network16()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(net, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed, RecordTrace: true})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{Trace: sched.Search.Trace, BestF: sched.Search.BestF}
+	reached := map[int]bool{}
+	for _, tp := range sched.Search.Trace {
+		if tp.Restart+1 > res.Restarts {
+			res.Restarts = tp.Restart + 1
+		}
+		if tp.F <= res.BestF+1e-9 {
+			reached[tp.Restart] = true
+		}
+	}
+	res.RestartsReachingBest = len(reached)
+	return res, nil
+}
+
+// Table renders the trace as iteration/restart/F rows.
+func (r *Fig1Result) Table() string {
+	t := stats.NewTable("iter", "restart", "F")
+	for _, tp := range r.Trace {
+		t.AddRow(fmt.Sprintf("%d", tp.Iteration), fmt.Sprintf("%d", tp.Restart), fmt.Sprintf("%.4f", tp.F))
+	}
+	return t.String() + fmt.Sprintf("\nbest F = %.4f, reached from %d of %d starting points\n",
+		r.BestF, r.RestartsReachingBest, r.Restarts)
+}
+
+// PartitionResult is a Figure 2/4 artifact: the cluster partition the
+// scheduling technique produces for a network, with baselines.
+type PartitionResult struct {
+	// Network names the instance.
+	Network string
+	// OP is the scheduled mapping.
+	OP MappingPoint
+	// Randoms are the R_i baselines.
+	Randoms []MappingPoint
+	// GroundTruth, when non-nil, is the designed partition the technique
+	// is expected to find (Figure 4's rings).
+	GroundTruth *MappingPoint
+	// MatchesGroundTruth reports whether OP equals GroundTruth up to
+	// cluster relabeling.
+	MatchesGroundTruth bool
+}
+
+// Fig2 reproduces Figure 2: the 4-cluster partition the technique obtains
+// for the 16-switch network, with the clustering coefficients of random
+// mappings for comparison.
+func Fig2(randoms int) (*PartitionResult, error) {
+	net, err := Network16()
+	if err != nil {
+		return nil, err
+	}
+	return partitionExperiment(net, nil, randoms)
+}
+
+// Fig4 reproduces Figure 4: the partition for the specially designed
+// 24-switch network of four interconnected rings — the technique must
+// identify the rings.
+func Fig4(randoms int) (*PartitionResult, error) {
+	net, err := Network24Rings()
+	if err != nil {
+		return nil, err
+	}
+	truth := make([]int, net.Switches())
+	for r, ring := range topology.RingClusters(4, 6) {
+		for _, s := range ring {
+			truth[s] = r
+		}
+	}
+	return partitionExperiment(net, truth, randoms)
+}
+
+func partitionExperiment(net *topology.Network, truth []int, randoms int) (*PartitionResult, error) {
+	sys, err := core.NewSystem(net, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	op, rs, err := buildMappings(sys, 4, randoms)
+	if err != nil {
+		return nil, err
+	}
+	res := &PartitionResult{Network: net.Name(), OP: op, Randoms: rs}
+	if truth != nil {
+		tp, err := mapping.New(truth, 4)
+		if err != nil {
+			return nil, err
+		}
+		res.GroundTruth = &MappingPoint{Label: "rings", Partition: tp, Cc: sys.Evaluate(tp).Cc}
+		res.MatchesGroundTruth = op.Partition.Canonical().Equal(tp.Canonical())
+	}
+	return res, nil
+}
+
+// Table renders the partition and coefficient comparison.
+func (r *PartitionResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %s\nOP partition: %s\n", r.Network, r.OP.Partition)
+	if r.GroundTruth != nil {
+		fmt.Fprintf(&b, "designed clusters: %s (identified: %v)\n", r.GroundTruth.Partition, r.MatchesGroundTruth)
+	}
+	t := stats.NewTable("mapping", "Cc")
+	t.AddRow(r.OP.Label, fmt.Sprintf("%.4f", r.OP.Cc))
+	for _, m := range r.Randoms {
+		t.AddRow(m.Label, fmt.Sprintf("%.4f", m.Cc))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// SimSeries is the latency-vs-traffic series of one mapping (one curve of
+// Figure 3/5).
+type SimSeries struct {
+	// Mapping labels and scores the curve.
+	Mapping MappingPoint
+	// Points are the S1…Sn operating points.
+	Points []simnet.SweepPoint
+	// Throughput is the maximum accepted traffic over the sweep.
+	Throughput float64
+}
+
+// SimResult is a full Figure 3/5 reproduction: all curves plus the
+// headline throughput gain.
+type SimResult struct {
+	// Network names the instance.
+	Network string
+	// OP is the scheduled mapping's curve.
+	OP SimSeries
+	// Randoms are the baseline curves.
+	Randoms []SimSeries
+	// ThroughputGain = OP throughput / best random throughput (the paper
+	// reports ≈1.85 on the 16-switch network and ≈5 on the 24-switch
+	// rings network).
+	ThroughputGain float64
+}
+
+// Fig3 reproduces Figure 3: simulation of the 16-switch network from low
+// load to saturation for the OP mapping and the random mappings.
+func Fig3(sc Scale) (*SimResult, error) {
+	net, err := Network16()
+	if err != nil {
+		return nil, err
+	}
+	return simExperiment(net, sc)
+}
+
+// Fig5 reproduces Figure 5: the same simulation on the designed 24-switch
+// rings network, where the gain is much larger.
+func Fig5(sc Scale) (*SimResult, error) {
+	net, err := Network24Rings()
+	if err != nil {
+		return nil, err
+	}
+	return simExperiment(net, sc)
+}
+
+func simExperiment(net *topology.Network, sc Scale) (*SimResult, error) {
+	sys, err := core.NewSystem(net, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	op, rs, err := buildMappings(sys, 4, sc.RandomMappings)
+	if err != nil {
+		return nil, err
+	}
+	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
+	cfg := simConfig(sc)
+	run := func(m MappingPoint) (SimSeries, error) {
+		points, err := sys.SimulateSweep(m.Partition, cfg, rates)
+		if err != nil {
+			return SimSeries{}, err
+		}
+		return SimSeries{Mapping: m, Points: points, Throughput: simnet.Throughput(points)}, nil
+	}
+	res := &SimResult{Network: net.Name()}
+	if res.OP, err = run(op); err != nil {
+		return nil, err
+	}
+	bestRandom := 0.0
+	for _, m := range rs {
+		s, err := run(m)
+		if err != nil {
+			return nil, err
+		}
+		res.Randoms = append(res.Randoms, s)
+		if s.Throughput > bestRandom {
+			bestRandom = s.Throughput
+		}
+	}
+	if bestRandom > 0 {
+		res.ThroughputGain = res.OP.Throughput / bestRandom
+	}
+	return res, nil
+}
+
+// Table renders all curves: one row per (mapping, load point).
+func (r *SimResult) Table() string {
+	t := stats.NewTable("mapping", "Cc", "point", "offered", "accepted", "latency")
+	add := func(s SimSeries) {
+		for _, p := range s.Points {
+			t.AddRow(s.Mapping.Label,
+				fmt.Sprintf("%.3f", s.Mapping.Cc),
+				fmt.Sprintf("S%d", p.Index),
+				fmt.Sprintf("%.4f", p.Metrics.OfferedTraffic),
+				fmt.Sprintf("%.4f", p.Metrics.AcceptedTraffic),
+				fmt.Sprintf("%.1f", p.Metrics.AvgLatency))
+		}
+	}
+	add(r.OP)
+	for _, s := range r.Randoms {
+		add(s)
+	}
+	return t.String() + fmt.Sprintf("\nnetwork %s: OP throughput %.4f, gain over best random = %.2fx\n",
+		r.Network, r.OP.Throughput, r.ThroughputGain)
+}
+
+// PointCorrelation is the Figure 6 correlation at one load point. Two
+// performance measures are correlated with Cc, because they differentiate
+// in different regimes: below saturation every mapping accepts all offered
+// traffic (accepted traffic is constant across mappings and its
+// correlation is noise), but latency already separates good mappings; past
+// saturation, accepted traffic is the discriminating measure.
+type PointCorrelation struct {
+	// Index is the S-point number.
+	Index int
+	// R is the Pearson correlation between Cc and accepted traffic across
+	// mappings.
+	R float64
+	// Defined is false when R is undefined (constant data).
+	Defined bool
+	// RLatency is the Pearson correlation between Cc and negated average
+	// latency (higher Cc ⇒ lower latency ⇒ positive correlation).
+	RLatency float64
+	// LatencyDefined is false when RLatency is undefined.
+	LatencyDefined bool
+}
+
+// Best returns the stronger defined correlation at this point — the
+// measure that discriminates in the point's load regime.
+func (p PointCorrelation) Best() (float64, bool) {
+	switch {
+	case p.Defined && p.LatencyDefined:
+		if p.R >= p.RLatency {
+			return p.R, true
+		}
+		return p.RLatency, true
+	case p.Defined:
+		return p.R, true
+	case p.LatencyDefined:
+		return p.RLatency, true
+	default:
+		return 0, false
+	}
+}
+
+// Fig6Result is the correlation study of Figure 6.
+type Fig6Result struct {
+	// PerPoint holds one correlation per load point S1…Sn.
+	PerPoint []PointCorrelation
+}
+
+// Fig6 reproduces Figure 6: correlation of the clustering coefficient with
+// accepted traffic at every load point, across all Figure 3 mappings.
+func Fig6(sc Scale) (*Fig6Result, error) {
+	sim, err := Fig3(sc)
+	if err != nil {
+		return nil, err
+	}
+	return CorrelationFromSim(sim)
+}
+
+// CorrelationFromSim computes the Figure 6 correlations from an existing
+// simulation result (so Fig3 and Fig6 can share one set of runs).
+func CorrelationFromSim(sim *SimResult) (*Fig6Result, error) {
+	series := append([]SimSeries{sim.OP}, sim.Randoms...)
+	if len(series) < 3 {
+		return nil, fmt.Errorf("experiments: correlation needs >= 3 mappings, got %d", len(series))
+	}
+	nPoints := len(sim.OP.Points)
+	res := &Fig6Result{}
+	for pi := 0; pi < nPoints; pi++ {
+		var cc, acc, negLat []float64
+		for _, s := range series {
+			if pi >= len(s.Points) {
+				return nil, fmt.Errorf("experiments: ragged sweep in correlation input")
+			}
+			cc = append(cc, s.Mapping.Cc)
+			acc = append(acc, s.Points[pi].Metrics.AcceptedTraffic)
+			negLat = append(negLat, -s.Points[pi].Metrics.AvgLatency)
+		}
+		pc := PointCorrelation{Index: pi + 1}
+		if r, err := stats.Pearson(cc, acc); err == nil {
+			pc.R, pc.Defined = r, true
+		}
+		if r, err := stats.Pearson(cc, negLat); err == nil {
+			pc.RLatency, pc.LatencyDefined = r, true
+		}
+		res.PerPoint = append(res.PerPoint, pc)
+	}
+	return res, nil
+}
+
+// Table renders the per-point correlations.
+func (r *Fig6Result) Table() string {
+	t := stats.NewTable("point", "r_accepted", "r_latency")
+	fmtR := func(v float64, ok bool) string {
+		if !ok {
+			return "undefined"
+		}
+		return fmt.Sprintf("%.3f", v)
+	}
+	for _, p := range r.PerPoint {
+		t.AddRow(fmt.Sprintf("S%d", p.Index),
+			fmtR(p.R, p.Defined),
+			fmtR(p.RLatency, p.LatencyDefined))
+	}
+	return t.String()
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"commsched/internal/core"
+	"commsched/internal/distance"
+	"commsched/internal/routing"
+	"commsched/internal/simnet"
+	"commsched/internal/stats"
+	"commsched/internal/traffic"
+)
+
+// ModelValidation reproduces the foundation the paper rests on (its
+// reference [2], PDCS'99): the table of equivalent distances is strongly
+// correlated with network performance, independent of traffic pattern.
+// Across several random topologies of one size, the mean equivalent
+// distance must correlate *negatively* with uniform-traffic throughput
+// (larger effective distances ⇒ less deliverable bandwidth).
+type ModelValidation struct {
+	// Topologies is the number of instances evaluated.
+	Topologies int
+	// MeanDistances and Throughputs are the paired samples.
+	MeanDistances, Throughputs []float64
+	// R is their Pearson correlation (expected strongly negative).
+	R float64
+}
+
+// ValidateModel runs the study on `count` random irregular topologies of
+// the given size under global uniform traffic (no mapping involved — this
+// isolates the distance model itself).
+func ValidateModel(switches, count int, sc Scale) (*ModelValidation, error) {
+	if count < 3 {
+		return nil, fmt.Errorf("experiments: model validation needs >= 3 topologies, got %d", count)
+	}
+	res := &ModelValidation{Topologies: count}
+	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
+	for k := 0; k < count; k++ {
+		net, err := NetworkOfSize(switches, int64(7000+17*k))
+		if err != nil {
+			return nil, err
+		}
+		ud, err := routing.NewUpDown(net, -1)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := distance.Compute(net, ud)
+		if err != nil {
+			return nil, err
+		}
+		// Mean equivalent distance over pairs.
+		sum, pairs := 0.0, 0
+		for i := 0; i < switches; i++ {
+			for j := i + 1; j < switches; j++ {
+				sum += tab.At(i, j)
+				pairs++
+			}
+		}
+		pattern, err := traffic.NewUniform(net.Hosts())
+		if err != nil {
+			return nil, err
+		}
+		points, err := simnet.Sweep(net, ud, pattern, simConfig(sc), rates)
+		if err != nil {
+			return nil, err
+		}
+		res.MeanDistances = append(res.MeanDistances, sum/float64(pairs))
+		res.Throughputs = append(res.Throughputs, simnet.Throughput(points))
+	}
+	r, err := stats.Pearson(res.MeanDistances, res.Throughputs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: model validation correlation: %w", err)
+	}
+	res.R = r
+	return res, nil
+}
+
+// Table renders the validation samples and correlation.
+func (r *ModelValidation) Table() string {
+	t := stats.NewTable("topology", "mean_equiv_distance", "uniform_throughput")
+	for i := range r.MeanDistances {
+		t.AddRow(fmt.Sprintf("#%d", i+1),
+			fmt.Sprintf("%.4f", r.MeanDistances[i]),
+			fmt.Sprintf("%.4f", r.Throughputs[i]))
+	}
+	return t.String() + fmt.Sprintf("\nPearson r = %.3f (expected strongly negative)\n", r.R)
+}
+
+// RootAblation studies the up*/down* root election: the root choice
+// shapes the spanning tree, the legal paths, and hence both the distance
+// table and real performance.
+type RootAblation struct {
+	// Roots are the evaluated root switches.
+	Roots []int
+	// MeanDistance is the table mean per root.
+	MeanDistance []float64
+	// Throughput is the uniform-traffic throughput per root.
+	Throughput []float64
+	// ElectedRoot is what the default heuristic picks.
+	ElectedRoot int
+}
+
+// AblateRoot evaluates every switch of the canonical 16-switch network as
+// the up*/down* root (stride selects a subset for speed: every stride-th
+// switch plus the elected root).
+func AblateRoot(stride int, sc Scale) (*RootAblation, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	net, err := Network16()
+	if err != nil {
+		return nil, err
+	}
+	elected, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		return nil, err
+	}
+	res := &RootAblation{ElectedRoot: elected.Root()}
+	roots := map[int]bool{elected.Root(): true}
+	for r := 0; r < net.Switches(); r += stride {
+		roots[r] = true
+	}
+	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
+	pattern, err := traffic.NewUniform(net.Hosts())
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < net.Switches(); r++ {
+		if !roots[r] {
+			continue
+		}
+		root := r
+		sys, err := core.NewSystem(net, core.Options{Root: &root})
+		if err != nil {
+			return nil, err
+		}
+		tab := sys.DistanceTable()
+		sum, pairs := 0.0, 0
+		for i := 0; i < net.Switches(); i++ {
+			for j := i + 1; j < net.Switches(); j++ {
+				sum += tab.At(i, j)
+				pairs++
+			}
+		}
+		points, err := simnet.Sweep(net, sys.Routing(), pattern, simConfig(sc), rates)
+		if err != nil {
+			return nil, err
+		}
+		res.Roots = append(res.Roots, r)
+		res.MeanDistance = append(res.MeanDistance, sum/float64(pairs))
+		res.Throughput = append(res.Throughput, simnet.Throughput(points))
+	}
+	return res, nil
+}
+
+// Table renders the per-root measurements.
+func (r *RootAblation) Table() string {
+	t := stats.NewTable("root", "mean_equiv_distance", "uniform_throughput", "elected")
+	for i, root := range r.Roots {
+		mark := ""
+		if root == r.ElectedRoot {
+			mark = "*"
+		}
+		t.AddRow(fmt.Sprintf("%d", root),
+			fmt.Sprintf("%.4f", r.MeanDistance[i]),
+			fmt.Sprintf("%.4f", r.Throughput[i]),
+			mark)
+	}
+	return t.String()
+}
+
+// ScalingStudy measures the scheduling gain as the network grows — the
+// trend a practitioner adopting the technique cares about.
+type ScalingStudy struct {
+	// Sizes are the evaluated switch counts.
+	Sizes []int
+	// Gains are the OP/best-random throughput ratios.
+	Gains []float64
+}
+
+// StudyScaling runs the Figure 3 experiment across network sizes.
+func StudyScaling(sizes []int, sc Scale) (*ScalingStudy, error) {
+	res := &ScalingStudy{}
+	for _, n := range sizes {
+		net, err := NetworkOfSize(n, int64(9000+n))
+		if err != nil {
+			return nil, err
+		}
+		sim, err := simExperiment(net, sc)
+		if err != nil {
+			return nil, err
+		}
+		res.Sizes = append(res.Sizes, n)
+		res.Gains = append(res.Gains, sim.ThroughputGain)
+	}
+	return res, nil
+}
+
+// Table renders the scaling trend.
+func (r *ScalingStudy) Table() string {
+	t := stats.NewTable("switches", "throughput_gain")
+	for i, n := range r.Sizes {
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.2fx", r.Gains[i]))
+	}
+	return t.String()
+}

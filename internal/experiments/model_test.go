@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateModelNegativeCorrelation(t *testing.T) {
+	sc := QuickScale()
+	r, err := ValidateModel(16, 6, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MeanDistances) != 6 || len(r.Throughputs) != 6 {
+		t.Fatalf("samples: %d/%d, want 6/6", len(r.MeanDistances), len(r.Throughputs))
+	}
+	// The PDCS'99 foundation: larger mean equivalent distance ⇒ lower
+	// throughput. Demand a clearly negative correlation.
+	if r.R > -0.3 {
+		t.Fatalf("model/performance correlation r = %.3f, want clearly negative\n%s", r.R, r.Table())
+	}
+	if !strings.Contains(r.Table(), "Pearson") {
+		t.Fatal("table missing correlation")
+	}
+}
+
+func TestValidateModelNeedsEnoughTopologies(t *testing.T) {
+	if _, err := ValidateModel(16, 2, QuickScale()); err == nil {
+		t.Fatal("two topologies accepted")
+	}
+}
+
+func TestAblateRoot(t *testing.T) {
+	sc := QuickScale()
+	r, err := AblateRoot(8, sc) // roots 0, 8, and the elected one
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Roots) < 2 {
+		t.Fatalf("too few roots evaluated: %v", r.Roots)
+	}
+	foundElected := false
+	for i, root := range r.Roots {
+		if r.Throughput[i] <= 0 || r.MeanDistance[i] <= 0 {
+			t.Fatalf("degenerate measurement for root %d", root)
+		}
+		if root == r.ElectedRoot {
+			foundElected = true
+		}
+	}
+	if !foundElected {
+		t.Fatal("elected root not among evaluated roots")
+	}
+	if !strings.Contains(r.Table(), "*") {
+		t.Fatal("table does not mark the elected root")
+	}
+}
+
+func TestStudyScaling(t *testing.T) {
+	sc := QuickScale()
+	r, err := StudyScaling([]int{16, 20}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Gains) != 2 {
+		t.Fatalf("gains = %v", r.Gains)
+	}
+	for i, g := range r.Gains {
+		if g <= 1 {
+			t.Fatalf("size %d: gain %.2f, want > 1", r.Sizes[i], g)
+		}
+	}
+	if !strings.Contains(r.Table(), "throughput_gain") {
+		t.Fatal("table missing header")
+	}
+}

@@ -1,0 +1,192 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseLaplacianMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		var edges []WeightedEdge
+		for i := 1; i < n; i++ {
+			edges = append(edges, WeightedEdge{U: i - 1, V: i, Weight: 1 + rng.Float64()})
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			edges = append(edges, WeightedEdge{U: u, V: v, Weight: rng.Float64()})
+		}
+		dense := Laplacian(n, edges)
+		sparse := NewSparseLaplacian(n, edges)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := dense.MulVec(x)
+		got := sparse.MulVec(x, nil)
+		for i := range want {
+			if !almostEq(want[i], got[i], 1e-9) {
+				t.Fatalf("trial %d: sparse MulVec[%d] = %v, dense = %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSparseLaplacianIgnoresSelfLoops(t *testing.T) {
+	s := NewSparseLaplacian(2, []WeightedEdge{{U: 0, V: 0, Weight: 9}, {U: 0, V: 1, Weight: 1}})
+	y := s.MulVec([]float64{1, 0}, nil)
+	if y[0] != 1 || y[1] != -1 {
+		t.Fatalf("self loop leaked into Laplacian: %v", y)
+	}
+}
+
+func TestEffectiveResistanceCGMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		var edges []WeightedEdge
+		for i := 1; i < n; i++ {
+			edges = append(edges, WeightedEdge{U: i - 1, V: i, Weight: 1})
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, WeightedEdge{U: u, V: v, Weight: 1})
+			}
+		}
+		s, tt := rng.Intn(n), rng.Intn(n)
+		want, err := EffectiveResistance(n, edges, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EffectiveResistanceCG(n, edges, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, want, 1e-7) {
+			t.Fatalf("trial %d: CG %v, dense %v", trial, got, want)
+		}
+	}
+}
+
+func TestEffectiveResistanceCGKnownValues(t *testing.T) {
+	// Series: 2 Ω.
+	r, err := EffectiveResistanceCG(3, unitEdges([][2]int{{0, 1}, {1, 2}}), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 2, 1e-9) {
+		t.Fatalf("series = %v, want 2", r)
+	}
+	// Parallel: 0.5 Ω.
+	r, err = EffectiveResistanceCG(2, unitEdges([][2]int{{0, 1}, {0, 1}}), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 0.5, 1e-9) {
+		t.Fatalf("parallel = %v, want 0.5", r)
+	}
+	// Same node: 0.
+	r, err = EffectiveResistanceCG(2, unitEdges([][2]int{{0, 1}}), 1, 1)
+	if err != nil || r != 0 {
+		t.Fatalf("self = %v, %v", r, err)
+	}
+}
+
+func TestEffectiveResistanceCGErrors(t *testing.T) {
+	if _, err := EffectiveResistanceCG(2, nil, 0, 5); err == nil {
+		t.Fatal("out-of-range terminal accepted")
+	}
+	_, err := EffectiveResistanceCG(4, unitEdges([][2]int{{0, 1}, {2, 3}}), 0, 3)
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+	// Foreign components must not break the solve.
+	r, err := EffectiveResistanceCG(4, unitEdges([][2]int{{0, 1}, {2, 3}}), 0, 1)
+	if err != nil || !almostEq(r, 1, 1e-9) {
+		t.Fatalf("R = %v, err = %v", r, err)
+	}
+}
+
+func TestSolveCGValidation(t *testing.T) {
+	s := NewSparseLaplacian(3, unitEdges([][2]int{{0, 1}, {1, 2}}))
+	if _, err := s.SolveCG([]float64{1}, []bool{true, true, true}, CGOptions{}); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+	if _, err := s.SolveCG([]float64{1, 0, 0}, []bool{true}, CGOptions{}); err == nil {
+		t.Fatal("short mask accepted")
+	}
+}
+
+func TestSolveCGZeroRHS(t *testing.T) {
+	s := NewSparseLaplacian(3, unitEdges([][2]int{{0, 1}, {1, 2}}))
+	x, err := s.SolveCG(make([]float64, 3), []bool{true, true, false}, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("zero rhs must give zero solution")
+		}
+	}
+}
+
+func TestCGLargeGrid(t *testing.T) {
+	// A 30×30 grid (900 nodes) — far beyond what the dense path is meant
+	// for; CG must converge and match a known series/parallel sanity bound.
+	const side = 30
+	n := side * side
+	var edges []WeightedEdge
+	id := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				edges = append(edges, WeightedEdge{U: id(r, c), V: id(r, c+1), Weight: 1})
+			}
+			if r+1 < side {
+				edges = append(edges, WeightedEdge{U: id(r, c), V: id(r+1, c), Weight: 1})
+			}
+		}
+	}
+	r, err := EffectiveResistanceCG(n, edges, id(0, 0), id(side-1, side-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid resistance between opposite corners is far below the 2·(side−1)
+	// single-path bound and above the parallel-capacity lower bound.
+	if r <= 0 || r >= float64(2*(side-1)) {
+		t.Fatalf("grid corner resistance = %v out of sane range", r)
+	}
+}
+
+// Property: CG and the dense solver agree on random connected graphs.
+func TestQuickCGDenseAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		var edges []WeightedEdge
+		for i := 1; i < n; i++ {
+			edges = append(edges, WeightedEdge{U: i - 1, V: i, Weight: 0.5 + rng.Float64()})
+		}
+		extra := rng.Intn(2 * n)
+		for k := 0; k < extra; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, WeightedEdge{U: u, V: v, Weight: 0.5 + rng.Float64()})
+			}
+		}
+		s, tt := rng.Intn(n), rng.Intn(n)
+		a, err1 := EffectiveResistance(n, edges, s, tt)
+		b, err2 := EffectiveResistanceCG(n, edges, s, tt)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil // both fail together or not at all
+		}
+		return almostEq(a, b, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// WeightedEdge is an undirected edge with a conductance (1/resistance)
+// weight. Nodes are indices in [0, n).
+type WeightedEdge struct {
+	U, V   int
+	Weight float64
+}
+
+// Laplacian builds the n×n graph Laplacian L = D − A for the given
+// undirected weighted edges. Parallel edges accumulate (their conductances
+// add, exactly like parallel resistors). Self loops are ignored: they do
+// not affect effective resistance.
+func Laplacian(n int, edges []WeightedEdge) *Matrix {
+	l := NewMatrix(n, n)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		l.Add(e.U, e.U, e.Weight)
+		l.Add(e.V, e.V, e.Weight)
+		l.Add(e.U, e.V, -e.Weight)
+		l.Add(e.V, e.U, -e.Weight)
+	}
+	return l
+}
+
+// ErrDisconnected is returned by EffectiveResistance when the two terminal
+// nodes are not connected in the given edge set.
+var ErrDisconnected = errors.New("linalg: terminals are not connected")
+
+// EffectiveResistance computes the electrical effective resistance between
+// nodes s and t in the resistor network described by edges (weights are
+// conductances; a unit resistor has weight 1). n is the number of nodes.
+//
+// Method: inject 1 A at s, extract 1 A at t, ground node t (delete its row
+// and column from the Laplacian), solve the reduced system for the node
+// potentials, and return V(s) − V(t) = V(s).
+//
+// The reduced ("grounded") Laplacian of a connected component containing t
+// is symmetric positive definite, so Cholesky is used; if the component
+// containing s does not contain t the system is singular and
+// ErrDisconnected is returned.
+func EffectiveResistance(n int, edges []WeightedEdge, s, t int) (float64, error) {
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return 0, fmt.Errorf("linalg: terminal out of range: s=%d t=%d n=%d", s, t, n)
+	}
+	if s == t {
+		return 0, nil
+	}
+	lap := Laplacian(n, edges)
+
+	// Keep only the nodes in the connected component of s and t — nodes in
+	// other components make the grounded Laplacian singular even though the
+	// resistance between s and t is well defined.
+	comp := componentOf(n, edges, s)
+	if !comp[t] {
+		return 0, ErrDisconnected
+	}
+	idx := make([]int, 0, n) // old index -> position among kept rows
+	pos := make([]int, n)
+	for i := 0; i < n; i++ {
+		pos[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if comp[i] && i != t { // ground t: drop its row/col
+			pos[i] = len(idx)
+			idx = append(idx, i)
+		}
+	}
+	m := len(idx)
+	red := NewMatrix(m, m)
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			red.Set(a, b, lap.At(idx[a], idx[b]))
+		}
+	}
+	rhs := make([]float64, m)
+	rhs[pos[s]] = 1 // inject 1 A at s (the matching −1 sits at grounded t)
+
+	l, err := Cholesky(red)
+	if err != nil {
+		// Fall back to pivoted Gaussian elimination for borderline
+		// conditioning; if that also fails the component is degenerate.
+		x, gerr := Solve(red, rhs)
+		if gerr != nil {
+			return 0, gerr
+		}
+		return x[pos[s]], nil
+	}
+	x, err := SolveCholesky(l, rhs)
+	if err != nil {
+		return 0, err
+	}
+	return x[pos[s]], nil
+}
+
+// componentOf returns a membership mask of the connected component of
+// start under the given edges.
+func componentOf(n int, edges []WeightedEdge, start int) []bool {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	seen := make([]bool, n)
+	queue := []int{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen
+}

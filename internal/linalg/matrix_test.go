@@ -1,0 +1,221 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimensions")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 42.5)
+	if got := m.At(1, 2); got != 42.5 {
+		t.Fatalf("At(1,2) = %v, want 42.5", got)
+	}
+	m.Add(1, 2, 0.5)
+	if got := m.At(1, 2); got != 43 {
+		t.Fatalf("after Add, At(1,2) = %v, want 43", got)
+	}
+}
+
+func TestBoundsCheckPanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	cases := [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for index (%d,%d)", c[0], c[1])
+				}
+			}()
+			m.At(c[0], c[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows produced wrong layout: %v", m.Data)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("empty FromRows got %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	i3 := Identity(3)
+	p := a.Mul(i3)
+	for k := range a.Data {
+		if p.Data[k] != a.Data[k] {
+			t.Fatalf("A·I != A at flat index %d: %v vs %v", k, p.Data[k], a.Data[k])
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	p := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for k := range want.Data {
+		if p.Data[k] != want.Data[k] {
+			t.Fatalf("A·B = %v, want %v", p.Data, want.Data)
+		}
+	}
+}
+
+func TestMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dimension mismatch")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("transpose dims = %dx%d, want 3x2", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares backing storage with original")
+	}
+}
+
+func TestRowCopies(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := a.Row(0)
+	r[0] = 99
+	if a.At(0, 0) != 1 {
+		t.Fatal("Row returned a view, want a copy")
+	}
+}
+
+func TestSymmetric(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}, {2, 1}})
+	if !s.Symmetric(0) {
+		t.Fatal("symmetric matrix reported asymmetric")
+	}
+	ns := FromRows([][]float64{{1, 2}, {3, 1}})
+	if ns.Symmetric(0.5) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	if !ns.Symmetric(2) {
+		t.Fatal("tolerance not honored")
+	}
+	if NewMatrix(2, 3).Symmetric(1) {
+		t.Fatal("non-square matrix cannot be symmetric")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromRows([][]float64{{-7, 2}, {3, 4}})
+	if a.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", a.MaxAbs())
+	}
+	if NewMatrix(0, 0).MaxAbs() != 0 {
+		t.Fatal("MaxAbs of empty matrix should be 0")
+	}
+}
+
+func TestStringContainsValues(t *testing.T) {
+	a := FromRows([][]float64{{1.5}})
+	if s := a.String(); len(s) == 0 {
+		t.Fatal("String() returned empty")
+	}
+}
+
+// Property: (AB)ᵀ == BᵀAᵀ for random small matrices.
+func TestQuickTransposeProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(6)
+		a := randomMatrix(rng, n, m)
+		b := randomMatrix(rng, m, k)
+		lhs := a.Mul(b).Transpose()
+		rhs := b.Transpose().Mul(a.Transpose())
+		for i := range lhs.Data {
+			if !almostEq(lhs.Data[i], rhs.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}

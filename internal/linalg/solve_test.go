@@ -1,0 +1,206 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	b := []float64{3, -4, 5}
+	x, err := Solve(Identity(3), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("I·x = b gives x = %v, want %v", x, b)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveNonSquare(t *testing.T) {
+	if _, err := Solve(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestSolveDimMismatch(t *testing.T) {
+	if _, err := Solve(Identity(3), []float64{1, 2}); err == nil {
+		t.Fatal("expected error for rhs length mismatch")
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the initial pivot position forces a row swap.
+	a := FromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 3, 1e-12) || !almostEq(x[1], 2, 1e-12) {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	aCopy := a.Clone()
+	bCopy := []float64{1, 2}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != aCopy.Data[i] {
+			t.Fatal("Solve mutated the input matrix")
+		}
+	}
+	for i := range b {
+		if b[i] != bCopy[i] {
+			t.Fatal("Solve mutated the rhs vector")
+		}
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{
+		{2, 0, 0},
+		{6, 1, 0},
+		{-8, 5, 3},
+	})
+	for i := range want.Data {
+		if !almostEq(l.Data[i], want.Data[i], 1e-10) {
+			t.Fatalf("L = \n%v\nwant\n%v", l, want)
+		}
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := FromRows([][]float64{{0, 0}, {0, 1}})
+	if _, err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestSolveCholeskyMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x1, err := SolveCholesky(l, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x1 {
+			if !almostEq(x1[i], x2[i], 1e-7) {
+				t.Fatalf("trial %d: cholesky and GE disagree: %v vs %v", trial, x1, x2)
+			}
+		}
+	}
+}
+
+func TestSolveCholeskyDimMismatch(t *testing.T) {
+	l, err := Cholesky(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveCholesky(l, []float64{1}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+// Property: for random well-conditioned systems, A·Solve(A,b) ≈ b.
+func TestQuickSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randomSPD(rng, n) // SPD ⇒ well conditioned enough for this size
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		r := a.MulVec(x)
+		for i := range b {
+			if math.Abs(r[i]-b[i]) > 1e-6*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomSPD returns MᵀM + n·I, which is symmetric positive definite.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	m := randomMatrix(rng, n, n)
+	spd := m.Transpose().Mul(m)
+	for i := 0; i < n; i++ {
+		spd.Add(i, i, float64(n))
+	}
+	return spd
+}

@@ -1,0 +1,64 @@
+package mapping
+
+import (
+	"fmt"
+
+	"commsched/internal/topology"
+)
+
+// ProcessMap is the full process→processor mapping induced by a switch
+// partition: logical cluster c's processes occupy, in order, the
+// workstations of the switches assigned to cluster c. It is what the
+// traffic generator consumes.
+type ProcessMap struct {
+	hostCluster []int   // host -> logical cluster
+	clusterHost [][]int // cluster -> hosts, ascending
+}
+
+// NewProcessMap expands a switch partition over a network into the
+// host-level mapping. The partition must cover exactly the network's
+// switches.
+func NewProcessMap(net *topology.Network, p *Partition) (*ProcessMap, error) {
+	if p.N() != net.Switches() {
+		return nil, fmt.Errorf("mapping: partition covers %d switches, network has %d", p.N(), net.Switches())
+	}
+	pm := &ProcessMap{
+		hostCluster: make([]int, net.Hosts()),
+		clusterHost: make([][]int, p.M()),
+	}
+	for s := 0; s < net.Switches(); s++ {
+		c := p.Cluster(s)
+		for _, h := range net.SwitchHosts(s) {
+			pm.hostCluster[h] = c
+			pm.clusterHost[c] = append(pm.clusterHost[c], h)
+		}
+	}
+	return pm, nil
+}
+
+// Hosts returns the total number of hosts (== processes, one per
+// processor).
+func (pm *ProcessMap) Hosts() int { return len(pm.hostCluster) }
+
+// Clusters returns the number of logical clusters.
+func (pm *ProcessMap) Clusters() int { return len(pm.clusterHost) }
+
+// HostCluster returns the logical cluster whose process runs on host h.
+func (pm *ProcessMap) HostCluster(h int) int { return pm.hostCluster[h] }
+
+// ClusterHosts returns the hosts executing cluster c's processes,
+// ascending. The returned slice is shared; callers must not modify it.
+func (pm *ProcessMap) ClusterHosts(c int) []int { return pm.clusterHost[c] }
+
+// Peers returns the hosts in the same logical cluster as h, excluding h
+// itself — the destination set for h's intra-cluster traffic.
+func (pm *ProcessMap) Peers(h int) []int {
+	all := pm.clusterHost[pm.hostCluster[h]]
+	out := make([]int, 0, len(all)-1)
+	for _, other := range all {
+		if other != h {
+			out = append(out, other)
+		}
+	}
+	return out
+}

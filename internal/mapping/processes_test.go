@@ -1,0 +1,96 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"commsched/internal/topology"
+)
+
+func testNet(t *testing.T, switches int) *topology.Network {
+	t.Helper()
+	net, err := topology.RandomIrregular(switches, 3, rand.New(rand.NewSource(1)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestNewProcessMap(t *testing.T) {
+	net := testNet(t, 8) // 32 hosts
+	p, err := Balanced(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewProcessMap(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Hosts() != 32 || pm.Clusters() != 4 {
+		t.Fatalf("Hosts=%d Clusters=%d", pm.Hosts(), pm.Clusters())
+	}
+	// Switch 0 and 1 are cluster 0; their 8 hosts belong to cluster 0.
+	for h := 0; h < 8; h++ {
+		if pm.HostCluster(h) != 0 {
+			t.Fatalf("host %d cluster = %d, want 0", h, pm.HostCluster(h))
+		}
+	}
+	if got := len(pm.ClusterHosts(0)); got != 8 {
+		t.Fatalf("cluster 0 hosts = %d, want 8", got)
+	}
+}
+
+func TestNewProcessMapSizeMismatch(t *testing.T) {
+	net := testNet(t, 8)
+	p, _ := Balanced(4, 2)
+	if _, err := NewProcessMap(net, p); err == nil {
+		t.Fatal("partition/network size mismatch accepted")
+	}
+}
+
+func TestPeersExcludesSelf(t *testing.T) {
+	net := testNet(t, 8)
+	p, _ := Balanced(8, 4)
+	pm, err := NewProcessMap(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := pm.Peers(3)
+	if len(peers) != 7 {
+		t.Fatalf("Peers(3) = %d hosts, want 7", len(peers))
+	}
+	for _, h := range peers {
+		if h == 3 {
+			t.Fatal("Peers included the host itself")
+		}
+		if pm.HostCluster(h) != pm.HostCluster(3) {
+			t.Fatal("Peers crossed clusters")
+		}
+	}
+}
+
+func TestProcessMapCoversAllHostsOnce(t *testing.T) {
+	net := testNet(t, 12)
+	p, err := Random(12, 4, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewProcessMap(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, pm.Hosts())
+	total := 0
+	for c := 0; c < pm.Clusters(); c++ {
+		for _, h := range pm.ClusterHosts(c) {
+			if seen[h] {
+				t.Fatalf("host %d appears in two clusters", h)
+			}
+			seen[h] = true
+			total++
+		}
+	}
+	if total != pm.Hosts() {
+		t.Fatalf("clusters cover %d hosts, want %d", total, pm.Hosts())
+	}
+}

@@ -1,0 +1,27 @@
+package mapping
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// partitionJSON is the wire form of a Partition.
+type partitionJSON struct {
+	Clusters int   `json:"clusters"`
+	Assign   []int `json:"assign"`
+}
+
+// MarshalJSON encodes the partition as its switch→cluster assignment.
+func (p *Partition) MarshalJSON() ([]byte, error) {
+	return json.Marshal(partitionJSON{Clusters: p.M(), Assign: p.assign})
+}
+
+// UnmarshalPartitionJSON decodes a partition written by MarshalJSON,
+// re-running full validation.
+func UnmarshalPartitionJSON(data []byte) (*Partition, error) {
+	var w partitionJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("mapping: decoding partition: %w", err)
+	}
+	return New(w.Assign, w.Clusters)
+}

@@ -1,0 +1,280 @@
+// Package metatask implements the computational side of scheduling in
+// heterogeneous systems that the paper builds on (its references [1], [6],
+// [12], [16]): mapping a bag of independent tasks onto machines of
+// different computing power to minimize makespan, with the classic static
+// heuristics of Braun et al. — OLB, MET (the paper's "User-Directed
+// Assignment"), MCT ("Fast Greedy"), Min-min, and Max-min.
+//
+// The expected time to compute (ETC) matrix abstracts machine
+// heterogeneity; generators for consistent, inconsistent, and
+// semi-consistent ETC matrices follow the standard range-based method.
+package metatask
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ETC is the expected-time-to-compute matrix: ETC[t][m] is task t's
+// runtime on machine m.
+type ETC struct {
+	Tasks, Machines int
+	Time            [][]float64
+}
+
+// NewETC validates and wraps a runtime matrix.
+func NewETC(time [][]float64) (*ETC, error) {
+	if len(time) == 0 || len(time[0]) == 0 {
+		return nil, fmt.Errorf("metatask: empty ETC matrix")
+	}
+	machines := len(time[0])
+	for t, row := range time {
+		if len(row) != machines {
+			return nil, fmt.Errorf("metatask: ragged ETC row %d", t)
+		}
+		for m, v := range row {
+			if v <= 0 {
+				return nil, fmt.Errorf("metatask: non-positive runtime at task %d machine %d", t, m)
+			}
+		}
+	}
+	return &ETC{Tasks: len(time), Machines: machines, Time: time}, nil
+}
+
+// Consistency selects the structure of a generated ETC matrix.
+type Consistency int
+
+const (
+	// Inconsistent: machine speed orderings differ per task (the general
+	// heterogeneous case).
+	Inconsistent Consistency = iota
+	// Consistent: if machine a beats machine b on one task, it does on
+	// all (uniformly related machines).
+	Consistent
+	// SemiConsistent: consistent on even-indexed machines, inconsistent
+	// elsewhere.
+	SemiConsistent
+)
+
+// GenerateETC builds a range-based random ETC matrix: task heterogeneity
+// taskVar and machine heterogeneity machVar control the spread
+// (Braun et al.'s method: Time[t][m] = base[t] * row[m]).
+func GenerateETC(tasks, machines int, taskVar, machVar float64, consistency Consistency, rng *rand.Rand) (*ETC, error) {
+	if tasks < 1 || machines < 1 {
+		return nil, fmt.Errorf("metatask: need tasks and machines >= 1, got %d/%d", tasks, machines)
+	}
+	if taskVar <= 0 || machVar <= 0 {
+		return nil, fmt.Errorf("metatask: heterogeneity factors must be positive")
+	}
+	time := make([][]float64, tasks)
+	for t := range time {
+		base := 1 + rng.Float64()*taskVar
+		row := make([]float64, machines)
+		for m := range row {
+			row[m] = base * (1 + rng.Float64()*machVar)
+		}
+		if consistency == Consistent {
+			sortFloats(row)
+		}
+		if consistency == SemiConsistent {
+			evens := make([]float64, 0, (machines+1)/2)
+			for m := 0; m < machines; m += 2 {
+				evens = append(evens, row[m])
+			}
+			sortFloats(evens)
+			for i, m := 0, 0; m < machines; m += 2 {
+				row[m] = evens[i]
+				i++
+			}
+		}
+		time[t] = row
+	}
+	return NewETC(time)
+}
+
+func sortFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Schedule assigns every task to a machine.
+type Schedule struct {
+	// MachineOf maps task -> machine.
+	MachineOf []int
+	// Makespan is the maximum machine completion time.
+	Makespan float64
+	// MachineLoad is each machine's total assigned runtime.
+	MachineLoad []float64
+}
+
+// evaluate builds the Schedule bookkeeping from an assignment.
+func evaluate(etc *ETC, machineOf []int) *Schedule {
+	load := make([]float64, etc.Machines)
+	for t, m := range machineOf {
+		load[m] += etc.Time[t][m]
+	}
+	mk := 0.0
+	for _, l := range load {
+		if l > mk {
+			mk = l
+		}
+	}
+	return &Schedule{MachineOf: machineOf, Makespan: mk, MachineLoad: load}
+}
+
+// Heuristic is a static meta-task mapping heuristic.
+type Heuristic interface {
+	// Name identifies the heuristic.
+	Name() string
+	// Map schedules all ETC tasks.
+	Map(etc *ETC) *Schedule
+}
+
+// OLB is Opportunistic Load Balancing: each task (in index order) goes to
+// the machine that becomes ready first, ignoring runtimes.
+type OLB struct{}
+
+// Name implements Heuristic.
+func (OLB) Name() string { return "olb" }
+
+// Map implements Heuristic.
+func (OLB) Map(etc *ETC) *Schedule {
+	ready := make([]float64, etc.Machines)
+	assign := make([]int, etc.Tasks)
+	for t := 0; t < etc.Tasks; t++ {
+		best := 0
+		for m := 1; m < etc.Machines; m++ {
+			if ready[m] < ready[best] {
+				best = m
+			}
+		}
+		assign[t] = best
+		ready[best] += etc.Time[t][best]
+	}
+	return evaluate(etc, assign)
+}
+
+// MET (minimum execution time, a.k.a. the paper's User-Directed
+// Assignment) sends each task to its fastest machine regardless of load.
+type MET struct{}
+
+// Name implements Heuristic.
+func (MET) Name() string { return "met" }
+
+// Map implements Heuristic.
+func (MET) Map(etc *ETC) *Schedule {
+	assign := make([]int, etc.Tasks)
+	for t := 0; t < etc.Tasks; t++ {
+		best := 0
+		for m := 1; m < etc.Machines; m++ {
+			if etc.Time[t][m] < etc.Time[t][best] {
+				best = m
+			}
+		}
+		assign[t] = best
+	}
+	return evaluate(etc, assign)
+}
+
+// MCT (minimum completion time, the paper's "Fast Greedy") assigns each
+// task in index order to the machine minimizing its completion time.
+type MCT struct{}
+
+// Name implements Heuristic.
+func (MCT) Name() string { return "mct" }
+
+// Map implements Heuristic.
+func (MCT) Map(etc *ETC) *Schedule {
+	ready := make([]float64, etc.Machines)
+	assign := make([]int, etc.Tasks)
+	for t := 0; t < etc.Tasks; t++ {
+		best, bestDone := 0, ready[0]+etc.Time[t][0]
+		for m := 1; m < etc.Machines; m++ {
+			if done := ready[m] + etc.Time[t][m]; done < bestDone {
+				best, bestDone = m, done
+			}
+		}
+		assign[t] = best
+		ready[best] = bestDone
+	}
+	return evaluate(etc, assign)
+}
+
+// MinMin repeatedly schedules, among unassigned tasks, the one whose best
+// completion time is smallest.
+type MinMin struct{}
+
+// Name implements Heuristic.
+func (MinMin) Name() string { return "min-min" }
+
+// Map implements Heuristic.
+func (MinMin) Map(etc *ETC) *Schedule { return minMaxMin(etc, true) }
+
+// MaxMin repeatedly schedules, among unassigned tasks, the one whose best
+// completion time is largest (big tasks first).
+type MaxMin struct{}
+
+// Name implements Heuristic.
+func (MaxMin) Name() string { return "max-min" }
+
+// Map implements Heuristic.
+func (MaxMin) Map(etc *ETC) *Schedule { return minMaxMin(etc, false) }
+
+// minMaxMin is the shared Min-min / Max-min loop.
+func minMaxMin(etc *ETC, min bool) *Schedule {
+	ready := make([]float64, etc.Machines)
+	assign := make([]int, etc.Tasks)
+	done := make([]bool, etc.Tasks)
+	for scheduled := 0; scheduled < etc.Tasks; scheduled++ {
+		pickT, pickM := -1, -1
+		var pickDone float64
+		for t := 0; t < etc.Tasks; t++ {
+			if done[t] {
+				continue
+			}
+			bestM, bestDone := 0, ready[0]+etc.Time[t][0]
+			for m := 1; m < etc.Machines; m++ {
+				if d := ready[m] + etc.Time[t][m]; d < bestDone {
+					bestM, bestDone = m, d
+				}
+			}
+			if pickT < 0 || (min && bestDone < pickDone) || (!min && bestDone > pickDone) {
+				pickT, pickM, pickDone = t, bestM, bestDone
+			}
+		}
+		assign[pickT] = pickM
+		ready[pickM] = pickDone
+		done[pickT] = true
+	}
+	return evaluate(etc, assign)
+}
+
+// LowerBound returns a simple makespan lower bound: max over tasks of the
+// fastest runtime, and total fastest work spread over all machines.
+func LowerBound(etc *ETC) float64 {
+	maxTask, totalBest := 0.0, 0.0
+	for t := 0; t < etc.Tasks; t++ {
+		best := etc.Time[t][0]
+		for m := 1; m < etc.Machines; m++ {
+			if etc.Time[t][m] < best {
+				best = etc.Time[t][m]
+			}
+		}
+		if best > maxTask {
+			maxTask = best
+		}
+		totalBest += best
+	}
+	if spread := totalBest / float64(etc.Machines); spread > maxTask {
+		return spread
+	}
+	return maxTask
+}
+
+// All returns every heuristic.
+func All() []Heuristic {
+	return []Heuristic{OLB{}, MET{}, MCT{}, MinMin{}, MaxMin{}}
+}

@@ -1,0 +1,230 @@
+package metatask
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewETCValidation(t *testing.T) {
+	if _, err := NewETC(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := NewETC([][]float64{{}}); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if _, err := NewETC([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := NewETC([][]float64{{1, 0}}); err == nil {
+		t.Fatal("zero runtime accepted")
+	}
+	etc, err := NewETC([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etc.Tasks != 2 || etc.Machines != 2 {
+		t.Fatalf("dims %d/%d", etc.Tasks, etc.Machines)
+	}
+}
+
+func TestGenerateETCShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	etc, err := GenerateETC(50, 8, 10, 5, Inconsistent, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etc.Tasks != 50 || etc.Machines != 8 {
+		t.Fatalf("dims %d/%d", etc.Tasks, etc.Machines)
+	}
+	for t2 := 0; t2 < 50; t2++ {
+		for m := 0; m < 8; m++ {
+			if etc.Time[t2][m] <= 0 {
+				t.Fatal("non-positive generated runtime")
+			}
+		}
+	}
+	if _, err := GenerateETC(0, 8, 1, 1, Inconsistent, rng); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+	if _, err := GenerateETC(5, 8, 0, 1, Inconsistent, rng); err == nil {
+		t.Fatal("zero heterogeneity accepted")
+	}
+}
+
+func TestGenerateETCConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	etc, err := GenerateETC(30, 6, 10, 5, Consistent, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistent: every row is sorted ascending (machine 0 fastest).
+	for t2 := 0; t2 < etc.Tasks; t2++ {
+		for m := 1; m < etc.Machines; m++ {
+			if etc.Time[t2][m] < etc.Time[t2][m-1] {
+				t.Fatalf("consistent ETC row %d not sorted", t2)
+			}
+		}
+	}
+}
+
+func TestGenerateETCSemiConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	etc, err := GenerateETC(30, 8, 10, 5, SemiConsistent, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := 0; t2 < etc.Tasks; t2++ {
+		for m := 2; m < etc.Machines; m += 2 {
+			if etc.Time[t2][m] < etc.Time[t2][m-2] {
+				t.Fatalf("semi-consistent ETC row %d not sorted on even machines", t2)
+			}
+		}
+	}
+}
+
+func TestHeuristicsValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	etc, err := GenerateETC(40, 6, 10, 5, Inconsistent, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := LowerBound(etc)
+	for _, h := range All() {
+		s := h.Map(etc)
+		if len(s.MachineOf) != etc.Tasks {
+			t.Fatalf("%s: incomplete schedule", h.Name())
+		}
+		for task, m := range s.MachineOf {
+			if m < 0 || m >= etc.Machines {
+				t.Fatalf("%s: task %d on invalid machine %d", h.Name(), task, m)
+			}
+		}
+		// Makespan consistency: max load == makespan, >= lower bound.
+		maxLoad := 0.0
+		for _, l := range s.MachineLoad {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		if math.Abs(maxLoad-s.Makespan) > 1e-9 {
+			t.Fatalf("%s: makespan %v != max load %v", h.Name(), s.Makespan, maxLoad)
+		}
+		if s.Makespan < lb-1e-9 {
+			t.Fatalf("%s: makespan %v below lower bound %v", h.Name(), s.Makespan, lb)
+		}
+	}
+}
+
+func TestMETPicksFastestMachine(t *testing.T) {
+	etc, err := NewETC([][]float64{
+		{5, 1, 9},
+		{2, 8, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MET{}.Map(etc)
+	if s.MachineOf[0] != 1 || s.MachineOf[1] != 2 {
+		t.Fatalf("MET assignment %v, want [1 2]", s.MachineOf)
+	}
+}
+
+func TestMCTBalances(t *testing.T) {
+	// Two identical machines, four unit tasks: MCT alternates, makespan 2.
+	etc, err := NewETC([][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MCT{}.Map(etc)
+	if s.Makespan != 2 {
+		t.Fatalf("MCT makespan %v, want 2", s.Makespan)
+	}
+}
+
+func TestMinMinBeatsOLBOnHeterogeneous(t *testing.T) {
+	// The classic result (Braun et al., the paper's reference [6]):
+	// Min-min produces shorter makespans than OLB on random heterogeneous
+	// workloads. Check in expectation across seeds.
+	wins := 0
+	const trials = 20
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		etc, err := GenerateETC(60, 8, 20, 10, Inconsistent, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (MinMin{}).Map(etc).Makespan < (OLB{}).Map(etc).Makespan {
+			wins++
+		}
+	}
+	if wins < trials*3/4 {
+		t.Fatalf("min-min beat OLB only %d/%d times", wins, trials)
+	}
+}
+
+func TestMaxMinFrontLoadsBigTasks(t *testing.T) {
+	// One huge task and many small ones on two machines: Max-min places
+	// the huge task first and packs small ones elsewhere; its makespan
+	// must match the huge task's runtime here.
+	time := [][]float64{{10, 10}}
+	for i := 0; i < 10; i++ {
+		time = append(time, []float64{1, 1})
+	}
+	etc, err := NewETC(time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MaxMin{}.Map(etc)
+	if s.Makespan != 10 {
+		t.Fatalf("max-min makespan %v, want 10", s.Makespan)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	etc, err := NewETC([][]float64{
+		{4, 8},
+		{4, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total best work = 8 over 2 machines = 4; max single best = 4.
+	if lb := LowerBound(etc); lb != 4 {
+		t.Fatalf("LowerBound = %v, want 4", lb)
+	}
+}
+
+// Property: every heuristic's makespan is at least the lower bound and at
+// most the serial sum of worst-case runtimes.
+func TestQuickHeuristicBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		etc, err := GenerateETC(1+rng.Intn(30), 1+rng.Intn(6), 5, 5, Consistency(rng.Intn(3)), rng)
+		if err != nil {
+			return false
+		}
+		lb := LowerBound(etc)
+		worst := 0.0
+		for t := 0; t < etc.Tasks; t++ {
+			w := etc.Time[t][0]
+			for m := 1; m < etc.Machines; m++ {
+				if etc.Time[t][m] > w {
+					w = etc.Time[t][m]
+				}
+			}
+			worst += w
+		}
+		for _, h := range All() {
+			mk := h.Map(etc).Makespan
+			if mk < lb-1e-9 || mk > worst+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package plot renders the paper's figures as ASCII charts for the
+// terminal: scatter/line series over numeric axes (Figures 3 and 5's
+// latency-vs-traffic curves, Figure 1's search trace). It exists so the
+// reproduction can show its figures without any plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	// Label names the curve; its first rune becomes the plot marker.
+	Label string
+	// X and Y are the sample coordinates (equal length).
+	X, Y []float64
+}
+
+// Chart is an ASCII chart under construction.
+type Chart struct {
+	title          string
+	xLabel, yLabel string
+	width, height  int
+	series         []Series
+}
+
+// New creates a chart with the given title and plot-area size in
+// characters (sensible minimums are enforced at render time).
+func New(title string, width, height int) *Chart {
+	return &Chart{title: title, width: width, height: height}
+}
+
+// Axes sets the axis labels.
+func (c *Chart) Axes(x, y string) *Chart {
+	c.xLabel, c.yLabel = x, y
+	return c
+}
+
+// Add appends a series. Mismatched X/Y lengths are rejected at render.
+func (c *Chart) Add(s Series) *Chart {
+	c.series = append(c.series, s)
+	return c
+}
+
+// Render draws the chart. Every series point maps to the nearest cell;
+// later series overdraw earlier ones on collisions. An empty chart or a
+// series with mismatched lengths returns an error.
+func (c *Chart) Render() (string, error) {
+	if len(c.series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	w, h := c.width, c.height
+	if w < 20 {
+		w = 20
+	}
+	if h < 5 {
+		h = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values", s.Label, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			points++
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("plot: series contain no points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	for _, s := range c.series {
+		marker := '*'
+		if s.Label != "" {
+			marker = []rune(s.Label)[0]
+		}
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = marker
+		}
+	}
+	var b strings.Builder
+	if c.title != "" {
+		fmt.Fprintf(&b, "%s\n", c.title)
+	}
+	yHi := fmt.Sprintf("%.3g", maxY)
+	yLo := fmt.Sprintf("%.3g", minY)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r := 0; r < h; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", margin, yHi)
+		case h - 1:
+			fmt.Fprintf(&b, "%*s |", margin, yLo)
+		default:
+			fmt.Fprintf(&b, "%*s |", margin, "")
+		}
+		b.WriteString(strings.TrimRight(string(grid[r]), " "))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", margin, "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%*s  %-*.3g%*.3g\n", margin, "", w/2, minX, w-w/2, maxX)
+	if c.xLabel != "" || c.yLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s, y: %s\n", margin, "", c.xLabel, c.yLabel)
+	}
+	// Legend.
+	var legend []string
+	for _, s := range c.series {
+		if s.Label != "" {
+			legend = append(legend, fmt.Sprintf("%c=%s", []rune(s.Label)[0], s.Label))
+		}
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%*s  %s\n", margin, "", strings.Join(legend, " "))
+	}
+	return b.String(), nil
+}

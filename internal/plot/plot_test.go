@@ -1,0 +1,79 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out, err := New("demo", 40, 10).
+		Axes("load", "latency").
+		Add(Series{Label: "OP", X: []float64{0, 1, 2}, Y: []float64{10, 20, 40}}).
+		Add(Series{Label: "R1", X: []float64{0, 1, 2}, Y: []float64{10, 60, 90}}).
+		Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "O=OP", "R=R1", "x: load, y: latency", "90", "10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Markers present.
+	if !strings.Contains(out, "O") || !strings.Contains(out, "R") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := New("x", 40, 10).Render(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	if _, err := New("x", 40, 10).Add(Series{Label: "a", X: []float64{1}, Y: nil}).Render(); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	if _, err := New("x", 40, 10).Add(Series{Label: "a"}).Render(); err == nil {
+		t.Fatal("pointless chart accepted")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Constant X and Y must not divide by zero.
+	out, err := New("flat", 30, 6).
+		Add(Series{Label: "c", X: []float64{5, 5}, Y: []float64{3, 3}}).
+		Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "c") {
+		t.Fatalf("marker missing:\n%s", out)
+	}
+}
+
+func TestRenderTinyDimensionsClamped(t *testing.T) {
+	out, err := New("tiny", 1, 1).
+		Add(Series{Label: "p", X: []float64{0, 1}, Y: []float64{0, 1}}).
+		Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(out, "\n")) < 6 {
+		t.Fatalf("clamping failed:\n%s", out)
+	}
+}
+
+func TestMarkerPlacementCorners(t *testing.T) {
+	// A two-point series spanning the range must hit the top-right and
+	// bottom-left of the plot area.
+	out, err := New("", 20, 5).
+		Add(Series{Label: "z", X: []float64{0, 1}, Y: []float64{0, 1}}).
+		Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	top := lines[0]
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "z") {
+		t.Fatalf("top-right marker missing: %q", top)
+	}
+}

@@ -1,0 +1,162 @@
+package procsched
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TabuOptions parameterizes the process-level Tabu search; zero values
+// select the paper-aligned defaults (10 restarts, 40 iterations, repeat
+// limit 3, tenure 4). Iteration counts are higher than the switch-level
+// searcher's because the move space (process swaps + relocations) is
+// larger.
+type TabuOptions struct {
+	Restarts      int
+	MaxIterations int
+	RepeatLimit   int
+	Tenure        int
+}
+
+func (o TabuOptions) withDefaults() TabuOptions {
+	if o.Restarts == 0 {
+		o.Restarts = 10
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 40
+	}
+	if o.RepeatLimit == 0 {
+		o.RepeatLimit = 3
+	}
+	if o.Tenure == 0 {
+		o.Tenure = 4
+	}
+	return o
+}
+
+// Result is the outcome of a process-level search.
+type Result struct {
+	// Best is the best placement found.
+	Best *Assignment
+	// BestCost is its objective value.
+	BestCost float64
+	// Evaluations counts candidate move evaluations.
+	Evaluations int
+	// Iterations counts applied moves.
+	Iterations int
+}
+
+const epsilon = 1e-9
+
+// Tabu runs the paper's Tabu procedure over the process-level move space:
+// the best swap of two processes or relocation of one process to a free
+// slot; least-bad uphill move with tabu tenure at local minima; random
+// restarts.
+func Tabu(pr *Problem, opts TabuOptions, rng *rand.Rand) *Result {
+	opts = opts.withDefaults()
+	res := &Result{}
+	for restart := 0; restart < opts.Restarts; restart++ {
+		a := pr.RandomAssignment(rng)
+		cur := pr.Cost(a)
+		consider(res, a, cur)
+
+		tabu := map[moveKey]int{}
+		var localMinima []float64
+
+		for iter := 0; iter < opts.MaxIterations; iter++ {
+			mv, delta, evals, found := bestMove(pr, a, tabu, iter, cur, res.BestCost)
+			res.Evaluations += evals
+			if !found {
+				break
+			}
+			if delta >= -epsilon {
+				repeats := 1
+				for _, m := range localMinima {
+					if math.Abs(m-cur) <= epsilon*(1+math.Abs(cur)) {
+						repeats++
+					}
+				}
+				localMinima = append(localMinima, cur)
+				if repeats >= opts.RepeatLimit {
+					break
+				}
+				tabu[mv.key()] = iter + 1 + opts.Tenure
+			}
+			mv.apply(pr, a)
+			cur += delta
+			res.Iterations++
+			consider(res, a, cur)
+		}
+	}
+	return res
+}
+
+func consider(res *Result, a *Assignment, cost float64) {
+	if res.Best == nil || cost < res.BestCost-epsilon {
+		res.Best = a.Clone()
+		res.BestCost = cost
+	}
+}
+
+// move is either a swap (q >= 0) or a relocation of p to host (q < 0).
+type move struct {
+	p, q, host int
+}
+
+type moveKey struct{ a, b, host int }
+
+func (m move) key() moveKey {
+	if m.q >= 0 {
+		a, b := m.p, m.q
+		if a > b {
+			a, b = b, a
+		}
+		return moveKey{a, b, -1}
+	}
+	return moveKey{m.p, -1, m.host}
+}
+
+func (m move) apply(pr *Problem, a *Assignment) {
+	if m.q >= 0 {
+		a.SwapProcesses(m.p, m.q)
+		return
+	}
+	a.MoveProcess(m.p, m.host, pr.SlotsPerHost)
+}
+
+// bestMove scans all process swaps and all relocations to hosts with free
+// slots, returning the best non-tabu move (aspiration: tabu moves that
+// would beat the incumbent are admissible).
+func bestMove(pr *Problem, a *Assignment, tabu map[moveKey]int, iter int, cur, globalBest float64) (move, float64, int, bool) {
+	best := move{}
+	bestDelta := math.Inf(1)
+	evals := 0
+	found := false
+	admit := func(m move, d float64) {
+		if until, isTabu := tabu[m.key()]; isTabu && iter < until {
+			if cur+d >= globalBest-epsilon {
+				return
+			}
+		}
+		if d < bestDelta {
+			best, bestDelta, found = m, d, true
+		}
+	}
+	n := pr.Processes()
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			if a.HostOf[p] == a.HostOf[q] {
+				continue
+			}
+			evals++
+			admit(move{p: p, q: q, host: -1}, pr.SwapDelta(a, p, q))
+		}
+		for h := 0; h < pr.Net.Hosts(); h++ {
+			if h == a.HostOf[p] || a.Load(h) >= pr.SlotsPerHost {
+				continue
+			}
+			evals++
+			admit(move{p: p, q: -1, host: h}, pr.MoveDelta(a, p, h))
+		}
+	}
+	return best, bestDelta, evals, found
+}

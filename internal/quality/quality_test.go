@@ -1,0 +1,305 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"commsched/internal/distance"
+	"commsched/internal/mapping"
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// table4 is a hand-checkable 4-switch table: two tight pairs (0,1) and
+// (2,3) at distance 1, everything across at distance 3.
+func table4(t *testing.T) *distance.Table {
+	t.Helper()
+	tab, err := distance.FromMatrix([][]float64{
+		{0, 1, 3, 3},
+		{1, 0, 3, 3},
+		{3, 3, 0, 1},
+		{3, 3, 1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestSimilarityHandComputed(t *testing.T) {
+	e := NewEvaluator(table4(t))
+	good, _ := mapping.New([]int{0, 0, 1, 1}, 2)
+	// IntraSum = T²(0,1) + T²(2,3) = 1 + 1 = 2. intraPairs = 2.
+	// quadMean = (1+9+9+9+9+1)/6 = 38/6.
+	if !almostEq(e.IntraSum(good), 2, 1e-12) {
+		t.Fatalf("IntraSum = %v, want 2", e.IntraSum(good))
+	}
+	wantF := (2.0 / 2.0) / (38.0 / 6.0)
+	if !almostEq(e.Similarity(good), wantF, 1e-12) {
+		t.Fatalf("F_G = %v, want %v", e.Similarity(good), wantF)
+	}
+}
+
+func TestDissimilarityHandComputed(t *testing.T) {
+	e := NewEvaluator(table4(t))
+	good, _ := mapping.New([]int{0, 0, 1, 1}, 2)
+	// Inter pairs (unordered): (0,2),(0,3),(1,2),(1,3) each 9 → 36.
+	// Σ D_Ai counts them twice = 72; ordered pairs = 2·2·2+... = Σ x(N−x) = 2·2+2·2 = 8.
+	// D_G = 72/8 / (38/6) = 9 / (38/6).
+	wantD := 9.0 / (38.0 / 6.0)
+	if !almostEq(e.Dissimilarity(good), wantD, 1e-12) {
+		t.Fatalf("D_G = %v, want %v", e.Dissimilarity(good), wantD)
+	}
+}
+
+func TestDissimilarityMatchesDirectDefinition(t *testing.T) {
+	// Cross-check the derived Dissimilarity against Eq. 4/5 computed
+	// literally via ClusterDissimilarity.
+	e := NewEvaluator(table4(t))
+	for _, assign := range [][]int{{0, 0, 1, 1}, {0, 1, 0, 1}, {0, 1, 1, 0}} {
+		p, _ := mapping.New(assign, 2)
+		sum := 0.0
+		for c := 0; c < p.M(); c++ {
+			sum += e.ClusterDissimilarity(p, c)
+		}
+		ordered := 0
+		for c := 0; c < p.M(); c++ {
+			ordered += p.Size(c) * (p.N() - p.Size(c))
+		}
+		want := sum / float64(ordered) / e.QuadraticMean()
+		if !almostEq(e.Dissimilarity(p), want, 1e-12) {
+			t.Fatalf("assign %v: derived D_G = %v, literal = %v", assign, e.Dissimilarity(p), want)
+		}
+	}
+}
+
+func TestClusteringCoefficientOrdersMappings(t *testing.T) {
+	e := NewEvaluator(table4(t))
+	good, _ := mapping.New([]int{0, 0, 1, 1}, 2)
+	bad, _ := mapping.New([]int{0, 1, 0, 1}, 2)
+	cg, cb := e.ClusteringCoefficient(good), e.ClusteringCoefficient(bad)
+	if cg <= cb {
+		t.Fatalf("Cc(good)=%v must exceed Cc(bad)=%v", cg, cb)
+	}
+}
+
+func TestSimilarityRandomBaselineNearOne(t *testing.T) {
+	// The paper: F_G ≈ 1 means intracluster cost like a random mapping.
+	// Averaged over many random mappings, F_G must be close to 1.
+	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(10)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := distance.Compute(net, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(tab)
+	rng := rand.New(rand.NewSource(99))
+	sum := 0.0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		p, err := mapping.Random(16, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += e.Similarity(p)
+	}
+	mean := sum / trials
+	if mean < 0.85 || mean > 1.15 {
+		t.Fatalf("mean F_G over random mappings = %v, want ≈ 1", mean)
+	}
+}
+
+func TestSingletonClustersDissimilarityOne(t *testing.T) {
+	// With every switch its own cluster there are no intra pairs and D_G
+	// must be exactly 1 (paper: Cc compares against this reference).
+	tab := table4(t)
+	e := NewEvaluator(tab)
+	p, _ := mapping.New([]int{0, 1, 2, 3}, 4)
+	if got := e.Similarity(p); got != 0 {
+		t.Fatalf("singleton F_G = %v, want 0", got)
+	}
+	if got := e.Dissimilarity(p); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("singleton D_G = %v, want 1", got)
+	}
+	if got := e.ClusteringCoefficient(p); got != 0 {
+		t.Fatalf("degenerate Cc = %v, want 0 sentinel", got)
+	}
+}
+
+func TestSwapDeltaMatchesRecompute(t *testing.T) {
+	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(3)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := distance.Compute(net, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(tab)
+	rng := rand.New(rand.NewSource(17))
+	p, err := mapping.Random(16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		u, v := rng.Intn(16), rng.Intn(16)
+		before := e.IntraSum(p)
+		delta := e.SwapDelta(p, u, v)
+		p.Swap(u, v)
+		after := e.IntraSum(p)
+		if !almostEq(after-before, delta, 1e-9) {
+			t.Fatalf("trial %d: SwapDelta(%d,%d) = %v, recompute = %v", trial, u, v, delta, after-before)
+		}
+	}
+}
+
+func TestSwapDeltaSameClusterZero(t *testing.T) {
+	e := NewEvaluator(table4(t))
+	p, _ := mapping.New([]int{0, 0, 1, 1}, 2)
+	if e.SwapDelta(p, 0, 1) != 0 {
+		t.Fatal("same-cluster swap must have zero delta")
+	}
+}
+
+func TestEvaluatorPanicsOnSizeMismatch(t *testing.T) {
+	e := NewEvaluator(table4(t))
+	p, _ := mapping.New([]int{0, 1}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on partition/table size mismatch")
+		}
+	}()
+	e.Similarity(p)
+}
+
+// Property: for any table and any balanced partition, the identity
+// IntraSum + InterSum(unordered) == SumSquares holds, making
+// F_G and D_G consistent.
+func TestQuickSimilarityDissimilarityConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		// Random symmetric table.
+		d := make([][]float64, n)
+		for i := range d {
+			d[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := rng.Float64()*4 + 0.1
+				d[i][j], d[j][i] = v, v
+			}
+		}
+		tab, err := distance.FromMatrix(d)
+		if err != nil {
+			return false
+		}
+		e := NewEvaluator(tab)
+		p, err := mapping.Random(n, 2, rng)
+		if err != nil {
+			return false
+		}
+		intra := e.IntraSum(p)
+		interSum := 0.0
+		for c := 0; c < p.M(); c++ {
+			interSum += e.ClusterDissimilarity(p, c)
+		}
+		return almostEq(intra+interSum/2, tab.SumSquares(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for equal cluster-size multisets, minimizing F_G is exactly
+// maximizing Cc — the equivalence Section 4.2 relies on when it searches
+// on F alone.
+func TestQuickMinFEquivalentToMaxCc(t *testing.T) {
+	net, err := topology.RandomIrregular(12, 3, rand.New(rand.NewSource(77)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := distance.Compute(net, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(tab)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p1, err := mapping.Random(12, 4, rng)
+		if err != nil {
+			return false
+		}
+		p2, err := mapping.Random(12, 4, rng)
+		if err != nil {
+			return false
+		}
+		f1, f2 := e.Similarity(p1), e.Similarity(p2)
+		c1, c2 := e.ClusteringCoefficient(p1), e.ClusteringCoefficient(p2)
+		if f1 == f2 {
+			return c1 == c2
+		}
+		return (f1 < f2) == (c1 > c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cc of the ground-truth ring partition on the designed
+// 4-rings-of-6 network beats random partitions (the paper's Figure 4/5
+// premise).
+func TestRingPartitionBeatsRandom(t *testing.T) {
+	net, err := topology.InterconnectedRings(4, 6, 1, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := distance.Compute(net, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(tab)
+	assign := make([]int, 24)
+	for r, ring := range topology.RingClusters(4, 6) {
+		for _, s := range ring {
+			assign[s] = r
+		}
+	}
+	truth, err := mapping.New(assign, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccTruth := e.ClusteringCoefficient(truth)
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 20; i++ {
+		p, err := mapping.Random(24, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc := e.ClusteringCoefficient(p); cc >= ccTruth {
+			t.Fatalf("random mapping %d has Cc=%v >= ground truth %v", i, cc, ccTruth)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package quality
+
+import (
+	"fmt"
+
+	"commsched/internal/distance"
+	"commsched/internal/mapping"
+)
+
+// WeightedEvaluator generalizes the paper's quality functions to logical
+// clusters with unequal communication requirements — the future-work
+// scenario the paper's simplifying assumptions defer ("all the processes
+// have the same communication requirements"). Cluster c's intra-cluster
+// distance terms are scaled by Weights[c], so the search concentrates the
+// heaviest-communicating application on the best-connected switches.
+//
+// With all weights equal to 1 it reduces exactly to Evaluator's
+// similarity objective (tested invariant).
+type WeightedEvaluator struct {
+	base    *Evaluator
+	weights []float64
+}
+
+// NewWeightedEvaluator wraps an evaluator with per-cluster traffic
+// weights. Weights must be positive; their scale is irrelevant (only
+// ratios matter for ranking mappings).
+func NewWeightedEvaluator(tab *distance.Table, weights []float64) (*WeightedEvaluator, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("quality: no cluster weights")
+	}
+	for c, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("quality: weight of cluster %d is %v, want > 0", c, w)
+		}
+	}
+	return &WeightedEvaluator{base: NewEvaluator(tab), weights: weights}, nil
+}
+
+// Base returns the unweighted evaluator over the same table.
+func (we *WeightedEvaluator) Base() *Evaluator { return we.base }
+
+// Weights returns a copy of the cluster weights.
+func (we *WeightedEvaluator) Weights() []float64 {
+	out := make([]float64, len(we.weights))
+	copy(out, we.weights)
+	return out
+}
+
+// checkClusters panics when the partition's cluster count does not match
+// the weight vector — a programming error.
+func (we *WeightedEvaluator) checkClusters(p *mapping.Partition) {
+	if p.M() != len(we.weights) {
+		panic(fmt.Sprintf("quality: partition has %d clusters, weights cover %d", p.M(), len(we.weights)))
+	}
+}
+
+// IntraSum returns Σ_c w_c · F_{A_c}: the traffic-weighted intra-cluster
+// cost, the objective a weighted search minimizes. The name matches
+// Evaluator's so both satisfy search.Objective.
+func (we *WeightedEvaluator) IntraSum(p *mapping.Partition) float64 {
+	we.checkClusters(p)
+	s := 0.0
+	for c := 0; c < p.M(); c++ {
+		s += we.weights[c] * we.base.ClusterSimilarity(p, c)
+	}
+	return s
+}
+
+// SwapDelta returns the change of WeightedIntraSum if u and v were
+// swapped, in O(|A_u| + |A_v|) like the unweighted version.
+func (we *WeightedEvaluator) SwapDelta(p *mapping.Partition, u, v int) float64 {
+	cu, cv := p.Cluster(u), p.Cluster(v)
+	if cu == cv {
+		return 0
+	}
+	delta := 0.0
+	for _, w := range p.MembersUnordered(cu) {
+		if w == u {
+			continue
+		}
+		delta += we.weights[cu] * (we.base.PairSquared(v, w) - we.base.PairSquared(u, w))
+	}
+	for _, w := range p.MembersUnordered(cv) {
+		if w == v {
+			continue
+		}
+		delta += we.weights[cv] * (we.base.PairSquared(u, w) - we.base.PairSquared(v, w))
+	}
+	return delta
+}

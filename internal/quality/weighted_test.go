@@ -1,0 +1,128 @@
+package quality
+
+import (
+	"math/rand"
+	"testing"
+
+	"commsched/internal/distance"
+	"commsched/internal/mapping"
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+)
+
+func weightedFixture(t *testing.T, weights []float64) (*WeightedEvaluator, *distance.Table) {
+	t.Helper()
+	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(12)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := distance.Compute(net, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, err := NewWeightedEvaluator(tab, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return we, tab
+}
+
+func TestNewWeightedEvaluatorValidation(t *testing.T) {
+	_, tab := weightedFixture(t, []float64{1, 1, 1, 1})
+	if _, err := NewWeightedEvaluator(tab, nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := NewWeightedEvaluator(tab, []float64{1, 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := NewWeightedEvaluator(tab, []float64{1, -2}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestWeightedUnitWeightsMatchUnweighted(t *testing.T) {
+	we, _ := weightedFixture(t, []float64{1, 1, 1, 1})
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		p, err := mapping.Random(16, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(we.IntraSum(p), we.Base().IntraSum(p), 1e-9) {
+			t.Fatalf("unit weights: weighted %v != unweighted %v", we.IntraSum(p), we.Base().IntraSum(p))
+		}
+	}
+}
+
+func TestWeightedSwapDeltaMatchesRecompute(t *testing.T) {
+	we, _ := weightedFixture(t, []float64{1, 3, 0.5, 2})
+	rng := rand.New(rand.NewSource(4))
+	p, err := mapping.Random(16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		u, v := rng.Intn(16), rng.Intn(16)
+		before := we.IntraSum(p)
+		delta := we.SwapDelta(p, u, v)
+		p.Swap(u, v)
+		after := we.IntraSum(p)
+		if !almostEq(after-before, delta, 1e-9) {
+			t.Fatalf("trial %d: delta %v, recompute %v", trial, delta, after-before)
+		}
+	}
+}
+
+func TestWeightedSwapSameClusterZero(t *testing.T) {
+	we, _ := weightedFixture(t, []float64{1, 3, 0.5, 2})
+	p, err := mapping.Balanced(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we.SwapDelta(p, 0, 1) != 0 {
+		t.Fatal("same-cluster swap must have zero delta")
+	}
+}
+
+func TestWeightedHeavyClusterDominates(t *testing.T) {
+	// With one cluster's weight huge, its intra cost dominates: scaling it
+	// must scale the contribution linearly.
+	weBig, _ := weightedFixture(t, []float64{1000, 1, 1, 1})
+	weUnit, _ := weightedFixture(t, []float64{1, 1, 1, 1})
+	p, err := mapping.Balanced(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := weUnit.Base().ClusterSimilarity(p, 0)
+	diff := weBig.IntraSum(p) - weUnit.IntraSum(p)
+	if !almostEq(diff, 999*c0, 1e-6) {
+		t.Fatalf("heavy-cluster contribution %v, want %v", diff, 999*c0)
+	}
+}
+
+func TestWeightsCopied(t *testing.T) {
+	we, _ := weightedFixture(t, []float64{1, 2, 3, 4})
+	w := we.Weights()
+	w[0] = 99
+	if we.Weights()[0] == 99 {
+		t.Fatal("Weights exposed internal storage")
+	}
+}
+
+func TestWeightedPanicsOnClusterMismatch(t *testing.T) {
+	we, _ := weightedFixture(t, []float64{1, 1})
+	p, err := mapping.Balanced(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cluster-count mismatch")
+		}
+	}()
+	we.IntraSum(p)
+}

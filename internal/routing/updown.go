@@ -1,0 +1,332 @@
+// Package routing implements the up*/down* routing scheme used by Autonet
+// networks (Schroeder et al.), the routing algorithm the paper assumes when
+// characterizing irregular topologies, plus a plain shortest-path provider
+// used as an ablation baseline.
+//
+// Up*/down* routing builds a BFS spanning tree rooted at an elected switch
+// and orients every link: the "up" end of a link is the end closer to the
+// root (ties broken by lower switch ID). A legal route is zero or more
+// links traversed in the up direction followed by zero or more links in
+// the down direction; the down→up transition is forbidden, which breaks
+// all cyclic channel dependencies and makes the scheme deadlock-free — at
+// the price of forbidding some minimal paths and concentrating traffic
+// near the root (the behaviour the paper's distance table captures).
+package routing
+
+import (
+	"fmt"
+
+	"commsched/internal/topology"
+)
+
+// PathProvider is what the distance-table construction needs from a
+// routing algorithm: pairwise route length and the set of links used by
+// shortest routes. Implementations must be safe for concurrent readers —
+// the table construction fans pairs out across goroutines.
+type PathProvider interface {
+	// Distance returns the length in hops of the shortest route the
+	// algorithm supplies between switches s and t, 0 when s == t.
+	Distance(s, t int) int
+	// PathLinks returns the set of links that belong to at least one
+	// shortest route from s to t.
+	PathLinks(s, t int) []topology.Link
+}
+
+// Hop is one admissible next step of a routed message.
+type Hop struct {
+	// To is the neighbor switch to forward to.
+	To int
+	// Descending reports whether the message will have started its down
+	// phase after taking this hop (once true, it stays true).
+	Descending bool
+}
+
+// UpDown holds the spanning tree, link orientations, and per-pair legal
+// shortest-path metadata for one network.
+type UpDown struct {
+	net   *topology.Network
+	root  int
+	level []int // BFS level of each switch from the root
+
+	// dist[s][t] = legal shortest route length.
+	dist [][]int
+	// hops[s][t] = admissible next hops on legal shortest routes for a
+	// message at s (still in its up phase) destined to t.
+	// hopsDown[s][t] = the same for a message already descending.
+	hops     [][][]Hop
+	hopsDown [][][]Hop
+}
+
+// phase indices for the legality automaton.
+const (
+	phaseUp   = 0 // still allowed to take up links
+	phaseDown = 1 // committed to down links only
+)
+
+// NewUpDown builds the up*/down* routing structure. root selects the
+// spanning-tree root; pass a negative value to auto-elect (the
+// highest-degree switch, ties broken by lowest ID — a common Autonet
+// refinement that keeps tree depth low).
+func NewUpDown(net *topology.Network, root int) (*UpDown, error) {
+	n := net.Switches()
+	if root >= n {
+		return nil, fmt.Errorf("routing: root %d out of range [0,%d)", root, n)
+	}
+	if !net.Connected() {
+		return nil, fmt.Errorf("routing: up*/down* requires a connected network")
+	}
+	if root < 0 {
+		root = electRoot(net)
+	}
+	ud := &UpDown{net: net, root: root, level: net.BFSDistances(root)}
+	ud.computeAllPairs()
+	return ud, nil
+}
+
+// electRoot returns the highest-degree switch, breaking ties by lowest ID.
+func electRoot(net *topology.Network) int {
+	best, bestDeg := 0, -1
+	for s := 0; s < net.Switches(); s++ {
+		if d := net.Degree(s); d > bestDeg {
+			best, bestDeg = s, d
+		}
+	}
+	return best
+}
+
+// Root returns the spanning-tree root switch.
+func (ud *UpDown) Root() int { return ud.root }
+
+// Level returns the BFS level (distance from the root) of switch s.
+func (ud *UpDown) Level(s int) int { return ud.level[s] }
+
+// IsUp reports whether traversing the link from switch `from` to switch
+// `to` is an up-direction move. The up end of a link is the end nearer the
+// root; between same-level endpoints the lower ID is the up end.
+func (ud *UpDown) IsUp(from, to int) bool {
+	lf, lt := ud.level[from], ud.level[to]
+	if lf != lt {
+		return lt < lf
+	}
+	return to < from
+}
+
+// Distance returns the legal shortest route length from s to t.
+func (ud *UpDown) Distance(s, t int) int { return ud.dist[s][t] }
+
+// NextHops returns the admissible next hops for a message at switch s
+// destined to switch t, given whether it has already begun descending.
+// All returned hops lie on legal routes of minimal remaining length.
+// The result is shared; callers must not modify it.
+func (ud *UpDown) NextHops(s, t int, descending bool) []Hop {
+	if descending {
+		return ud.hopsDown[s][t]
+	}
+	return ud.hops[s][t]
+}
+
+// computeAllPairs fills dist, hops and hopsDown via one backward BFS per
+// destination over the 2·N-state legality automaton
+// (switch × {up-phase, down-phase}).
+func (ud *UpDown) computeAllPairs() {
+	n := ud.net.Switches()
+	ud.dist = make([][]int, n)
+	ud.hops = make([][][]Hop, n)
+	ud.hopsDown = make([][][]Hop, n)
+	for s := 0; s < n; s++ {
+		ud.dist[s] = make([]int, n)
+		ud.hops[s] = make([][]Hop, n)
+		ud.hopsDown[s] = make([][]Hop, n)
+	}
+
+	// db[p][v] = minimal legal hops from v (in phase p) to the target.
+	db := [2][]int{make([]int, n), make([]int, n)}
+	for t := 0; t < n; t++ {
+		ud.backwardDistances(t, db)
+		for s := 0; s < n; s++ {
+			ud.dist[s][t] = db[phaseUp][s]
+			ud.hops[s][t] = ud.admissibleHops(s, t, phaseUp, db)
+			ud.hopsDown[s][t] = ud.admissibleHops(s, t, phaseDown, db)
+		}
+	}
+}
+
+// backwardDistances computes db[p][v]: the minimal number of hops needed
+// to reach t from v when the message at v is in phase p. Arrival in either
+// phase terminates. The automaton transitions, forward, are:
+//
+//	(v, up)   --up-link-->   (w, up)
+//	(v, up)   --down-link--> (w, down)
+//	(v, down) --down-link--> (w, down)
+//
+// We run a BFS on the reversed transition graph starting from both
+// terminal states (t, up) and (t, down).
+func (ud *UpDown) backwardDistances(t int, db [2][]int) {
+	n := ud.net.Switches()
+	const inf = int(^uint(0) >> 1)
+	for v := 0; v < n; v++ {
+		db[phaseUp][v] = inf
+		db[phaseDown][v] = inf
+	}
+	type state struct{ v, p int }
+	queue := make([]state, 0, 2*n)
+	db[phaseUp][t] = 0
+	db[phaseDown][t] = 0
+	queue = append(queue, state{t, phaseUp}, state{t, phaseDown})
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		d := db[cur.p][cur.v]
+		// Find predecessors (u, pu) with a forward transition to cur.
+		for _, u := range ud.net.Neighbors(cur.v) {
+			up := ud.IsUp(u, cur.v) // direction of the u→v move
+			switch {
+			case cur.p == phaseUp && up:
+				// (u, up) --up--> (v, up)
+				if db[phaseUp][u] == inf {
+					db[phaseUp][u] = d + 1
+					queue = append(queue, state{u, phaseUp})
+				}
+			case cur.p == phaseDown && !up:
+				// (u, up) --down--> (v, down) and (u, down) --down--> (v, down)
+				if db[phaseUp][u] == inf {
+					db[phaseUp][u] = d + 1
+					queue = append(queue, state{u, phaseUp})
+				}
+				if db[phaseDown][u] == inf {
+					db[phaseDown][u] = d + 1
+					queue = append(queue, state{u, phaseDown})
+				}
+			}
+		}
+	}
+	// A message in the up phase may equivalently be "already descending"
+	// with a shorter remaining distance via down links only; ensure
+	// db[up] <= db[down] (taking a down link from the up phase is legal).
+	for v := 0; v < n; v++ {
+		if db[phaseDown][v] < db[phaseUp][v] {
+			db[phaseUp][v] = db[phaseDown][v]
+		}
+	}
+}
+
+// admissibleHops lists the neighbor moves from (s, p) that stay on a
+// minimal-length legal route to t.
+func (ud *UpDown) admissibleHops(s, t, p int, db [2][]int) []Hop {
+	if s == t {
+		return nil
+	}
+	want := db[p][s] - 1
+	var out []Hop
+	for _, v := range ud.net.Neighbors(s) {
+		up := ud.IsUp(s, v)
+		if p == phaseUp && up {
+			if db[phaseUp][v] == want {
+				out = append(out, Hop{To: v, Descending: false})
+			}
+			continue
+		}
+		if !up { // down move, legal from both phases
+			if db[phaseDown][v] == want {
+				out = append(out, Hop{To: v, Descending: true})
+			}
+		}
+	}
+	return out
+}
+
+// PathLinks returns the set of links that lie on at least one legal
+// shortest route from s to t — the resistor network of the paper's
+// equivalent-distance computation.
+func (ud *UpDown) PathLinks(s, t int) []topology.Link {
+	if s == t {
+		return nil
+	}
+	// Walk the admissible-hop DAG from (s, up); every traversed move is on
+	// a minimal route by construction of admissibleHops.
+	type state struct {
+		v    int
+		down bool
+	}
+	seenState := map[state]bool{}
+	seenLink := map[topology.Link]bool{}
+	var links []topology.Link
+	stack := []state{{s, false}}
+	seenState[stack[0]] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.v == t {
+			continue
+		}
+		for _, h := range ud.NextHops(cur.v, t, cur.down) {
+			l := topology.NormalizeLink(cur.v, h.To)
+			if !seenLink[l] {
+				seenLink[l] = true
+				links = append(links, l)
+			}
+			ns := state{h.To, h.Descending}
+			if !seenState[ns] {
+				seenState[ns] = true
+				stack = append(stack, ns)
+			}
+		}
+	}
+	return links
+}
+
+// CountShortestLegalPaths returns the number of distinct minimal legal
+// routes from s to t without enumerating them (dynamic programming over
+// the admissible-hop DAG). The count is the path-multiplicity signal the
+// equivalent-distance model captures and plain hop counts discard.
+func (ud *UpDown) CountShortestLegalPaths(s, t int) int {
+	if s == t {
+		return 1
+	}
+	type state struct {
+		v    int
+		down bool
+	}
+	memo := map[state]int{}
+	var count func(st state) int
+	count = func(st state) int {
+		if st.v == t {
+			return 1
+		}
+		if c, ok := memo[st]; ok {
+			return c
+		}
+		memo[st] = 0 // admissible-hop DAG is acyclic; 0 guards misuse
+		total := 0
+		for _, h := range ud.NextHops(st.v, t, st.down) {
+			total += count(state{h.To, h.Descending})
+		}
+		memo[st] = total
+		return total
+	}
+	return count(state{s, false})
+}
+
+// ShortestLegalPaths enumerates every distinct minimal legal route from s
+// to t as switch sequences. Intended for tests and small networks; the
+// number of routes can grow combinatorially.
+func (ud *UpDown) ShortestLegalPaths(s, t int) [][]int {
+	if s == t {
+		return [][]int{{s}}
+	}
+	var out [][]int
+	var walk func(v int, down bool, path []int)
+	walk = func(v int, down bool, path []int) {
+		if v == t {
+			cp := make([]int, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			return
+		}
+		for _, h := range ud.NextHops(v, t, down) {
+			walk(h.To, h.Descending, append(path, h.To))
+		}
+	}
+	walk(s, false, []int{s})
+	return out
+}

@@ -1,0 +1,212 @@
+package search
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"commsched/internal/mapping"
+	"commsched/internal/quality"
+)
+
+// AStar is the A* tree search the paper studied alongside Tabu (Kafil &
+// Ahmad's optimal task assignment formulation): nodes are partial
+// assignments of switches 0..s-1 to clusters, g is the intra-cluster cost
+// already committed, and h is an admissible lower bound on the cost the
+// remaining switches must add. With the exact h it expands few nodes but
+// needs exponential memory in the worst case; MaxNodes bounds that, after
+// which the best frontier node is completed greedily (making the searcher
+// anytime rather than failing).
+type AStar struct {
+	// MaxNodes bounds the number of expanded nodes (0 = a sensible
+	// default of 200k).
+	MaxNodes int
+}
+
+// NewAStar returns an A* searcher with default bounds.
+func NewAStar() *AStar { return &AStar{} }
+
+// Name implements Searcher.
+func (a *AStar) Name() string { return "a-star" }
+
+// astarNode is one partial assignment in the open list.
+type astarNode struct {
+	assign []int   // assignment of switches [0, depth)
+	counts []int   // per-cluster occupancy
+	depth  int     // switches assigned so far
+	g      float64 // committed intra-cluster cost
+	f      float64 // g + admissible heuristic
+}
+
+// nodeHeap is a min-heap on f.
+type nodeHeap []*astarNode
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].f < h[j].f }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*astarNode)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Search implements Searcher. rng is unused (A* is deterministic) but
+// accepted for interface uniformity.
+func (a *AStar) Search(e *quality.Evaluator, spec Spec, _ *rand.Rand) (*Result, error) {
+	if err := spec.validate(e); err != nil {
+		return nil, err
+	}
+	maxNodes := a.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200_000
+	}
+	n := spec.N()
+	m := spec.M()
+	res := &Result{}
+
+	// minPairCost[s] = the cheapest squared distance from switch s to any
+	// other switch — the admissible per-pair bound used by h.
+	minPair := make([]float64, n)
+	for s := 0; s < n; s++ {
+		best := -1.0
+		for w := 0; w < n; w++ {
+			if w == s {
+				continue
+			}
+			if c := e.PairSquared(s, w); best < 0 || c < best {
+				best = c
+			}
+		}
+		minPair[s] = best
+	}
+
+	h := func(node *astarNode) float64 {
+		// Every yet-unassigned switch s will join some cluster and gain at
+		// least (size-1 of that cluster... unknown) — use the weakest safe
+		// bound that is still useful: each unassigned switch will be paired
+		// with at least (sizeOfItsCluster - 1) others, but cluster identity
+		// is unknown, so bound by the minimum remaining co-membership
+		// count over open clusters, times the switch's cheapest pair cost.
+		minCo := n
+		for c := 0; c < m; c++ {
+			if left := spec.Sizes[c] - node.counts[c]; left > 0 {
+				// A switch joining cluster c pairs with (size-1) switches;
+				// of those, at least (counts[c]) pairs are already fixed.
+				if co := spec.Sizes[c] - 1; co < minCo {
+					minCo = co
+				}
+			}
+		}
+		if minCo == n {
+			return 0
+		}
+		sum := 0.0
+		for s := node.depth; s < n; s++ {
+			// Each unassigned switch contributes at least minCo/2 pair
+			// costs (each pair shared by two endpoints).
+			sum += float64(minCo) / 2 * minPair[s]
+		}
+		return sum
+	}
+
+	start := &astarNode{assign: []int{}, counts: make([]int, m)}
+	start.f = h(start)
+	open := &nodeHeap{start}
+	heap.Init(open)
+
+	expanded := 0
+	var incumbent *astarNode
+	for open.Len() > 0 {
+		node := heap.Pop(open).(*astarNode)
+		if incumbent != nil && node.f >= incumbent.g {
+			break // best-first: nothing cheaper remains
+		}
+		if node.depth == n {
+			incumbent = node
+			break // first goal popped from a consistent heap is optimal
+		}
+		expanded++
+		if expanded > maxNodes {
+			// Budget exhausted: finish this node greedily.
+			incumbent = a.completeGreedy(e, spec, node)
+			break
+		}
+		s := node.depth
+		openedEmpty := map[int]bool{}
+		for c := 0; c < m; c++ {
+			if node.counts[c] >= spec.Sizes[c] {
+				continue
+			}
+			if node.counts[c] == 0 {
+				// Symmetry breaking among empty clusters of equal size.
+				if openedEmpty[spec.Sizes[c]] {
+					continue
+				}
+				openedEmpty[spec.Sizes[c]] = true
+			}
+			add := 0.0
+			for w := 0; w < s; w++ {
+				if node.assign[w] == c {
+					add += e.PairSquared(s, w)
+				}
+			}
+			res.Evaluations++
+			child := &astarNode{
+				assign: append(append(make([]int, 0, s+1), node.assign...), c),
+				counts: append([]int(nil), node.counts...),
+				depth:  s + 1,
+				g:      node.g + add,
+			}
+			child.counts[c]++
+			child.f = child.g + h(child)
+			heap.Push(open, child)
+		}
+	}
+	if incumbent == nil {
+		return nil, fmt.Errorf("search: a-star found no complete assignment")
+	}
+	p, err := mapping.New(incumbent.assign, m)
+	if err != nil {
+		return nil, err
+	}
+	res.Best = p
+	res.Iterations = expanded
+	return finishResult(e, res), nil
+}
+
+// completeGreedy extends a partial node by assigning each remaining switch
+// to the open cluster with the cheapest marginal cost.
+func (a *AStar) completeGreedy(e *quality.Evaluator, spec Spec, node *astarNode) *astarNode {
+	cur := &astarNode{
+		assign: append([]int(nil), node.assign...),
+		counts: append([]int(nil), node.counts...),
+		depth:  node.depth,
+		g:      node.g,
+	}
+	n := spec.N()
+	for s := cur.depth; s < n; s++ {
+		bestC, bestAdd := -1, 0.0
+		for c := 0; c < spec.M(); c++ {
+			if cur.counts[c] >= spec.Sizes[c] {
+				continue
+			}
+			add := 0.0
+			for w := 0; w < s; w++ {
+				if cur.assign[w] == c {
+					add += e.PairSquared(s, w)
+				}
+			}
+			if bestC < 0 || add < bestAdd {
+				bestC, bestAdd = c, add
+			}
+		}
+		cur.assign = append(cur.assign, bestC)
+		cur.counts[bestC]++
+		cur.g += bestAdd
+	}
+	cur.depth = n
+	return cur
+}

@@ -1,0 +1,97 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"commsched/internal/quality"
+	"commsched/internal/topology"
+)
+
+func TestAStarMatchesExhaustive(t *testing.T) {
+	// A* must return the global optimum on instances small enough to
+	// verify exhaustively.
+	for _, seed := range []int64{1, 2, 3} {
+		net, err := topology.RandomIrregular(12, 3, rand.New(rand.NewSource(seed)), topology.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := evalFor(t, net)
+		sp := spec(t, 12, 3)
+		ex, err := NewExhaustive().Search(e, sp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, err := NewAStar().Search(e, sp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(as.BestIntraSum-ex.BestIntraSum) > 1e-9 {
+			t.Fatalf("seed %d: a-star %v != exhaustive %v", seed, as.BestIntraSum, ex.BestIntraSum)
+		}
+	}
+}
+
+func TestAStarExpandsFewerNodesThanExhaustive(t *testing.T) {
+	net, err := topology.RandomIrregular(12, 3, rand.New(rand.NewSource(7)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := evalFor(t, net)
+	sp := spec(t, 12, 3)
+	ex, err := NewExhaustive().Search(e, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := NewAStar().Search(e, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Evaluations >= ex.Evaluations {
+		t.Fatalf("a-star evaluated %d candidates, exhaustive only %d — heuristic pruning ineffective",
+			as.Evaluations, ex.Evaluations)
+	}
+}
+
+func TestAStarUnequalSizes(t *testing.T) {
+	e := quality.NewEvaluator(blockTable(t, 6, 2))
+	res, err := NewAStar().Search(e, Spec{Sizes: []int{2, 4}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Size(0) != 2 || res.Best.Size(1) != 4 {
+		t.Fatal("A* broke the cluster sizes")
+	}
+}
+
+func TestAStarBudgetFallsBackGreedy(t *testing.T) {
+	// A tiny node budget forces the anytime path; the result must still be
+	// a valid partition (not necessarily optimal).
+	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(4)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := evalFor(t, net)
+	sp := spec(t, 16, 4)
+	a := &AStar{MaxNodes: 10}
+	res, err := a.Search(e, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.N() != 16 || res.Best.M() != 4 {
+		t.Fatal("budgeted A* returned malformed partition")
+	}
+	for c := 0; c < 4; c++ {
+		if res.Best.Size(c) != 4 {
+			t.Fatalf("cluster %d size %d", c, res.Best.Size(c))
+		}
+	}
+}
+
+func TestAStarRejectsBadSpec(t *testing.T) {
+	e := quality.NewEvaluator(blockTable(t, 6, 2))
+	if _, err := NewAStar().Search(e, Spec{Sizes: []int{3}}, nil); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"commsched/internal/mapping"
+	"commsched/internal/quality"
+)
+
+// Exhaustive enumerates every distinct partition matching the spec and
+// returns the global optimum. Clusters of equal size are interchangeable
+// (the paper's logical clusters all have identical communication
+// requirements), so label symmetry between same-size clusters is broken
+// during enumeration: among empty same-size clusters, only the first may
+// be opened.
+//
+// The search space for the paper's 16-switch case — 16 switches into four
+// unlabeled clusters of 4 — has 16!/(4!⁴·4!) = 2 627 625 partitions, which
+// enumerates in seconds and is how the paper verified Tabu's optimality on
+// small networks.
+type Exhaustive struct {
+	// Limit aborts enumeration after this many search-tree nodes
+	// (0 = unlimited). A safety valve for accidental large inputs.
+	Limit int
+}
+
+// NewExhaustive returns an unlimited exhaustive searcher.
+func NewExhaustive() *Exhaustive { return &Exhaustive{} }
+
+// Name implements Searcher.
+func (x *Exhaustive) Name() string { return "exhaustive" }
+
+// ErrLimitExceeded reports that enumeration hit the configured limit.
+var ErrLimitExceeded = fmt.Errorf("search: exhaustive enumeration limit exceeded")
+
+// Search implements Searcher. rng is unused (the search is deterministic)
+// but accepted for interface uniformity.
+func (x *Exhaustive) Search(e *quality.Evaluator, spec Spec, _ *rand.Rand) (*Result, error) {
+	if err := spec.validate(e); err != nil {
+		return nil, err
+	}
+	n := spec.N()
+	m := spec.M()
+	res := &Result{}
+	assign := make([]int, n)
+	remaining := make([]int, m)
+	copy(remaining, spec.Sizes)
+
+	// Incremental objective: partial[c] accumulates the squared distances
+	// of pairs already placed inside cluster c; cost carries their sum.
+	nodes, complete := 0, 0
+	var rec func(s int, cost float64) error
+	rec = func(s int, cost float64) error {
+		nodes++
+		if x.Limit > 0 && nodes > x.Limit {
+			return ErrLimitExceeded
+		}
+		// Prune: a partial assignment whose intra cost already exceeds the
+		// incumbent cannot improve (all increments are non-negative).
+		if res.Best != nil && cost >= res.BestIntraSum {
+			return nil
+		}
+		if s == n {
+			complete++
+			if res.Best == nil || cost < res.BestIntraSum {
+				p, err := mapping.New(assign, m)
+				if err != nil {
+					return err
+				}
+				res.Best = p
+				res.BestIntraSum = cost
+			}
+			return nil
+		}
+		openedEmpty := map[int]bool{} // size class -> an empty cluster already tried
+		for c := 0; c < m; c++ {
+			if remaining[c] == 0 {
+				continue
+			}
+			if remaining[c] == spec.Sizes[c] {
+				// Empty cluster: skip later empty clusters of the same size
+				// (label symmetry).
+				if openedEmpty[spec.Sizes[c]] {
+					continue
+				}
+				openedEmpty[spec.Sizes[c]] = true
+			}
+			// Cost of adding switch s to cluster c: distances to members
+			// already placed there (assign[w] is current for all w < s).
+			add := 0.0
+			for w := 0; w < s; w++ {
+				if assign[w] == c {
+					add += e.PairSquared(s, w)
+				}
+			}
+			res.Evaluations++
+			assign[s] = c
+			remaining[c]--
+			if err := rec(s+1, cost+add); err != nil {
+				return err
+			}
+			remaining[c]++
+		}
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return nil, err
+	}
+	res.Iterations = complete
+	return finishResult(e, res), nil
+}

@@ -1,0 +1,149 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+
+	"commsched/internal/mapping"
+	"commsched/internal/quality"
+)
+
+// Genetic is a permutation-encoded genetic algorithm: a chromosome is a
+// permutation of the switches; consecutive blocks of the permutation (with
+// the spec's cluster sizes) define the partition. Crossover is
+// order-preserving (OX1), mutation is a random transposition, selection is
+// tournament with elitism.
+type Genetic struct {
+	// Population is the number of chromosomes.
+	Population int
+	// Generations is the number of evolution rounds.
+	Generations int
+	// Elite chromosomes survive unchanged each generation.
+	Elite int
+	// TournamentK is the tournament size for parent selection.
+	TournamentK int
+	// MutationRate is the per-child probability of a transposition.
+	MutationRate float64
+}
+
+// NewGenetic returns a Genetic searcher with a cost budget comparable to
+// the other heuristics on the paper's network sizes.
+func NewGenetic() *Genetic {
+	return &Genetic{Population: 40, Generations: 80, Elite: 4, TournamentK: 3, MutationRate: 0.4}
+}
+
+// Name implements Searcher.
+func (g *Genetic) Name() string { return "genetic" }
+
+// chromosome is a permutation plus its cached objective value.
+type chromosome struct {
+	perm []int
+	val  float64
+}
+
+// Search implements Searcher.
+func (g *Genetic) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+	if err := spec.validate(e); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	n := spec.N()
+	pop := make([]chromosome, g.Population)
+	for i := range pop {
+		pop[i] = chromosome{perm: rng.Perm(n)}
+		pop[i].val = g.value(e, spec, pop[i].perm)
+		res.Evaluations++
+	}
+	for gen := 0; gen < g.Generations; gen++ {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].val < pop[j].val })
+		next := make([]chromosome, 0, g.Population)
+		for i := 0; i < g.Elite && i < len(pop); i++ {
+			next = append(next, pop[i])
+		}
+		for len(next) < g.Population {
+			a := g.tournament(pop, rng)
+			b := g.tournament(pop, rng)
+			child := orderCrossover(a.perm, b.perm, rng)
+			if rng.Float64() < g.MutationRate {
+				i, j := rng.Intn(n), rng.Intn(n)
+				child[i], child[j] = child[j], child[i]
+			}
+			c := chromosome{perm: child, val: g.value(e, spec, child)}
+			res.Evaluations++
+			next = append(next, c)
+		}
+		pop = next
+		res.Iterations++
+	}
+	sort.Slice(pop, func(i, j int) bool { return pop[i].val < pop[j].val })
+	best, err := partitionFromPerm(spec, pop[0].perm)
+	if err != nil {
+		return nil, err
+	}
+	res.Best = best
+	return finishResult(e, res), nil
+}
+
+// tournament picks the best of K random chromosomes.
+func (g *Genetic) tournament(pop []chromosome, rng *rand.Rand) chromosome {
+	best := pop[rng.Intn(len(pop))]
+	for k := 1; k < g.TournamentK; k++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.val < best.val {
+			best = c
+		}
+	}
+	return best
+}
+
+// value evaluates a permutation chromosome.
+func (g *Genetic) value(e *quality.Evaluator, spec Spec, perm []int) float64 {
+	p, err := partitionFromPerm(spec, perm)
+	if err != nil {
+		// A permutation of the right length always yields a valid
+		// partition; this is unreachable.
+		panic("search: invalid chromosome: " + err.Error())
+	}
+	return e.IntraSum(p)
+}
+
+// partitionFromPerm maps permutation slots to clusters per the spec sizes.
+func partitionFromPerm(spec Spec, perm []int) (*mapping.Partition, error) {
+	assign := make([]int, len(perm))
+	i := 0
+	for c, sz := range spec.Sizes {
+		for k := 0; k < sz; k++ {
+			assign[perm[i]] = c
+			i++
+		}
+	}
+	return mapping.New(assign, spec.M())
+}
+
+// orderCrossover implements OX1: copy a random segment from parent a,
+// fill the remaining slots with b's genes in b's order.
+func orderCrossover(a, b []int, rng *rand.Rand) []int {
+	n := len(a)
+	lo := rng.Intn(n)
+	hi := lo + rng.Intn(n-lo)
+	child := make([]int, n)
+	used := make([]bool, n)
+	for i := range child {
+		child[i] = -1
+	}
+	for i := lo; i <= hi; i++ {
+		child[i] = a[i]
+		used[a[i]] = true
+	}
+	pos := 0
+	for _, gene := range b {
+		if used[gene] {
+			continue
+		}
+		for child[pos] != -1 {
+			pos++
+		}
+		child[pos] = gene
+	}
+	return child
+}

@@ -1,0 +1,125 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"commsched/internal/quality"
+)
+
+// GSA is Genetic Simulated Annealing (Chen/Flann/Watson; Shroff et al.):
+// a population-based search where each individual performs an annealed
+// local move every generation — mutations that worsen the objective are
+// accepted with Boltzmann probability under a shared cooling temperature —
+// and the population is periodically recombined and re-seeded from its
+// best members.
+type GSA struct {
+	// Population is the number of concurrent solutions.
+	Population int
+	// Generations is the number of rounds.
+	Generations int
+	// Cooling is the per-generation geometric temperature decay.
+	Cooling float64
+	// CrossoverEvery injects OX1 recombination every k generations
+	// (0 disables recombination).
+	CrossoverEvery int
+}
+
+// NewGSA returns a GSA searcher with defaults balanced against the other
+// heuristics.
+func NewGSA() *GSA {
+	return &GSA{Population: 20, Generations: 150, Cooling: 0.97, CrossoverEvery: 10}
+}
+
+// Name implements Searcher.
+func (g *GSA) Name() string { return "genetic-simulated-annealing" }
+
+// Search implements Searcher.
+func (g *GSA) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+	if err := spec.validate(e); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	n := spec.N()
+	pop := make([]chromosome, g.Population)
+	for i := range pop {
+		pop[i] = chromosome{perm: rng.Perm(n)}
+		pop[i].val = objectiveOfPerm(e, spec, pop[i].perm)
+		res.Evaluations++
+	}
+	temp := g.calibrate(pop)
+	for gen := 0; gen < g.Generations; gen++ {
+		for i := range pop {
+			// One annealed transposition per individual.
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			cand := make([]int, n)
+			copy(cand, pop[i].perm)
+			cand[a], cand[b] = cand[b], cand[a]
+			val := objectiveOfPerm(e, spec, cand)
+			res.Evaluations++
+			d := val - pop[i].val
+			if d <= 0 || (temp > 0 && rng.Float64() < math.Exp(-d/temp)) {
+				pop[i].perm, pop[i].val = cand, val
+			}
+		}
+		if g.CrossoverEvery > 0 && gen%g.CrossoverEvery == g.CrossoverEvery-1 {
+			g.recombine(e, spec, pop, rng, res)
+		}
+		temp *= g.Cooling
+		res.Iterations++
+	}
+	sort.Slice(pop, func(i, j int) bool { return pop[i].val < pop[j].val })
+	best, err := partitionFromPerm(spec, pop[0].perm)
+	if err != nil {
+		return nil, err
+	}
+	res.Best = best
+	return finishResult(e, res), nil
+}
+
+// recombine replaces the worst half of the population with OX1 children
+// of random better-half parents.
+func (g *GSA) recombine(e *quality.Evaluator, spec Spec, pop []chromosome, rng *rand.Rand, res *Result) {
+	sort.Slice(pop, func(i, j int) bool { return pop[i].val < pop[j].val })
+	half := len(pop) / 2
+	if half == 0 {
+		return
+	}
+	for i := half; i < len(pop); i++ {
+		a := pop[rng.Intn(half)]
+		b := pop[rng.Intn(half)]
+		child := orderCrossover(a.perm, b.perm, rng)
+		pop[i] = chromosome{perm: child, val: objectiveOfPerm(e, spec, child)}
+		res.Evaluations++
+	}
+}
+
+// calibrate sets the initial temperature to the population's value spread.
+func (g *GSA) calibrate(pop []chromosome) float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, c := range pop {
+		if c.val < min {
+			min = c.val
+		}
+		if c.val > max {
+			max = c.val
+		}
+	}
+	if spread := max - min; spread > 0 {
+		return spread / 2
+	}
+	return 1
+}
+
+// objectiveOfPerm evaluates a permutation chromosome against the spec.
+func objectiveOfPerm(e *quality.Evaluator, spec Spec, perm []int) float64 {
+	p, err := partitionFromPerm(spec, perm)
+	if err != nil {
+		panic("search: invalid chromosome: " + err.Error())
+	}
+	return e.IntraSum(p)
+}

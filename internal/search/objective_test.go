@@ -1,0 +1,88 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"commsched/internal/distance"
+	"commsched/internal/quality"
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+)
+
+func weightedEval(t *testing.T, weights []float64, topoSeed int64) *quality.WeightedEvaluator {
+	t.Helper()
+	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(topoSeed)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := distance.Compute(net, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, err := quality.NewWeightedEvaluator(tab, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return we
+}
+
+func TestSearchObjectiveUnitWeightsMatchesPlainSearch(t *testing.T) {
+	we := weightedEval(t, []float64{1, 1, 1, 1}, 21)
+	sp := spec(t, 16, 4)
+	plain, err := NewTabu().Search(we.Base(), sp, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := NewTabu().SearchObjective(we, sp, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BestIntraSum != weighted.BestIntraSum {
+		t.Fatalf("unit-weight objective diverged: %v vs %v", plain.BestIntraSum, weighted.BestIntraSum)
+	}
+	if !plain.Best.Canonical().Equal(weighted.Best.Canonical()) {
+		t.Fatal("unit-weight objective found a different partition")
+	}
+}
+
+func TestSearchObjectiveFavorsHeavyCluster(t *testing.T) {
+	// Cluster 0 carries 100x the traffic; the weighted search must give it
+	// an intra cost no worse than what the unweighted search gives it.
+	we := weightedEval(t, []float64{100, 1, 1, 1}, 22)
+	sp := spec(t, 16, 4)
+	plain, err := NewTabu().Search(we.Base(), sp, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := NewTabu().SearchObjective(we, sp, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyPlain := we.Base().ClusterSimilarity(plain.Best, 0)
+	heavyWeighted := we.Base().ClusterSimilarity(weighted.Best, 0)
+	if heavyWeighted > heavyPlain+1e-9 {
+		t.Fatalf("weighted search gave the heavy cluster cost %v, unweighted gave %v",
+			heavyWeighted, heavyPlain)
+	}
+	// And the weighted objective itself must be at least as good as the
+	// plain partition scored under the weights.
+	if weighted.BestIntraSum > we.IntraSum(plain.Best)+1e-9 {
+		t.Fatalf("weighted search (%v) lost to the unweighted partition under its own objective (%v)",
+			weighted.BestIntraSum, we.IntraSum(plain.Best))
+	}
+}
+
+func TestSearchObjectiveValidation(t *testing.T) {
+	we := weightedEval(t, []float64{1, 1, 1, 1}, 23)
+	if _, err := NewTabu().SearchObjective(we, Spec{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := NewTabu().SearchObjective(we, Spec{Sizes: []int{4, 0}}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("zero-size cluster accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package search
+
+import (
+	"math/rand"
+
+	"commsched/internal/quality"
+)
+
+// RandomSample is the no-intelligence baseline: draw Samples random
+// mappings and keep the best. With Samples == 1 it produces exactly the
+// paper's "random mapping" comparison points.
+type RandomSample struct {
+	// Samples is the number of random mappings drawn.
+	Samples int
+}
+
+// NewRandomSample returns a single-draw random mapper (a paper R_i point).
+func NewRandomSample() *RandomSample { return &RandomSample{Samples: 1} }
+
+// Name implements Searcher.
+func (r *RandomSample) Name() string { return "random" }
+
+// Search implements Searcher.
+func (r *RandomSample) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+	if err := spec.validate(e); err != nil {
+		return nil, err
+	}
+	samples := r.Samples
+	if samples < 1 {
+		samples = 1
+	}
+	res := &Result{}
+	for i := 0; i < samples; i++ {
+		p, err := spec.randomPartition(rng)
+		if err != nil {
+			return nil, err
+		}
+		val := e.IntraSum(p)
+		res.Evaluations++
+		if res.Best == nil || val < res.BestIntraSum {
+			res.Best = p
+			res.BestIntraSum = val
+		}
+	}
+	res.Iterations = samples
+	return finishResult(e, res), nil
+}

@@ -1,0 +1,274 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"commsched/internal/mapping"
+	"commsched/internal/quality"
+)
+
+// Tabu is the paper's scheduling heuristic (Section 4.2): steepest-descent
+// over pairwise inter-cluster swaps; at a local minimum, take the
+// least-bad uphill swap and forbid its inverse for Tenure iterations;
+// restart from fresh random mappings. A restart stops when the same local
+// minimum has been reached RepeatLimit times or after MaxIterations
+// iterations, whichever comes first.
+type Tabu struct {
+	// Restarts is the number of random starting mappings (paper: 10).
+	Restarts int
+	// MaxIterations bounds the iterations per restart (paper: 20).
+	MaxIterations int
+	// RepeatLimit stops a restart when the same local minimum value has
+	// been reached this many times (paper: 3).
+	RepeatLimit int
+	// Tenure is h, the number of iterations the inverse of an uphill move
+	// stays forbidden.
+	Tenure int
+	// RecordTrace enables TracePoint recording (Figure 1).
+	RecordTrace bool
+	// Parallel runs the restarts concurrently on GOMAXPROCS goroutines.
+	// Each restart is fully independent (its seed is pre-drawn from the
+	// caller's rng, and the aspiration criterion is scoped per restart),
+	// so the result is deterministic for a given rng state — though it
+	// may differ from the sequential run, whose restarts share their
+	// incumbent. Incompatible with RecordTrace.
+	Parallel bool
+}
+
+// NewTabu returns a Tabu searcher with the paper's parameters.
+func NewTabu() *Tabu {
+	return &Tabu{Restarts: 10, MaxIterations: 20, RepeatLimit: 3, Tenure: 4}
+}
+
+// Name implements Searcher.
+func (t *Tabu) Name() string { return "tabu" }
+
+// valueEpsilon is the tolerance when comparing objective values for "same
+// local minimum" detection; IntraSum values are O(N²·max(T)²) ≈ 10³, so
+// 1e-9 relative noise is far below distinguishable minima.
+const valueEpsilon = 1e-9
+
+// Objective abstracts what the Tabu procedure needs from an objective
+// function: the total intra-cluster cost of a partition and the O(cluster)
+// incremental effect of a swap. Both quality.Evaluator and
+// quality.WeightedEvaluator satisfy it.
+type Objective interface {
+	// IntraSum returns the objective value of the partition.
+	IntraSum(p *mapping.Partition) float64
+	// SwapDelta returns the objective change if u and v were swapped.
+	SwapDelta(p *mapping.Partition, u, v int) float64
+}
+
+// Search implements Searcher.
+func (t *Tabu) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+	if err := spec.validate(e); err != nil {
+		return nil, err
+	}
+	res, err := t.searchObjective(e, spec, rng, func(p *mapping.Partition) float64 {
+		return e.Similarity(p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finishResult(e, res), nil
+}
+
+// SearchObjective runs the identical Tabu procedure over an arbitrary
+// swap-evaluable objective — the entry point for the weighted
+// communication-requirements extension. Result.BestF is left zero (the
+// paper's F_G normalization only applies to the unweighted objective).
+func (t *Tabu) SearchObjective(obj Objective, spec Spec, rng *rand.Rand) (*Result, error) {
+	if len(spec.Sizes) == 0 {
+		return nil, fmt.Errorf("search: empty spec")
+	}
+	for c, x := range spec.Sizes {
+		if x <= 0 {
+			return nil, fmt.Errorf("search: cluster %d has non-positive size %d", c, x)
+		}
+	}
+	return t.searchObjective(obj, spec, rng, nil)
+}
+
+// searchObjective is the shared Tabu core. traceF, when non-nil and
+// RecordTrace is set, maps partitions to the recorded trace value.
+func (t *Tabu) searchObjective(obj Objective, spec Spec, rng *rand.Rand, traceF func(*mapping.Partition) float64) (*Result, error) {
+	if t.Parallel {
+		return t.searchParallel(obj, spec, rng)
+	}
+	res := &Result{}
+	globalIter := 0
+	record := func(p *mapping.Partition, restart int) {
+		if t.RecordTrace && traceF != nil {
+			res.Trace = append(res.Trace, TracePoint{Iteration: globalIter, Restart: restart, F: traceF(p)})
+		}
+	}
+	for restart := 0; restart < t.Restarts; restart++ {
+		p, err := spec.randomPartition(rng)
+		if err != nil {
+			return nil, err
+		}
+		cur := obj.IntraSum(p)
+		t.consider(res, p, cur)
+		record(p, restart)
+
+		// tabu[key] = first iteration at which the move is allowed again.
+		tabu := map[[2]int]int{}
+		localMinima := []float64{} // values of local minima reached this restart
+		repeats := 0
+
+		for iter := 0; iter < t.MaxIterations; iter++ {
+			globalIter++
+			bestU, bestV, bestDelta, found := t.bestMove(obj, p, tabu, iter, cur, res.BestIntraSum)
+			res.Evaluations += evalsPerSweep(p)
+			if !found {
+				// Fully tabu neighborhood (tiny instances): nothing to do.
+				break
+			}
+			if bestDelta >= -valueEpsilon {
+				// Local minimum: record it, count repeats of the same value.
+				repeats = countRepeat(localMinima, cur)
+				localMinima = append(localMinima, cur)
+				if repeats >= t.RepeatLimit {
+					break
+				}
+				// Escape uphill with the smallest increase; forbid the
+				// inverse move for Tenure iterations.
+				tabu[moveKey(bestU, bestV)] = iter + 1 + t.Tenure
+			}
+			p.Swap(bestU, bestV)
+			cur += bestDelta
+			res.Iterations++
+			t.consider(res, p, cur)
+			record(p, restart)
+		}
+	}
+	return res, nil
+}
+
+// searchParallel fans the restarts across GOMAXPROCS workers. Restart
+// seeds are pre-drawn sequentially from rng, so the outcome is a pure
+// function of the incoming rng state regardless of scheduling.
+func (t *Tabu) searchParallel(obj Objective, spec Spec, rng *rand.Rand) (*Result, error) {
+	if t.RecordTrace {
+		return nil, fmt.Errorf("search: Tabu trace recording is not supported with Parallel")
+	}
+	seeds := make([]int64, t.Restarts)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	results := make([]*Result, t.Restarts)
+	errs := make([]error, t.Restarts)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > t.Restarts {
+		workers = t.Restarts
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= t.Restarts {
+					return
+				}
+				single := &Tabu{
+					Restarts:      1,
+					MaxIterations: t.MaxIterations,
+					RepeatLimit:   t.RepeatLimit,
+					Tenure:        t.Tenure,
+				}
+				results[i], errs[i] = single.searchObjective(obj, spec, rand.New(rand.NewSource(seeds[i])), nil)
+			}
+		}()
+	}
+	wg.Wait()
+	merged := &Result{}
+	for i := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		r := results[i]
+		merged.Evaluations += r.Evaluations
+		merged.Iterations += r.Iterations
+		if merged.Best == nil || r.BestIntraSum < merged.BestIntraSum-valueEpsilon {
+			merged.Best = r.Best
+			merged.BestIntraSum = r.BestIntraSum
+		}
+	}
+	return merged, nil
+}
+
+// bestMove scans all inter-cluster swaps and returns the non-tabu move
+// with the smallest delta. Tabu moves are admissible when they would beat
+// the global best (aspiration criterion).
+func (t *Tabu) bestMove(e Objective, p *mapping.Partition, tabu map[[2]int]int, iter int, cur, globalBest float64) (u, v int, delta float64, found bool) {
+	n := p.N()
+	delta = math.Inf(1)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if p.Cluster(a) == p.Cluster(b) {
+				continue
+			}
+			d := e.SwapDelta(p, a, b)
+			if until, isTabu := tabu[moveKey(a, b)]; isTabu && iter < until {
+				// Aspiration: allow a tabu move only if it improves on the
+				// best value seen anywhere.
+				if globalBest == 0 || cur+d >= globalBest-valueEpsilon {
+					continue
+				}
+			}
+			if d < delta {
+				u, v, delta, found = a, b, d, true
+			}
+		}
+	}
+	return u, v, delta, found
+}
+
+// consider updates the incumbent best-so-far.
+func (t *Tabu) consider(res *Result, p *mapping.Partition, val float64) {
+	if res.Best == nil || val < res.BestIntraSum-valueEpsilon {
+		res.Best = p.Clone()
+		res.BestIntraSum = val
+	}
+}
+
+// countRepeat returns how many recorded minima match val (within
+// tolerance), plus one for the current occurrence.
+func countRepeat(minima []float64, val float64) int {
+	c := 1
+	for _, m := range minima {
+		if math.Abs(m-val) <= valueEpsilon*(1+math.Abs(val)) {
+			c++
+		}
+	}
+	return c
+}
+
+// moveKey canonicalizes an (u,v) swap; the move and its inverse share one
+// key, which is exactly what the tabu list must forbid.
+func moveKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// evalsPerSweep counts the candidate evaluations of one full neighborhood
+// scan: all inter-cluster pairs.
+func evalsPerSweep(p *mapping.Partition) int {
+	n := p.N()
+	same := 0
+	for c := 0; c < p.M(); c++ {
+		x := p.Size(c)
+		same += x * (x - 1) / 2
+	}
+	return n*(n-1)/2 - same
+}

@@ -1,0 +1,610 @@
+// Package simnet is a cycle-accurate flit-level simulator of wormhole
+// switching on switch-based networks with up*/down* routing, following the
+// evaluation methodology of Duato ("A new theory of deadlock-free adaptive
+// routing in wormhole networks") that the paper's Section 5 uses.
+//
+// Model
+//
+//   - Every directed inter-switch link carries at most one flit per cycle
+//     and multiplexes a configurable number of virtual channels; each
+//     virtual channel has a FIFO flit buffer at the receiving switch.
+//   - Hosts inject messages through a dedicated injection port (one flit
+//     per cycle per host, unbounded source queue) and consume them through
+//     a dedicated ejection port (one flit per cycle per host).
+//   - A message acquires a virtual channel with its header and holds it
+//     until its tail flit leaves that channel's buffer — classic wormhole
+//     flow control. Routing is adaptive among the minimal legal up*/down*
+//     continuations supplied by the routing tables, which keeps the
+//     channel dependency graph acyclic and the network deadlock-free.
+//   - Message generation is a Bernoulli process per host at a configured
+//     flit injection rate; destinations come from a traffic.Pattern.
+//
+// Measurements follow the paper: message latency in cycles (from header
+// injection into the network until tail delivery, with queueing latency
+// from generation reported separately) and traffic in flits per switch per
+// cycle.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+	"commsched/internal/traffic"
+)
+
+// Config holds the microarchitectural and workload parameters of one
+// simulation run.
+type Config struct {
+	// VirtualChannels per directed physical link (default 2).
+	VirtualChannels int
+	// BufferFlits is the depth of each virtual-channel FIFO (default 4).
+	BufferFlits int
+	// MessageFlits is the fixed message size in flits (default 16).
+	MessageFlits int
+	// BimodalFlits, when nonzero, enables a bimodal size mix (Duato's
+	// evaluation style): messages are BimodalFlits long with probability
+	// BimodalFraction and MessageFlits long otherwise. The injection
+	// process is scaled so the offered *flit* rate stays InjectionRate.
+	BimodalFlits int
+	// BimodalFraction is the probability of the BimodalFlits size.
+	BimodalFraction float64
+	// InjectionRate is the offered load per host in flits/cycle.
+	InjectionRate float64
+	// WarmupCycles are simulated but excluded from measurement
+	// (default 2000).
+	WarmupCycles int
+	// MeasureCycles is the measurement window length (default 10000).
+	MeasureCycles int
+	// Seed drives all stochastic choices of the run.
+	Seed int64
+	// RateScale optionally scales each host's injection rate (len ==
+	// number of hosts); nil means uniform rates — the paper's setting.
+	RateScale []float64
+	// DeterministicRouting disables adaptivity: the header always takes
+	// the first admissible hop and the first virtual channel, blocking
+	// until that one channel frees. An ablation knob; the default
+	// (false) is adaptive routing over all minimal legal continuations.
+	DeterministicRouting bool
+	// CutThrough switches the flow control from wormhole to virtual
+	// cut-through: a header only acquires a virtual channel whose buffer
+	// can hold the entire message, so blocked messages never stall
+	// spanning multiple switches. Requires BufferFlits >= the largest
+	// message size. An ablation of the switching technique.
+	CutThrough bool
+	// HostCluster optionally labels each host with its application
+	// (logical cluster); when set, Metrics.PerCluster breaks delivery
+	// counts and latency down by the sender's application.
+	HostCluster []int
+}
+
+// withDefaults fills zero fields with the defaults above.
+func (c Config) withDefaults() Config {
+	if c.VirtualChannels == 0 {
+		c.VirtualChannels = 2
+	}
+	if c.BufferFlits == 0 {
+		c.BufferFlits = 4
+	}
+	if c.MessageFlits == 0 {
+		c.MessageFlits = 16
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 2000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 10000
+	}
+	return c
+}
+
+// validate rejects nonsensical parameters.
+func (c Config) validate(hosts int) error {
+	if c.VirtualChannels < 1 {
+		return fmt.Errorf("simnet: need >= 1 virtual channel, got %d", c.VirtualChannels)
+	}
+	if c.BufferFlits < 1 {
+		return fmt.Errorf("simnet: need buffer depth >= 1, got %d", c.BufferFlits)
+	}
+	if c.MessageFlits < 1 {
+		return fmt.Errorf("simnet: need message size >= 1 flit, got %d", c.MessageFlits)
+	}
+	if c.InjectionRate < 0 || c.InjectionRate > 1 {
+		return fmt.Errorf("simnet: injection rate %v outside [0,1] flits/cycle/host", c.InjectionRate)
+	}
+	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
+		return fmt.Errorf("simnet: invalid cycle counts warmup=%d measure=%d", c.WarmupCycles, c.MeasureCycles)
+	}
+	if c.BimodalFlits < 0 {
+		return fmt.Errorf("simnet: negative bimodal size %d", c.BimodalFlits)
+	}
+	if c.BimodalFraction < 0 || c.BimodalFraction > 1 {
+		return fmt.Errorf("simnet: bimodal fraction %v outside [0,1]", c.BimodalFraction)
+	}
+	if c.BimodalFraction > 0 && c.BimodalFlits == 0 {
+		return fmt.Errorf("simnet: BimodalFraction set without BimodalFlits")
+	}
+	if c.CutThrough {
+		maxMsg := c.MessageFlits
+		if c.BimodalFlits > maxMsg {
+			maxMsg = c.BimodalFlits
+		}
+		if c.BufferFlits < maxMsg {
+			return fmt.Errorf("simnet: cut-through needs BufferFlits >= message size (%d < %d)", c.BufferFlits, maxMsg)
+		}
+	}
+	if c.HostCluster != nil {
+		if len(c.HostCluster) != hosts {
+			return fmt.Errorf("simnet: HostCluster has %d entries, want %d hosts", len(c.HostCluster), hosts)
+		}
+		for h, cl := range c.HostCluster {
+			if cl < 0 {
+				return fmt.Errorf("simnet: negative cluster for host %d", h)
+			}
+		}
+	}
+	if c.RateScale != nil && len(c.RateScale) != hosts {
+		return fmt.Errorf("simnet: RateScale has %d entries, want %d hosts", len(c.RateScale), hosts)
+	}
+	for i, s := range c.RateScale {
+		if s < 0 {
+			return fmt.Errorf("simnet: negative rate scale at host %d", i)
+		}
+	}
+	return nil
+}
+
+// message is one in-flight wormhole message.
+type message struct {
+	id        int
+	src, dst  int // hosts
+	dstSwitch int
+	size      int
+	created   int64 // cycle of generation (enters source queue)
+	injected  int64 // cycle the header left the source queue, -1 before
+	// descending records whether the worm has entered its down phase.
+	descending bool
+	delivered  int // flits consumed at the destination
+}
+
+// flit is one flow-control unit.
+type flit struct {
+	msg *message
+	seq int // 0 = header, size-1 = tail
+}
+
+func (f flit) isHeader() bool { return f.seq == 0 }
+func (f flit) isTail() bool   { return f.seq == f.msg.size-1 }
+
+// buffer is a FIFO of flits: either a virtual-channel buffer (bounded,
+// single-owner) or a host source queue (unbounded, multi-message).
+type buffer struct {
+	q     []flit
+	head  int // index of the logical head within q (amortized dequeue)
+	cap   int // 0 = unbounded (source queues)
+	owner *message
+
+	// Where the message at the head is routed: a downstream VC, or the
+	// ejection port when sink is true. Reset when the owning tail leaves.
+	route     *vc
+	sink      bool
+	routedMsg *message // message the route belongs to
+
+	// Location of this buffer.
+	atSwitch int
+	// For VC buffers, the output port candidates are derived from the
+	// switch; for source queues, srcHost >= 0 identifies the injecting
+	// host.
+	srcHost int
+}
+
+func (b *buffer) len() int { return len(b.q) - b.head }
+
+func (b *buffer) full() bool { return b.cap > 0 && b.len() >= b.cap }
+
+func (b *buffer) headFlit() (flit, bool) {
+	if b.len() == 0 {
+		return flit{}, false
+	}
+	return b.q[b.head], true
+}
+
+func (b *buffer) push(f flit) { b.q = append(b.q, f) }
+
+func (b *buffer) pop() flit {
+	f := b.q[b.head]
+	b.head++
+	if b.head > 1024 && b.head*2 > len(b.q) {
+		b.q = append(b.q[:0], b.q[b.head:]...)
+		b.head = 0
+	}
+	return f
+}
+
+// vc is one virtual channel of a directed link: its buffer lives at the
+// link's destination switch.
+type vc struct {
+	buf  *buffer
+	link directedLink // the physical link this VC belongs to
+}
+
+type directedLink struct{ from, to int }
+
+// outPort is an arbitration domain: one directed physical link (one flit
+// per cycle across all its VCs) or one host ejection port.
+type outPort struct {
+	link     directedLink // valid when eject < 0
+	eject    int          // ejecting host, -1 for links
+	vcs      []*vc        // VCs of the link (nil for ejection)
+	rrOffset int          // round-robin pointer over requesting inputs
+}
+
+// Simulator runs one network+mapping+load configuration.
+type Simulator struct {
+	net     *topology.Network
+	rt      *routing.UpDown
+	pattern traffic.Pattern
+	cfg     Config
+	rng     *rand.Rand
+
+	// inputs[s] = all buffers whose head flit is switched at s: incoming
+	// VC buffers and the source queues of s's hosts.
+	inputs [][]*buffer
+	// ports[s] = output ports at switch s: one per outgoing directed link
+	// plus one ejection port per host.
+	ports [][]*outPort
+	// linkVCs[from][to] = VCs of directed link from→to.
+	linkVCs map[directedLink][]*vc
+	// rrInput[s] = rotating start index for routing allocation at s.
+	rrInput []int
+
+	cycle     int64
+	nextMsgID int
+
+	// linkFlits counts flits crossing each directed link during the
+	// measurement window (the paper's observation about up*/down*
+	// overloading links near the root is visible here).
+	linkFlits map[directedLink]int64
+
+	metrics   Metrics
+	measuring bool
+}
+
+// New builds a simulator. The routing structure must belong to the same
+// network.
+func New(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(net.Hosts()); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		net:       net,
+		rt:        rt,
+		pattern:   pattern,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		inputs:    make([][]*buffer, net.Switches()),
+		ports:     make([][]*outPort, net.Switches()),
+		linkVCs:   make(map[directedLink][]*vc),
+		rrInput:   make([]int, net.Switches()),
+		linkFlits: make(map[directedLink]int64),
+	}
+	// Directed links and their VCs.
+	for _, l := range net.Links() {
+		for _, dl := range []directedLink{{l.A, l.B}, {l.B, l.A}} {
+			vcs := make([]*vc, cfg.VirtualChannels)
+			for k := range vcs {
+				vcs[k] = &vc{
+					buf:  &buffer{cap: cfg.BufferFlits, atSwitch: dl.to, srcHost: -1},
+					link: dl,
+				}
+				s.inputs[dl.to] = append(s.inputs[dl.to], vcs[k].buf)
+			}
+			s.linkVCs[dl] = vcs
+			s.ports[dl.from] = append(s.ports[dl.from], &outPort{link: dl, eject: -1, vcs: vcs})
+		}
+	}
+	// Host source queues and ejection ports.
+	for sw := 0; sw < net.Switches(); sw++ {
+		for _, h := range net.SwitchHosts(sw) {
+			s.inputs[sw] = append(s.inputs[sw], &buffer{cap: 0, atSwitch: sw, srcHost: h})
+			s.ports[sw] = append(s.ports[sw], &outPort{eject: h})
+		}
+	}
+	return s, nil
+}
+
+// Run simulates warmup plus measurement and returns the metrics.
+func (s *Simulator) Run() Metrics {
+	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+	for c := 0; c < total; c++ {
+		if c == s.cfg.WarmupCycles {
+			s.measuring = true
+			s.metrics.measureStart = s.cycle
+		}
+		s.step()
+	}
+	s.metrics.finalizeLinks(s.linkFlits, s.cfg)
+	s.metrics.finalize(s.cfg, s.net)
+	return s.metrics
+}
+
+// step advances the simulation one cycle.
+func (s *Simulator) step() {
+	s.generate()
+	s.allocateRoutes()
+	s.transferFlits()
+	if s.measuring {
+		s.sampleQueues()
+	}
+	s.cycle++
+}
+
+// sampleQueues accumulates source-queue occupancy for the mean-queue
+// metric (an early saturation indicator: queues grow without bound past
+// the saturation point).
+func (s *Simulator) sampleQueues() {
+	total := int64(0)
+	for sw := range s.inputs {
+		for _, in := range s.inputs[sw] {
+			if in.srcHost >= 0 {
+				total += int64(in.len())
+			}
+		}
+	}
+	s.metrics.queueSamples++
+	s.metrics.queueFlitsSum += total
+}
+
+// meanMessageFlits returns the expected message length under the
+// configured size mix.
+func (s *Simulator) meanMessageFlits() float64 {
+	if s.cfg.BimodalFraction == 0 {
+		return float64(s.cfg.MessageFlits)
+	}
+	return s.cfg.BimodalFraction*float64(s.cfg.BimodalFlits) +
+		(1-s.cfg.BimodalFraction)*float64(s.cfg.MessageFlits)
+}
+
+// drawMessageSize samples the configured size distribution.
+func (s *Simulator) drawMessageSize() int {
+	if s.cfg.BimodalFraction > 0 && s.rng.Float64() < s.cfg.BimodalFraction {
+		return s.cfg.BimodalFlits
+	}
+	return s.cfg.MessageFlits
+}
+
+// generate draws new messages at every host.
+func (s *Simulator) generate() {
+	meanFlits := s.meanMessageFlits()
+	for sw := 0; sw < s.net.Switches(); sw++ {
+		for _, in := range s.inputs[sw] {
+			if in.srcHost < 0 {
+				continue
+			}
+			rate := s.cfg.InjectionRate
+			if s.cfg.RateScale != nil {
+				rate *= s.cfg.RateScale[in.srcHost]
+			}
+			p := rate / meanFlits // message generation probability
+			if p <= 0 || s.rng.Float64() >= p {
+				continue
+			}
+			dst := s.pattern.Destination(in.srcHost, s.rng)
+			m := &message{
+				id:        s.nextMsgID,
+				src:       in.srcHost,
+				dst:       dst,
+				dstSwitch: s.net.HostSwitch(dst),
+				size:      s.drawMessageSize(),
+				created:   s.cycle,
+				injected:  -1,
+			}
+			s.nextMsgID++
+			for seq := 0; seq < m.size; seq++ {
+				in.push(flit{msg: m, seq: seq})
+			}
+			if s.measuring {
+				s.metrics.generatedMessages++
+				s.metrics.offeredFlits += int64(m.size)
+			}
+		}
+	}
+}
+
+// allocateRoutes lets unrouted header flits at buffer heads acquire an
+// output virtual channel (or the ejection port). Allocation order rotates
+// per switch to avoid structural starvation.
+func (s *Simulator) allocateRoutes() {
+	for sw := 0; sw < s.net.Switches(); sw++ {
+		ins := s.inputs[sw]
+		if len(ins) == 0 {
+			continue
+		}
+		start := s.rrInput[sw] % len(ins)
+		s.rrInput[sw]++
+		for k := 0; k < len(ins); k++ {
+			in := ins[(start+k)%len(ins)]
+			f, ok := in.headFlit()
+			if !ok || !f.isHeader() || in.routedMsg == f.msg {
+				continue
+			}
+			s.routeHeader(sw, in, f.msg)
+		}
+	}
+}
+
+// routeHeader tries to reserve the next channel for msg whose header sits
+// at the head of `in` at switch sw.
+func (s *Simulator) routeHeader(sw int, in *buffer, m *message) {
+	if sw == m.dstSwitch {
+		in.route, in.sink, in.routedMsg = nil, true, m
+		return
+	}
+	hops := s.rt.NextHops(sw, m.dstSwitch, m.descending)
+	// admissible reports whether a candidate VC can be acquired: free, and
+	// under cut-through big enough to absorb the entire message.
+	admissible := func(cand *vc) bool {
+		if cand.buf.owner != nil {
+			return false
+		}
+		if s.cfg.CutThrough && cand.buf.cap > 0 && cand.buf.cap < m.size {
+			return false
+		}
+		return true
+	}
+	if s.cfg.DeterministicRouting {
+		// Fixed path, fixed channel: wait for exactly one VC.
+		if len(hops) == 0 {
+			return
+		}
+		cand := s.linkVCs[directedLink{sw, hops[0].To}][0]
+		if admissible(cand) {
+			cand.buf.owner = m
+			in.route, in.sink, in.routedMsg = cand, false, m
+		}
+		return
+	}
+	// Adaptive selection: first hop with a free VC, scanning hops and VCs
+	// from a rotating offset so ties spread across channels.
+	off := int(s.cycle) // deterministic, varies per cycle
+	for hi := 0; hi < len(hops); hi++ {
+		h := hops[(hi+off)%len(hops)]
+		vcs := s.linkVCs[directedLink{sw, h.To}]
+		for vi := 0; vi < len(vcs); vi++ {
+			cand := vcs[(vi+off)%len(vcs)]
+			if admissible(cand) {
+				cand.buf.owner = m
+				in.route, in.sink, in.routedMsg = cand, false, m
+				// The descending state must change only when the flit
+				// actually moves; record the hop's phase on the route.
+				return
+			}
+		}
+	}
+	// Blocked: try again next cycle.
+}
+
+// transferFlits moves at most one flit per output port.
+func (s *Simulator) transferFlits() {
+	for sw := 0; sw < s.net.Switches(); sw++ {
+		for _, port := range s.ports[sw] {
+			s.serve(sw, port)
+		}
+	}
+}
+
+// serve arbitrates one output port among the input buffers at sw routed to
+// it and moves one flit if possible.
+func (s *Simulator) serve(sw int, port *outPort) {
+	ins := s.inputs[sw]
+	n := len(ins)
+	start := port.rrOffset % n
+	port.rrOffset++
+	for k := 0; k < n; k++ {
+		in := ins[(start+k)%n]
+		f, ok := in.headFlit()
+		if !ok || in.routedMsg != f.msg {
+			continue
+		}
+		if port.eject >= 0 {
+			if !in.sink || f.msg.dst != port.eject {
+				continue
+			}
+			s.deliver(in, f)
+			return
+		}
+		if in.sink || in.route == nil || in.route.link != port.link || in.route.buf.full() {
+			continue
+		}
+		s.forward(in, f)
+		return
+	}
+}
+
+// forward moves the head flit of `in` into its routed downstream VC.
+func (s *Simulator) forward(in *buffer, f flit) {
+	dst := in.route.buf
+	in.pop()
+	dst.push(f)
+	if s.measuring {
+		s.linkFlits[in.route.link]++
+	}
+	if f.isHeader() {
+		if f.msg.injected < 0 {
+			f.msg.injected = s.cycle
+		}
+		// Crossing a down link commits the worm to its down phase.
+		if !s.rt.IsUp(in.route.link.from, in.route.link.to) {
+			f.msg.descending = true
+		}
+	}
+	if f.isTail() {
+		s.releaseHead(in)
+	}
+}
+
+// deliver consumes the head flit of `in` at its destination host.
+func (s *Simulator) deliver(in *buffer, f flit) {
+	in.pop()
+	m := f.msg
+	if f.isHeader() && m.injected < 0 {
+		// Source and destination share a switch: the message never crossed
+		// a link; treat ejection start as injection.
+		m.injected = s.cycle
+	}
+	m.delivered++
+	if s.measuring {
+		s.metrics.deliveredFlits++
+	}
+	if f.isTail() {
+		s.releaseHead(in)
+		if s.measuring && m.created >= s.metrics.measureStart {
+			s.metrics.deliveredMessages++
+			s.metrics.totalLatency += s.cycle - m.injected
+			s.metrics.totalQueueLatency += s.cycle - m.created
+			s.metrics.latencySamples = append(s.metrics.latencySamples, s.cycle-m.injected)
+			if s.cfg.HostCluster != nil {
+				s.metrics.addClusterSample(s.cfg.HostCluster[m.src], int64(m.size), s.cycle-m.injected)
+			}
+		}
+	}
+}
+
+// releaseHead clears the routing state of `in` after a tail departs and
+// frees the VC ownership when `in` is a virtual-channel buffer.
+func (s *Simulator) releaseHead(in *buffer) {
+	if in.srcHost < 0 {
+		in.owner = nil
+	}
+	in.route, in.sink, in.routedMsg = nil, false, nil
+}
+
+// Drain stops injection and keeps switching until the network empties or
+// maxCycles elapse, returning whether it fully drained. For a
+// deadlock-free configuration the drain always completes; tests use it as
+// the liveness oracle.
+func (s *Simulator) Drain(maxCycles int) bool {
+	saved := s.cfg.InjectionRate
+	s.cfg.InjectionRate = 0
+	defer func() { s.cfg.InjectionRate = saved }()
+	for c := 0; c < maxCycles; c++ {
+		if s.inflight() == 0 {
+			return true
+		}
+		s.step()
+	}
+	return s.inflight() == 0
+}
+
+// inflight counts flits in every buffer.
+func (s *Simulator) inflight() int {
+	total := 0
+	for sw := range s.inputs {
+		for _, in := range s.inputs[sw] {
+			total += in.len()
+		}
+	}
+	return total
+}

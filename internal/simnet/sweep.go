@@ -1,0 +1,154 @@
+package simnet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+	"commsched/internal/traffic"
+)
+
+// SweepPoint is one operating point of a load sweep: the paper's
+// simulation points S1…S9 between low load and deep saturation.
+type SweepPoint struct {
+	// Index is the 1-based point number (S1, S2, …).
+	Index int
+	// Rate is the per-host injection rate in flits/cycle.
+	Rate float64
+	// Metrics is the run's measurement.
+	Metrics Metrics
+}
+
+// Sweep simulates the network at each injection rate and returns one
+// point per rate. Each run is independent and deterministic (the config
+// seed is combined with the point index), so the points execute in
+// parallel across GOMAXPROCS workers; results are identical to a
+// sequential sweep.
+//
+// Concurrency caveat: traffic.Pattern implementations in this module only
+// read immutable state and draw from the per-simulator rng passed to
+// Destination, so one pattern value is safely shared across the parallel
+// runs.
+func Sweep(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg Config, rates []float64) ([]SweepPoint, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("simnet: empty rate list")
+	}
+	points := make([]SweepPoint, len(rates))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rates) {
+		workers = len(rates)
+	}
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		failed atomic.Pointer[error]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(rates) || failed.Load() != nil {
+					return
+				}
+				c := cfg
+				c.InjectionRate = rates[i]
+				c.Seed = cfg.Seed*1000003 + int64(i)
+				sim, err := New(net, rt, pattern, c)
+				if err != nil {
+					failed.CompareAndSwap(nil, &err)
+					return
+				}
+				points[i] = SweepPoint{Index: i + 1, Rate: rates[i], Metrics: sim.Run()}
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := failed.Load(); errp != nil {
+		return nil, *errp
+	}
+	return points, nil
+}
+
+// LinearRates returns n evenly spaced rates in (0, max] — the paper's
+// S1…Sn ladder from low traffic to (past) saturation.
+func LinearRates(n int, max float64) []float64 {
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = max * float64(i+1) / float64(n)
+	}
+	return rates
+}
+
+// Throughput returns the maximum accepted traffic over the sweep — the
+// paper's throughput definition (maximum amount of information delivered
+// per time unit).
+func Throughput(points []SweepPoint) float64 {
+	max := 0.0
+	for _, p := range points {
+		if p.Metrics.AcceptedTraffic > max {
+			max = p.Metrics.AcceptedTraffic
+		}
+	}
+	return max
+}
+
+// SaturationPoint returns the first sweep point whose run saturated, or
+// -1 when none did.
+func SaturationPoint(points []SweepPoint) int {
+	for i, p := range points {
+		if p.Metrics.Saturated() {
+			return i
+		}
+	}
+	return -1
+}
+
+// FindSaturation locates the saturation injection rate by bisection in
+// (0, maxRate]: the largest per-host rate at which the network still
+// accepts (within the Saturated tolerance) everything offered. It returns
+// the bracketing rate and the metrics of the last non-saturated run.
+// Each probe is one full simulation, so tol trades precision for time.
+func FindSaturation(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg Config, maxRate, tol float64) (float64, Metrics, error) {
+	if maxRate <= 0 || maxRate > 1 {
+		return 0, Metrics{}, fmt.Errorf("simnet: maxRate %v outside (0,1]", maxRate)
+	}
+	if tol <= 0 {
+		tol = maxRate / 64
+	}
+	probe := func(rate float64) (Metrics, error) {
+		c := cfg
+		c.InjectionRate = rate
+		sim, err := New(net, rt, pattern, c)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return sim.Run(), nil
+	}
+	lo, hi := 0.0, maxRate
+	var best Metrics
+	m, err := probe(maxRate)
+	if err != nil {
+		return 0, Metrics{}, err
+	}
+	if !m.Saturated() {
+		return maxRate, m, nil // never saturates within the probe range
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		m, err := probe(mid)
+		if err != nil {
+			return 0, Metrics{}, err
+		}
+		if m.Saturated() {
+			hi = mid
+		} else {
+			lo, best = mid, m
+		}
+	}
+	return lo, best, nil
+}

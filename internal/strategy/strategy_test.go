@@ -1,0 +1,187 @@
+package strategy
+
+import (
+	"math/rand"
+	"testing"
+
+	"commsched/internal/distance"
+	"commsched/internal/procsched"
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+)
+
+// hetSystem builds an 8-switch NOW where the first 16 hosts are 4x faster
+// than the rest.
+func hetSystem(t *testing.T) *System {
+	t.Helper()
+	net, err := topology.RandomIrregular(8, 3, rand.New(rand.NewSource(5)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := distance.Compute(net, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speed := make([]float64, net.Hosts())
+	for h := range speed {
+		if h < 16 {
+			speed[h] = 4
+		} else {
+			speed[h] = 1
+		}
+	}
+	sys, err := NewSystem(net, rt, tab, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	net, err := topology.RandomIrregular(8, 3, rand.New(rand.NewSource(5)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := distance.Compute(net, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(net, rt, tab, []float64{1}); err == nil {
+		t.Fatal("wrong speed count accepted")
+	}
+	bad := make([]float64, net.Hosts())
+	if _, err := NewSystem(net, rt, tab, bad); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+	// nil speeds = homogeneous.
+	sys, err := NewSystem(net, rt, tab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.HostSpeed[0] != 1 {
+		t.Fatal("homogeneous default not applied")
+	}
+}
+
+func TestAnalyzeBottleneckDirections(t *testing.T) {
+	sys := hetSystem(t)
+	// Compute-heavy, communication-light.
+	cpu := []Application{{Name: "hpc", Processes: 24, CPUDemand: 10, CommIntensity: 0.001}}
+	an, err := sys.Analyze(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Bottleneck != CPUBound {
+		t.Fatalf("compute-heavy mix classified %v (cpu=%.3f net=%.3f)",
+			an.Bottleneck, an.CPUUtilization, an.NetworkUtilization)
+	}
+	// Streaming-heavy, compute-light (the paper's video-on-demand case).
+	net := []Application{{Name: "vod", Processes: 24, CPUDemand: 0.01, CommIntensity: 0.5}}
+	an, err = sys.Analyze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Bottleneck != NetworkBound {
+		t.Fatalf("streaming mix classified %v (cpu=%.3f net=%.3f)",
+			an.Bottleneck, an.CPUUtilization, an.NetworkUtilization)
+	}
+	if CPUBound.String() == NetworkBound.String() {
+		t.Fatal("bottleneck strings collide")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	sys := hetSystem(t)
+	if _, err := sys.Analyze(nil); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := sys.Analyze([]Application{{Processes: 0}}); err == nil {
+		t.Fatal("zero processes accepted")
+	}
+	if _, err := sys.Analyze([]Application{{Processes: 5, CPUDemand: -1}}); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if _, err := sys.Analyze([]Application{{Processes: 1000, CPUDemand: 1}}); err == nil {
+		t.Fatal("over-capacity mix accepted")
+	}
+}
+
+func TestScheduleNetworkBoundUsesCommAware(t *testing.T) {
+	sys := hetSystem(t)
+	apps := []Application{
+		{Name: "vod1", Processes: 12, CPUDemand: 0.01, CommIntensity: 0.5},
+		{Name: "vod2", Processes: 12, CPUDemand: 0.01, CommIntensity: 0.5},
+	}
+	pl, err := sys.Schedule(apps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Scheduler != "communication-aware-tabu" {
+		t.Fatalf("scheduler = %q", pl.Scheduler)
+	}
+	if len(pl.HostOf) != 24 || len(pl.ClusterOf) != 24 {
+		t.Fatal("placement incomplete")
+	}
+	// Its communication objective must beat a random placement's.
+	pr, err := procsched.NewProblem(sys.Net, sys.Table, pl.ClusterOf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pr.NewAssignment(pl.HostOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := pr.RandomAssignment(rand.New(rand.NewSource(9)))
+	if pr.Cost(a) >= pr.Cost(rnd) {
+		t.Fatalf("comm-aware placement cost %v not below random %v", pr.Cost(a), pr.Cost(rnd))
+	}
+}
+
+func TestScheduleCPUBoundUsesFastHosts(t *testing.T) {
+	sys := hetSystem(t)
+	apps := []Application{{Name: "hpc", Processes: 16, CPUDemand: 10, CommIntensity: 0.0001}}
+	pl, err := sys.Schedule(apps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Scheduler != "computation-aware-mct" {
+		t.Fatalf("scheduler = %q", pl.Scheduler)
+	}
+	// 16 processes, 16 fast hosts: every process must land on a fast host.
+	seen := map[int]bool{}
+	for _, h := range pl.HostOf {
+		if h >= 16 {
+			t.Fatalf("process placed on slow host %d despite free fast hosts", h)
+		}
+		if seen[h] {
+			t.Fatalf("host %d assigned twice", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestScheduleOnePerHostOverflow(t *testing.T) {
+	sys := hetSystem(t)
+	// More processes than fast hosts: placement must still be one per
+	// processor, spilling to slow hosts.
+	apps := []Application{{Name: "hpc", Processes: 30, CPUDemand: 10, CommIntensity: 0}}
+	pl, err := sys.Schedule(apps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, h := range pl.HostOf {
+		if seen[h] {
+			t.Fatalf("host %d assigned twice", h)
+		}
+		seen[h] = true
+	}
+}

@@ -1,0 +1,127 @@
+package topology
+
+import "fmt"
+
+// InterconnectedRings builds the specially designed topology of the
+// paper's Figure 4 generalized to `rings` rings of `size` switches each:
+// every ring is a cycle, and consecutive rings (in a ring-of-rings
+// arrangement) are joined by `bridges` links. With the default 8-port /
+// 4-host switches each switch has 4 free ports, so ring degree 2 plus up
+// to 2 bridge endpoints fits comfortably.
+//
+// The paper's instance is InterconnectedRings(4, 6, 1, cfg): a 24-switch
+// network of four interconnected rings of six nodes whose natural 4-way
+// partition is the four rings.
+func InterconnectedRings(rings, size, bridges int, cfg Config) (*Network, error) {
+	if rings < 2 || size < 3 {
+		return nil, fmt.Errorf("topology: InterconnectedRings needs >=2 rings of >=3 switches, got %dx%d", rings, size)
+	}
+	if bridges < 1 || bridges > size/2 {
+		return nil, fmt.Errorf("topology: bridges must be in [1,%d], got %d", size/2, bridges)
+	}
+	n := rings * size
+	id := func(ring, pos int) int { return ring*size + pos%size }
+	var links []Link
+	// Ring cycles.
+	for r := 0; r < rings; r++ {
+		for p := 0; p < size; p++ {
+			links = append(links, NormalizeLink(id(r, p), id(r, p+1)))
+		}
+	}
+	// Bridges between consecutive rings, spread around each ring so bridge
+	// endpoints do not collide between the "previous" and "next" side.
+	for r := 0; r < rings; r++ {
+		next := (r + 1) % rings
+		for b := 0; b < bridges; b++ {
+			from := id(r, b*2)    // even positions host outgoing bridges
+			to := id(next, b*2+1) // odd positions host incoming bridges
+			links = append(links, NormalizeLink(from, to))
+		}
+	}
+	name := fmt.Sprintf("rings-%dx%d", rings, size)
+	return New(name, n, links, cfg)
+}
+
+// RingClusters returns the switch index sets of each ring of an
+// InterconnectedRings network — the ground-truth partition the scheduling
+// technique is expected to rediscover (paper Figure 4).
+func RingClusters(rings, size int) [][]int {
+	out := make([][]int, rings)
+	for r := 0; r < rings; r++ {
+		ring := make([]int, size)
+		for p := 0; p < size; p++ {
+			ring[p] = r*size + p
+		}
+		out[r] = ring
+	}
+	return out
+}
+
+// Ring builds a simple cycle of n switches.
+func Ring(n int, cfg Config) (*Network, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: Ring needs >=3 switches, got %d", n)
+	}
+	links := make([]Link, n)
+	for i := 0; i < n; i++ {
+		links[i] = NormalizeLink(i, (i+1)%n)
+	}
+	return New(fmt.Sprintf("ring-%d", n), n, links, cfg)
+}
+
+// Mesh2D builds a rows×cols 2-D mesh.
+func Mesh2D(rows, cols int, cfg Config) (*Network, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: Mesh2D needs at least 2 switches, got %dx%d", rows, cols)
+	}
+	var links []Link
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				links = append(links, NormalizeLink(id(r, c), id(r, c+1)))
+			}
+			if r+1 < rows {
+				links = append(links, NormalizeLink(id(r, c), id(r+1, c)))
+			}
+		}
+	}
+	return New(fmt.Sprintf("mesh-%dx%d", rows, cols), rows*cols, links, cfg)
+}
+
+// Torus2D builds a rows×cols 2-D torus (mesh with wraparound links).
+// Dimensions below 3 would create duplicate wrap links, so both must be >=3.
+func Torus2D(rows, cols int, cfg Config) (*Network, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("topology: Torus2D needs dimensions >=3, got %dx%d", rows, cols)
+	}
+	var links []Link
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			links = append(links, NormalizeLink(id(r, c), id(r, (c+1)%cols)))
+			links = append(links, NormalizeLink(id(r, c), id((r+1)%rows, c)))
+		}
+	}
+	return New(fmt.Sprintf("torus-%dx%d", rows, cols), rows*cols, links, cfg)
+}
+
+// Hypercube builds a dim-dimensional binary hypercube (2^dim switches).
+// Note that dim > Ports-HostsPerSwitch would not be buildable with the
+// default switch size; the constructor reports that via New's validation.
+func Hypercube(dim int, cfg Config) (*Network, error) {
+	if dim < 1 || dim > 16 {
+		return nil, fmt.Errorf("topology: Hypercube dimension must be in [1,16], got %d", dim)
+	}
+	n := 1 << dim
+	var links []Link
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			w := v ^ (1 << b)
+			if v < w {
+				links = append(links, Link{A: v, B: w})
+			}
+		}
+	}
+	return New(fmt.Sprintf("hypercube-%d", dim), n, links, cfg)
+}

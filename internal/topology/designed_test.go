@@ -1,0 +1,153 @@
+package topology
+
+import "testing"
+
+func TestInterconnectedRingsPaperInstance(t *testing.T) {
+	// Figure 4's topology: 4 interconnected rings of 6 switches.
+	net, err := InterconnectedRings(4, 6, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Switches() != 24 {
+		t.Fatalf("Switches() = %d, want 24", net.Switches())
+	}
+	if !net.Connected() {
+		t.Fatal("rings network not connected")
+	}
+	// Every switch participates in its ring (degree >= 2) and fits the
+	// 4-free-port budget.
+	for s := 0; s < 24; s++ {
+		if d := net.Degree(s); d < 2 || d > 4 {
+			t.Fatalf("switch %d degree = %d, want within [2,4]", s, d)
+		}
+	}
+	// Each ring must be internally connected using only ring-internal links.
+	for r, ring := range RingClusters(4, 6) {
+		inRing := map[int]bool{}
+		for _, s := range ring {
+			inRing[s] = true
+		}
+		for _, s := range ring {
+			cnt := 0
+			for _, nb := range net.Neighbors(s) {
+				if inRing[nb] {
+					cnt++
+				}
+			}
+			if cnt != 2 {
+				t.Fatalf("ring %d switch %d has %d intra-ring neighbors, want 2", r, s, cnt)
+			}
+		}
+	}
+}
+
+func TestInterconnectedRingsBridgeCount(t *testing.T) {
+	net, err := InterconnectedRings(4, 6, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 rings x 6 ring links + 4 x 2 bridges = 32 links.
+	if got := net.NumLinks(); got != 32 {
+		t.Fatalf("NumLinks = %d, want 32", got)
+	}
+}
+
+func TestInterconnectedRingsErrors(t *testing.T) {
+	if _, err := InterconnectedRings(1, 6, 1, Config{}); err == nil {
+		t.Fatal("expected error for single ring")
+	}
+	if _, err := InterconnectedRings(4, 2, 1, Config{}); err == nil {
+		t.Fatal("expected error for tiny rings")
+	}
+	if _, err := InterconnectedRings(4, 6, 0, Config{}); err == nil {
+		t.Fatal("expected error for zero bridges")
+	}
+	if _, err := InterconnectedRings(4, 6, 4, Config{}); err == nil {
+		t.Fatal("expected error for too many bridges")
+	}
+}
+
+func TestRingClusters(t *testing.T) {
+	cs := RingClusters(2, 3)
+	if len(cs) != 2 || len(cs[0]) != 3 {
+		t.Fatalf("RingClusters shape wrong: %v", cs)
+	}
+	if cs[1][0] != 3 || cs[1][2] != 5 {
+		t.Fatalf("second ring = %v, want [3 4 5]", cs[1])
+	}
+}
+
+func TestRing(t *testing.T) {
+	net, err := Ring(5, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumLinks() != 5 || !net.Connected() {
+		t.Fatalf("ring-5: links=%d connected=%v", net.NumLinks(), net.Connected())
+	}
+	if net.Diameter() != 2 {
+		t.Fatalf("ring-5 diameter = %d, want 2", net.Diameter())
+	}
+	if _, err := Ring(2, Config{}); err == nil {
+		t.Fatal("Ring(2) must fail")
+	}
+}
+
+func TestMesh2D(t *testing.T) {
+	net, err := Mesh2D(3, 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// links: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if net.NumLinks() != 17 {
+		t.Fatalf("mesh 3x4 links = %d, want 17", net.NumLinks())
+	}
+	if net.Diameter() != 5 {
+		t.Fatalf("mesh 3x4 diameter = %d, want 5", net.Diameter())
+	}
+	if _, err := Mesh2D(1, 1, Config{}); err == nil {
+		t.Fatal("1x1 mesh must fail")
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	net, err := Torus2D(3, 3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 links per switch pair direction: 3*3*2 = 18.
+	if net.NumLinks() != 18 {
+		t.Fatalf("torus 3x3 links = %d, want 18", net.NumLinks())
+	}
+	for s := 0; s < 9; s++ {
+		if net.Degree(s) != 4 {
+			t.Fatalf("torus switch %d degree = %d, want 4", s, net.Degree(s))
+		}
+	}
+	if _, err := Torus2D(2, 3, Config{}); err == nil {
+		t.Fatal("torus with dim < 3 must fail")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	net, err := Hypercube(3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Switches() != 8 || net.NumLinks() != 12 {
+		t.Fatalf("Q3: switches=%d links=%d, want 8/12", net.Switches(), net.NumLinks())
+	}
+	if net.Diameter() != 3 {
+		t.Fatalf("Q3 diameter = %d, want 3", net.Diameter())
+	}
+	// Dimension 5 exceeds the default 4 free ports.
+	if _, err := Hypercube(5, Config{}); err == nil {
+		t.Fatal("Q5 with default switch size must fail (degree 5 > 4 free ports)")
+	}
+	if _, err := Hypercube(5, Config{Ports: 12}); err != nil {
+		t.Fatalf("Q5 with 12-port switches should work: %v", err)
+	}
+	if _, err := Hypercube(0, Config{}); err == nil {
+		t.Fatal("Hypercube(0) must fail")
+	}
+}

@@ -1,0 +1,55 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseText: arbitrary input must either parse into a valid network
+// or return an error — never panic — and parsed networks must round-trip.
+func FuzzParseText(f *testing.F) {
+	f.Add("network x switches=3 ports=8 hosts=4\nlink 0 1\nlink 1 2\n")
+	f.Add("# comment\nnetwork y switches=2\nlink 0 1\n")
+	f.Add("network z switches=1\n")
+	f.Add("garbage\n")
+	f.Add("network w switches=2 ports=abc\n")
+	f.Add("link 1 2")
+	f.Fuzz(func(t *testing.T, input string) {
+		net, err := ParseText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must satisfy the invariants New enforces and
+		// survive a write/parse round trip.
+		var buf bytes.Buffer
+		if err := net.WriteText(&buf); err != nil {
+			t.Fatalf("WriteText failed on parsed network: %v", err)
+		}
+		back, err := ParseText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noriginal input: %q", err, input)
+		}
+		if back.Switches() != net.Switches() || back.NumLinks() != net.NumLinks() {
+			t.Fatalf("round trip changed the network: %d/%d vs %d/%d",
+				net.Switches(), net.NumLinks(), back.Switches(), back.NumLinks())
+		}
+	})
+}
+
+// FuzzUnmarshalNetworkJSON: arbitrary bytes must never panic the decoder.
+func FuzzUnmarshalNetworkJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"x","switches":2,"ports":8,"hosts_per_switch":4,"links":[{"A":0,"B":1}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"switches":-5}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := UnmarshalNetworkJSON(data)
+		if err != nil {
+			return
+		}
+		if net.Switches() <= 0 {
+			t.Fatalf("decoder accepted a network with %d switches", net.Switches())
+		}
+	})
+}

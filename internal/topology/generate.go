@@ -1,0 +1,196 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// RandomIrregular generates a random irregular topology under the paper's
+// Section 5.1 constraints: every switch has exactly `degree` inter-switch
+// links (default 3 of the 4 free ports of an 8-port switch with 4 hosts),
+// neighboring switches are connected by a single link, and the network is
+// connected.
+//
+// The generator builds a Hamiltonian cycle over a random switch permutation
+// (guaranteeing connectivity and degree 2) and then adds random perfect
+// matchings between still-open ports until the target degree is reached,
+// followed by randomizing 2-opt link swaps that preserve degree,
+// simplicity, and connectivity. For odd degree, switches*degree must be
+// even, i.e. the switch count must be even — the paper's sizes (16…24) are.
+func RandomIrregular(switches, degree int, rng *rand.Rand, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if degree < 2 {
+		return nil, fmt.Errorf("topology: RandomIrregular needs degree >= 2, got %d", degree)
+	}
+	if degree >= switches {
+		return nil, fmt.Errorf("topology: degree %d impossible with %d switches", degree, switches)
+	}
+	if switches*degree%2 != 0 {
+		return nil, fmt.Errorf("topology: %d switches of degree %d give an odd number of port ends", switches, degree)
+	}
+	if degree > cfg.Ports-cfg.HostsPerSwitch {
+		return nil, fmt.Errorf("topology: degree %d exceeds the %d free ports per switch", degree, cfg.Ports-cfg.HostsPerSwitch)
+	}
+
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		links, ok := tryRandomRegular(switches, degree, rng)
+		if !ok {
+			continue
+		}
+		name := fmt.Sprintf("irregular-%d", switches)
+		net, err := New(name, switches, links, cfg)
+		if err != nil {
+			return nil, err // structural bug in the generator, not bad luck
+		}
+		if !net.Connected() {
+			continue
+		}
+		shuffleLinks(net, rng, 4*len(links))
+		return net, nil
+	}
+	return nil, fmt.Errorf("topology: failed to generate a connected %d-regular graph on %d switches after %d attempts",
+		degree, switches, maxAttempts)
+}
+
+// tryRandomRegular attempts one construction of a simple degree-regular
+// graph: a Hamiltonian cycle (connectivity + degree 2), then extra random
+// Hamiltonian cycles (+2 degree each), then a single perfect matching when
+// the remaining degree is odd (which requires an even switch count — the
+// parity check in RandomIrregular guarantees matching feasibility).
+// Returns ok=false when a random cycle or matching collides with an
+// existing link (caller retries from scratch).
+func tryRandomRegular(n, degree int, rng *rand.Rand) ([]Link, bool) {
+	used := make(map[Link]bool)
+	var links []Link
+	add := func(u, v int) bool {
+		if u == v {
+			return false
+		}
+		c := NormalizeLink(u, v)
+		if used[c] {
+			return false
+		}
+		used[c] = true
+		links = append(links, c)
+		return true
+	}
+	addCycle := func() bool {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			if !add(perm[i], perm[(i+1)%n]) {
+				return false
+			}
+		}
+		return true
+	}
+	remaining := degree
+	for remaining >= 2 {
+		if !addCycle() {
+			return nil, false
+		}
+		remaining -= 2
+	}
+	if remaining == 1 {
+		p := rng.Perm(n)
+		for i := 0; i < n; i += 2 {
+			if !add(p[i], p[i+1]) {
+				return nil, false
+			}
+		}
+	}
+	return links, true
+}
+
+// shuffleLinks performs random 2-opt swaps — replace links (a,b),(c,d) with
+// (a,c),(b,d) — that preserve degree, keep the graph simple, and keep it
+// connected. This removes the structural bias of the cycle+matching
+// construction.
+func shuffleLinks(net *Network, rng *rand.Rand, swaps int) {
+	for k := 0; k < swaps; k++ {
+		if len(net.links) < 2 {
+			return
+		}
+		i := rng.Intn(len(net.links))
+		j := rng.Intn(len(net.links))
+		if i == j {
+			continue
+		}
+		l1, l2 := net.links[i], net.links[j]
+		a, b, c, d := l1.A, l1.B, l2.A, l2.B
+		// Two rewirings are possible; pick one at random.
+		var n1, n2 Link
+		if rng.Intn(2) == 0 {
+			n1, n2 = NormalizeLink(a, c), NormalizeLink(b, d)
+		} else {
+			n1, n2 = NormalizeLink(a, d), NormalizeLink(b, c)
+		}
+		if n1.A == n1.B || n2.A == n2.B || n1 == n2 {
+			continue
+		}
+		if net.HasLink(n1.A, n1.B) || net.HasLink(n2.A, n2.B) {
+			continue
+		}
+		net.replaceLinks(i, j, n1, n2)
+		if !net.Connected() {
+			// Undo: the new links are at positions found by value.
+			net.undoReplace(n1, n2, l1, l2)
+		}
+	}
+	net.rebuild()
+}
+
+// replaceLinks swaps the links at positions i and j for n1 and n2 and
+// refreshes adjacency.
+func (n *Network) replaceLinks(i, j int, n1, n2 Link) {
+	n.links[i], n.links[j] = n1, n2
+	n.rebuild()
+}
+
+// undoReplace restores links o1,o2 in place of n1,n2.
+func (n *Network) undoReplace(n1, n2, o1, o2 Link) {
+	for k := range n.links {
+		if n.links[k] == n1 {
+			n.links[k] = o1
+			break
+		}
+	}
+	for k := range n.links {
+		if n.links[k] == n2 {
+			n.links[k] = o2
+			break
+		}
+	}
+	n.rebuild()
+}
+
+// rebuild refreshes the adjacency lists and canonical link order after an
+// in-place link mutation.
+func (n *Network) rebuild() {
+	sort.Slice(n.links, func(i, j int) bool {
+		if n.links[i].A != n.links[j].A {
+			return n.links[i].A < n.links[j].A
+		}
+		return n.links[i].B < n.links[j].B
+	})
+	adj := make([][]int, n.switches)
+	for _, l := range n.links {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	for _, ns := range adj {
+		sortInts(ns)
+	}
+	n.adj = adj
+}
+
+func sortInts(a []int) {
+	// Insertion sort: adjacency lists here have at most a handful of
+	// entries, and this avoids importing sort in the hot path.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomIrregularPaperConstraints(t *testing.T) {
+	// The paper's sizes: 16 to 24 switches, degree 3, 8-port switches with
+	// 4 workstations each.
+	for _, n := range []int{16, 18, 20, 22, 24} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		net, err := RandomIrregular(n, DefaultSwitchDegree, rng, Config{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if net.Switches() != n {
+			t.Fatalf("n=%d: Switches() = %d", n, net.Switches())
+		}
+		if !net.Connected() {
+			t.Fatalf("n=%d: not connected", n)
+		}
+		for s := 0; s < n; s++ {
+			if net.Degree(s) != 3 {
+				t.Fatalf("n=%d: switch %d has degree %d, want 3 (paper: 3 of 4 free ports used)", n, s, net.Degree(s))
+			}
+		}
+		if net.Hosts() != 4*n {
+			t.Fatalf("n=%d: Hosts() = %d, want %d", n, net.Hosts(), 4*n)
+		}
+	}
+}
+
+func TestRandomIrregularDeterministic(t *testing.T) {
+	a, err := RandomIrregular(16, 3, rand.New(rand.NewSource(42)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomIrregular(16, 3, rand.New(rand.NewSource(42)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatal("same seed produced different link counts")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("same seed produced different topologies")
+		}
+	}
+}
+
+func TestRandomIrregularDifferentSeedsDiffer(t *testing.T) {
+	a, _ := RandomIrregular(16, 3, rand.New(rand.NewSource(1)), Config{})
+	b, _ := RandomIrregular(16, 3, rand.New(rand.NewSource(2)), Config{})
+	la, lb := a.Links(), b.Links()
+	same := len(la) == len(lb)
+	if same {
+		for i := range la {
+			if la[i] != lb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical topologies (suspicious)")
+	}
+}
+
+func TestRandomIrregularErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomIrregular(16, 1, rng, Config{}); err == nil {
+		t.Fatal("degree 1 must be rejected")
+	}
+	if _, err := RandomIrregular(4, 5, rng, Config{Ports: 16}); err == nil {
+		t.Fatal("degree >= switches must be rejected")
+	}
+	if _, err := RandomIrregular(15, 3, rng, Config{}); err == nil {
+		t.Fatal("odd switches x odd degree must be rejected")
+	}
+	if _, err := RandomIrregular(16, 5, rng, Config{}); err == nil {
+		t.Fatal("degree exceeding free ports must be rejected")
+	}
+}
+
+func TestRandomIrregularEvenDegree(t *testing.T) {
+	// Degree 4 uses all four free ports; also covers odd switch count.
+	net, err := RandomIrregular(15, 4, rand.New(rand.NewSource(3)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < net.Switches(); s++ {
+		if net.Degree(s) != 4 {
+			t.Fatalf("switch %d degree = %d, want 4", s, net.Degree(s))
+		}
+	}
+	if !net.Connected() {
+		t.Fatal("not connected")
+	}
+}
+
+// Property: for many seeds the generator keeps every invariant the paper
+// imposes (regular degree, simple graph, connected).
+func TestQuickRandomIrregularInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := []int{8, 12, 16, 20, 24}
+		n := sizes[rng.Intn(len(sizes))]
+		net, err := RandomIrregular(n, 3, rng, Config{})
+		if err != nil {
+			return false
+		}
+		if !net.Connected() {
+			return false
+		}
+		seen := map[Link]bool{}
+		for _, l := range net.Links() {
+			if l.A >= l.B || seen[l] {
+				return false
+			}
+			seen[l] = true
+		}
+		for s := 0; s < n; s++ {
+			if net.Degree(s) != 3 {
+				return false
+			}
+		}
+		return len(net.Links()) == 3*n/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustNew(t *testing.T, name string, n int, links []Link, cfg Config) *Network {
+	t.Helper()
+	net, err := New(name, n, links, cfg)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return net
+}
+
+func triangle(t *testing.T) *Network {
+	return mustNew(t, "tri", 3, []Link{{0, 1}, {1, 2}, {0, 2}}, Config{})
+}
+
+func TestNewDefaults(t *testing.T) {
+	n := triangle(t)
+	if n.Ports() != DefaultPorts || n.HostsPerSwitch() != DefaultHostsPerSwitch {
+		t.Fatalf("defaults not applied: ports=%d hosts=%d", n.Ports(), n.HostsPerSwitch())
+	}
+	if n.Hosts() != 12 {
+		t.Fatalf("Hosts() = %d, want 12", n.Hosts())
+	}
+	if n.Name() != "tri" {
+		t.Fatalf("Name() = %q", n.Name())
+	}
+}
+
+func TestNewRejectsSelfLink(t *testing.T) {
+	if _, err := New("bad", 2, []Link{{0, 0}}, Config{}); err == nil {
+		t.Fatal("expected error for self link")
+	}
+}
+
+func TestNewRejectsDuplicateLink(t *testing.T) {
+	if _, err := New("bad", 2, []Link{{0, 1}, {1, 0}}, Config{}); err == nil {
+		t.Fatal("expected error for duplicate link (paper: single link between neighbors)")
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	if _, err := New("bad", 2, []Link{{0, 5}}, Config{}); err == nil {
+		t.Fatal("expected error for out-of-range switch id")
+	}
+}
+
+func TestNewRejectsZeroSwitches(t *testing.T) {
+	if _, err := New("bad", 0, nil, Config{}); err == nil {
+		t.Fatal("expected error for zero switches")
+	}
+}
+
+func TestNewRejectsPortOverflow(t *testing.T) {
+	// 8-port switch with 4 hosts leaves 4 ports; degree 5 must fail.
+	links := []Link{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}
+	if _, err := New("bad", 6, links, Config{}); err == nil {
+		t.Fatal("expected error for degree exceeding free ports")
+	}
+	// With more ports it becomes legal.
+	if _, err := New("ok", 6, links, Config{Ports: 16}); err != nil {
+		t.Fatalf("16-port switch should allow degree 5: %v", err)
+	}
+}
+
+func TestLinksCanonicalAndSorted(t *testing.T) {
+	n := mustNew(t, "x", 4, []Link{{3, 2}, {1, 0}, {2, 0}}, Config{})
+	ls := n.Links()
+	want := []Link{{0, 1}, {0, 2}, {2, 3}}
+	if len(ls) != len(want) {
+		t.Fatalf("links = %v, want %v", ls, want)
+	}
+	for i := range want {
+		if ls[i] != want[i] {
+			t.Fatalf("links = %v, want %v", ls, want)
+		}
+	}
+}
+
+func TestLinksReturnsCopy(t *testing.T) {
+	n := triangle(t)
+	ls := n.Links()
+	ls[0] = Link{9, 9}
+	if n.Links()[0] == (Link{9, 9}) {
+		t.Fatal("Links() exposed internal storage")
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	n := mustNew(t, "path", 3, []Link{{0, 1}, {1, 2}}, Config{})
+	if d := n.Degree(1); d != 2 {
+		t.Fatalf("Degree(1) = %d, want 2", d)
+	}
+	nb := n.Neighbors(1)
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v, want [0 2]", nb)
+	}
+}
+
+func TestHasLink(t *testing.T) {
+	n := triangle(t)
+	if !n.HasLink(0, 2) || !n.HasLink(2, 0) {
+		t.Fatal("HasLink should be symmetric and true for existing links")
+	}
+	if n.HasLink(0, 0) {
+		t.Fatal("HasLink(i,i) must be false")
+	}
+	p := mustNew(t, "path", 3, []Link{{0, 1}, {1, 2}}, Config{})
+	if p.HasLink(0, 2) {
+		t.Fatal("HasLink true for absent link")
+	}
+}
+
+func TestHostSwitchMapping(t *testing.T) {
+	n := triangle(t) // 4 hosts per switch
+	cases := []struct{ host, sw int }{{0, 0}, {3, 0}, {4, 1}, {11, 2}}
+	for _, c := range cases {
+		if got := n.HostSwitch(c.host); got != c.sw {
+			t.Fatalf("HostSwitch(%d) = %d, want %d", c.host, got, c.sw)
+		}
+	}
+	hosts := n.SwitchHosts(1)
+	if len(hosts) != 4 || hosts[0] != 4 || hosts[3] != 7 {
+		t.Fatalf("SwitchHosts(1) = %v, want [4 5 6 7]", hosts)
+	}
+}
+
+func TestHostSwitchPanicsOutOfRange(t *testing.T) {
+	n := triangle(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range host")
+		}
+	}()
+	n.HostSwitch(12)
+}
+
+func TestBFSDistances(t *testing.T) {
+	n := mustNew(t, "path", 4, []Link{{0, 1}, {1, 2}, {2, 3}}, Config{})
+	d := n.BFSDistances(0)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("BFSDistances(0) = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestConnectedAndDiameter(t *testing.T) {
+	n := mustNew(t, "path", 4, []Link{{0, 1}, {1, 2}, {2, 3}}, Config{})
+	if !n.Connected() {
+		t.Fatal("path should be connected")
+	}
+	if n.Diameter() != 3 {
+		t.Fatalf("Diameter = %d, want 3", n.Diameter())
+	}
+	disc := mustNew(t, "disc", 4, []Link{{0, 1}, {2, 3}}, Config{})
+	if disc.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if disc.Diameter() != -1 {
+		t.Fatalf("Diameter of disconnected = %d, want -1", disc.Diameter())
+	}
+}
+
+func TestAverageDegreeAndHistogram(t *testing.T) {
+	n := triangle(t)
+	if n.AverageDegree() != 2 {
+		t.Fatalf("AverageDegree = %v, want 2", n.AverageDegree())
+	}
+	h := n.DegreeHistogram()
+	if h[2] != 3 || len(h) != 1 {
+		t.Fatalf("DegreeHistogram = %v, want map[2:3]", h)
+	}
+}
+
+func TestCutLinks(t *testing.T) {
+	n := mustNew(t, "path", 4, []Link{{0, 1}, {1, 2}, {2, 3}}, Config{})
+	if got := n.CutLinks([]int{0, 0, 1, 1}); got != 1 {
+		t.Fatalf("CutLinks = %d, want 1", got)
+	}
+	if got := n.CutLinks([]int{0, 1, 0, 1}); got != 3 {
+		t.Fatalf("CutLinks = %d, want 3", got)
+	}
+	if got := n.CutLinks([]int{7, 7, 7, 7}); got != 0 {
+		t.Fatalf("CutLinks = %d, want 0", got)
+	}
+}
+
+func TestEstimateBisectionWidthRing(t *testing.T) {
+	// A ring's bisection width is exactly 2 and the estimator's greedy
+	// descent finds it reliably.
+	net, err := Ring(10, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := net.EstimateBisectionWidth(rng, 5); got != 2 {
+		t.Fatalf("ring bisection estimate = %d, want 2", got)
+	}
+}
+
+func TestEstimateBisectionWidthBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net, err := RandomIrregular(16, 3, rng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := net.EstimateBisectionWidth(rng, 3)
+	if got < 1 || got > net.NumLinks() {
+		t.Fatalf("bisection estimate %d out of (0,%d]", got, net.NumLinks())
+	}
+	// Tiny networks.
+	single := mustNew(t, "one", 1, nil, Config{})
+	if single.EstimateBisectionWidth(rng, 1) != 0 {
+		t.Fatal("single switch bisection must be 0")
+	}
+}
+
+func TestCutLinksPanicsOnBadLabeling(t *testing.T) {
+	n := triangle(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short labeling")
+		}
+	}()
+	n.CutLinks([]int{0, 1})
+}
+
+func TestNormalizeLink(t *testing.T) {
+	if NormalizeLink(5, 2) != (Link{2, 5}) {
+		t.Fatal("NormalizeLink did not order endpoints")
+	}
+	if NormalizeLink(2, 5) != (Link{2, 5}) {
+		t.Fatal("NormalizeLink changed ordered endpoints")
+	}
+}

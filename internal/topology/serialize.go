@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// networkJSON is the wire form of a Network.
+type networkJSON struct {
+	Name           string `json:"name"`
+	Switches       int    `json:"switches"`
+	Ports          int    `json:"ports"`
+	HostsPerSwitch int    `json:"hosts_per_switch"`
+	Links          []Link `json:"links"`
+}
+
+// MarshalJSON encodes the network, including its per-switch configuration.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	return json.Marshal(networkJSON{
+		Name:           n.name,
+		Switches:       n.switches,
+		Ports:          n.ports,
+		HostsPerSwitch: n.hostsPerSwitch,
+		Links:          n.links,
+	})
+}
+
+// UnmarshalNetworkJSON decodes a network previously produced by
+// MarshalJSON, re-running all structural validation.
+func UnmarshalNetworkJSON(data []byte) (*Network, error) {
+	var w networkJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("topology: decoding network: %w", err)
+	}
+	return New(w.Name, w.Switches, w.Links, Config{Ports: w.Ports, HostsPerSwitch: w.HostsPerSwitch})
+}
+
+// WriteText writes a human-readable/editable description:
+//
+//	# comment
+//	network <name> switches=<n> ports=<p> hosts=<h>
+//	link <a> <b>
+func (n *Network) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "network %s switches=%d ports=%d hosts=%d\n", n.name, n.switches, n.ports, n.hostsPerSwitch)
+	for _, l := range n.links {
+		fmt.Fprintf(bw, "link %d %d\n", l.A, l.B)
+	}
+	return bw.Flush()
+}
+
+// ParseText parses the format emitted by WriteText. Blank lines and lines
+// starting with '#' are ignored.
+func ParseText(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	var (
+		name     string
+		switches int
+		cfg      Config
+		links    []Link
+		header   bool
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "network":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("topology: line %d: network header needs a name", lineNo)
+			}
+			name = fields[1]
+			for _, f := range fields[2:] {
+				key, val, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fmt.Errorf("topology: line %d: bad attribute %q", lineNo, f)
+				}
+				var n int
+				if _, err := fmt.Sscanf(val, "%d", &n); err != nil {
+					return nil, fmt.Errorf("topology: line %d: bad value for %s: %q", lineNo, key, val)
+				}
+				switch key {
+				case "switches":
+					switches = n
+				case "ports":
+					cfg.Ports = n
+				case "hosts":
+					cfg.HostsPerSwitch = n
+				default:
+					return nil, fmt.Errorf("topology: line %d: unknown attribute %q", lineNo, key)
+				}
+			}
+			header = true
+		case "link":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topology: line %d: link needs exactly two endpoints", lineNo)
+			}
+			var a, b int
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &a, &b); err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad link endpoints: %v", lineNo, err)
+			}
+			links = append(links, Link{A: a, B: b})
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !header {
+		return nil, fmt.Errorf("topology: missing network header line")
+	}
+	return New(name, switches, links, cfg)
+}

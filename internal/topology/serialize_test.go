@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := RandomIrregular(16, 3, rand.New(rand.NewSource(9)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalNetworkJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != orig.Name() || back.Switches() != orig.Switches() ||
+		back.Ports() != orig.Ports() || back.HostsPerSwitch() != orig.HostsPerSwitch() {
+		t.Fatal("metadata did not round-trip")
+	}
+	la, lb := orig.Links(), back.Links()
+	if len(la) != len(lb) {
+		t.Fatal("link count did not round-trip")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("links did not round-trip")
+		}
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := UnmarshalNetworkJSON([]byte(`{"switches":2,"links":[{"A":0,"B":0}]}`)); err == nil {
+		t.Fatal("expected validation error for self link in JSON")
+	}
+	if _, err := UnmarshalNetworkJSON([]byte(`not json`)); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := mustNew(t, "demo", 4, []Link{{0, 1}, {1, 2}, {2, 3}, {0, 3}}, Config{Ports: 8, HostsPerSwitch: 4})
+	var buf bytes.Buffer
+	if err := orig.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "demo" || back.Switches() != 4 || back.NumLinks() != 4 {
+		t.Fatalf("text round-trip lost data: %s/%d/%d", back.Name(), back.Switches(), back.NumLinks())
+	}
+}
+
+func TestParseTextComments(t *testing.T) {
+	in := `# a comment
+
+network c3 switches=3 ports=8 hosts=4
+link 0 1
+# middle comment
+link 1 2
+`
+	net, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumLinks() != 2 {
+		t.Fatalf("links = %d, want 2", net.NumLinks())
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []string{
+		"link 0 1\n",                             // missing header
+		"network\n",                              // header without name
+		"network x switches=two\n",               // bad value
+		"network x switches=2\nlink 0\n",         // bad link arity
+		"network x switches=2\nlink a b\n",       // bad endpoints
+		"network x switches=2\nfrobnicate 1 2\n", // unknown directive
+		"network x switches=2 color=3\n",         // unknown attribute
+		"network x switches=2 ports\n",           // attribute without '='
+		"network x switches=2\nlink 0 5\n",       // out of range (validation)
+	}
+	for i, in := range cases {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, in)
+		}
+	}
+}

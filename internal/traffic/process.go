@@ -1,0 +1,110 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ProcessIntra is the process-level analogue of IntraCluster for
+// placements where hosts run several processes (possibly from different
+// applications): a host's message is attributed to one of its resident
+// processes (uniformly), and sent to the host of a uniformly chosen peer
+// process of that cluster. Peers co-located on the sending host
+// communicate through shared memory and generate no network traffic, so
+// the draw retries; a host whose entire communication is local falls back
+// to a uniform remote destination (it still produces the offered load the
+// simulator is driven with, which keeps sweep comparisons fair).
+type ProcessIntra struct {
+	hostProcs    [][]int // host -> resident processes
+	clusterProcs [][]int // cluster -> processes
+	hostOf       []int   // process -> host
+	clusterOf    []int   // process -> cluster
+	hosts        int
+}
+
+// NewProcessIntra builds the pattern from a placement: hostOf maps each
+// process to its host, clusterOf to its logical cluster.
+func NewProcessIntra(hosts int, hostOf, clusterOf []int) (*ProcessIntra, error) {
+	if hosts < 2 {
+		return nil, fmt.Errorf("traffic: process pattern needs >= 2 hosts, got %d", hosts)
+	}
+	if len(hostOf) != len(clusterOf) || len(hostOf) == 0 {
+		return nil, fmt.Errorf("traffic: hostOf (%d) and clusterOf (%d) must be equal and non-empty",
+			len(hostOf), len(clusterOf))
+	}
+	p := &ProcessIntra{
+		hostProcs: make([][]int, hosts),
+		hostOf:    append([]int(nil), hostOf...),
+		clusterOf: append([]int(nil), clusterOf...),
+		hosts:     hosts,
+	}
+	maxC := -1
+	for proc, h := range hostOf {
+		if h < 0 || h >= hosts {
+			return nil, fmt.Errorf("traffic: process %d on host %d, want [0,%d)", proc, h, hosts)
+		}
+		p.hostProcs[h] = append(p.hostProcs[h], proc)
+		if c := clusterOf[proc]; c > maxC {
+			maxC = c
+		} else if c < 0 {
+			return nil, fmt.Errorf("traffic: process %d has negative cluster", proc)
+		}
+	}
+	p.clusterProcs = make([][]int, maxC+1)
+	for proc, c := range clusterOf {
+		p.clusterProcs[c] = append(p.clusterProcs[c], proc)
+	}
+	for c, procs := range p.clusterProcs {
+		if len(procs) < 2 {
+			return nil, fmt.Errorf("traffic: cluster %d has %d processes; intra-cluster traffic needs >= 2", c, len(procs))
+		}
+	}
+	return p, nil
+}
+
+// Destination implements Pattern.
+func (p *ProcessIntra) Destination(src int, rng *rand.Rand) int {
+	residents := p.hostProcs[src]
+	const tries = 16
+	if len(residents) > 0 {
+		for t := 0; t < tries; t++ {
+			proc := residents[rng.Intn(len(residents))]
+			peers := p.clusterProcs[p.clusterOf[proc]]
+			peer := peers[rng.Intn(len(peers))]
+			if d := p.hostOf[peer]; d != src {
+				return d
+			}
+		}
+	}
+	// Idle host or fully local communication: uniform remote fallback.
+	for {
+		d := rng.Intn(p.hosts)
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Name implements Pattern.
+func (p *ProcessIntra) Name() string { return "process-intra-cluster" }
+
+// RemoteFraction returns, for analysis, the fraction of process pairs of
+// each cluster that are on different hosts under the placement — the share
+// of communication that actually hits the network.
+func (p *ProcessIntra) RemoteFraction() float64 {
+	pairs, remote := 0, 0
+	for _, procs := range p.clusterProcs {
+		for i := 0; i < len(procs); i++ {
+			for j := i + 1; j < len(procs); j++ {
+				pairs++
+				if p.hostOf[procs[i]] != p.hostOf[procs[j]] {
+					remote++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(remote) / float64(pairs)
+}

@@ -1,0 +1,129 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fixture: 4 hosts, 8 processes in 2 clusters, 2 per host.
+// Cluster 0 = procs 0..3 on hosts 0,0,1,1; cluster 1 = procs 4..7 on 2,2,3,3.
+func processFixture(t *testing.T) *ProcessIntra {
+	t.Helper()
+	hostOf := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	clusterOf := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	p, err := NewProcessIntra(4, hostOf, clusterOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProcessIntraValidation(t *testing.T) {
+	if _, err := NewProcessIntra(1, []int{0}, []int{0}); err == nil {
+		t.Fatal("single host accepted")
+	}
+	if _, err := NewProcessIntra(4, []int{0, 1}, []int{0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewProcessIntra(4, nil, nil); err == nil {
+		t.Fatal("empty placement accepted")
+	}
+	if _, err := NewProcessIntra(4, []int{0, 9}, []int{0, 0}); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+	if _, err := NewProcessIntra(4, []int{0, 1}, []int{0, -1}); err == nil {
+		t.Fatal("negative cluster accepted")
+	}
+	if _, err := NewProcessIntra(4, []int{0, 1, 2}, []int{0, 0, 1}); err == nil {
+		t.Fatal("singleton cluster accepted")
+	}
+}
+
+func TestProcessIntraStaysInClusterHosts(t *testing.T) {
+	p := processFixture(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		// Host 0 runs cluster-0 processes; remote peers live on host 1 only.
+		if d := p.Destination(0, rng); d != 1 {
+			t.Fatalf("Destination(0) = %d, want 1", d)
+		}
+		if d := p.Destination(2, rng); d != 3 {
+			t.Fatalf("Destination(2) = %d, want 3", d)
+		}
+	}
+}
+
+func TestProcessIntraNeverSelf(t *testing.T) {
+	p := processFixture(t)
+	rng := rand.New(rand.NewSource(2))
+	for src := 0; src < 4; src++ {
+		for i := 0; i < 500; i++ {
+			if p.Destination(src, rng) == src {
+				t.Fatalf("host %d sent to itself", src)
+			}
+		}
+	}
+}
+
+func TestProcessIntraFullyLocalFallsBack(t *testing.T) {
+	// Cluster 0 entirely on host 0 (2 slots): its communication is local,
+	// so host 0 falls back to uniform remote traffic.
+	hostOf := []int{0, 0, 1, 2}
+	clusterOf := []int{0, 0, 1, 1}
+	p, err := NewProcessIntra(3, hostOf, clusterOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		d := p.Destination(0, rng)
+		if d == 0 {
+			t.Fatal("fully local host sent to itself")
+		}
+		seen[d] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("fallback did not cover remote hosts: %v", seen)
+	}
+}
+
+func TestProcessIntraIdleHostFallsBack(t *testing.T) {
+	// Host 3 runs no process at all; it must still produce valid remote
+	// destinations (the simulator drives every host at the offered rate).
+	hostOf := []int{0, 1, 2, 0}
+	clusterOf := []int{0, 0, 1, 1}
+	p, err := NewProcessIntra(4, hostOf, clusterOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		if d := p.Destination(3, rng); d == 3 {
+			t.Fatal("idle host sent to itself")
+		}
+	}
+}
+
+func TestRemoteFraction(t *testing.T) {
+	p := processFixture(t)
+	// Each cluster: 6 pairs, 2 local (co-hosted), 4 remote => 8/12.
+	want := 8.0 / 12.0
+	if got := p.RemoteFraction(); got != want {
+		t.Fatalf("RemoteFraction = %v, want %v", got, want)
+	}
+	// All co-located on one host per cluster: fraction 0.
+	q, err := NewProcessIntra(4, []int{0, 0, 1, 1}, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.RemoteFraction() != 0 {
+		t.Fatalf("co-located RemoteFraction = %v, want 0", q.RemoteFraction())
+	}
+}
+
+func TestProcessIntraName(t *testing.T) {
+	if processFixture(t).Name() == "" {
+		t.Fatal("empty name")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"commsched/internal/core"
+	"commsched/internal/simnet"
+	"commsched/internal/topology"
+)
+
+// TestEndToEndPipeline drives the complete system through the public API
+// at small scale: generate → characterize → schedule → evaluate →
+// simulate → compare, asserting every paper-level property along the way.
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Topology under the paper's constraints.
+	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(321)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Hosts() != 64 {
+		t.Fatalf("hosts = %d, want 64", net.Hosts())
+	}
+
+	// 2. Characterization: routing + distance table.
+	sys, err := core.NewSystem(net, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := sys.DistanceTable()
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if i == j && tab.At(i, j) != 0 {
+				t.Fatal("nonzero diagonal")
+			}
+			if i != j && tab.At(i, j) <= 0 {
+				t.Fatal("non-positive distance")
+			}
+		}
+	}
+
+	// 3. Communication-aware schedule.
+	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Quality: scheduled beats random on Cc.
+	rnd, err := sys.RandomMapping(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Quality.Cc <= sys.Evaluate(rnd).Cc {
+		t.Fatalf("scheduled Cc %.3f not above random %.3f", sched.Quality.Cc, sys.Evaluate(rnd).Cc)
+	}
+
+	// 5. Simulation: scheduled delivers more at identical load.
+	cfg := simnet.Config{InjectionRate: 0.3, WarmupCycles: 500, MeasureCycles: 2500, Seed: 5}
+	opM, err := sys.Simulate(sched.Partition, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdM, err := sys.Simulate(rnd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opM.AcceptedTraffic <= rdM.AcceptedTraffic {
+		t.Fatalf("scheduled accepted %.4f <= random %.4f", opM.AcceptedTraffic, rdM.AcceptedTraffic)
+	}
+	// And with lower latency.
+	if opM.AvgLatency >= rdM.AvgLatency {
+		t.Fatalf("scheduled latency %.1f >= random %.1f", opM.AvgLatency, rdM.AvgLatency)
+	}
+}
