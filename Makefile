@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figs figs-quick cover clean
+.PHONY: all build test race bench figs figs-quick cover vet clean
 
 all: build test
 
@@ -11,6 +11,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
 
 race:
 	$(GO) test -race ./...

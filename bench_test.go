@@ -271,17 +271,21 @@ func BenchmarkAblationHopVsResistance(b *testing.B) {
 	}
 	var ccRes, ccHop float64
 	for i := 0; i < b.N; i++ {
-		sr, err := resSys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 42})
+		sr, err := resSys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: 42})
 		if err != nil {
 			b.Fatal(err)
 		}
-		sh, err := hopSys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 42})
+		sh, err := hopSys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: 42})
 		if err != nil {
 			b.Fatal(err)
 		}
 		ccRes = sr.Quality.Cc
 		// Score the hop-driven mapping with the resistance-based Cc.
-		ccHop = resSys.Evaluate(sh.Partition).Cc
+		hq, err := resSys.Evaluate(sh.Partition)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ccHop = hq.Cc
 	}
 	b.ReportMetric(ccRes, "Cc-resistance-driven")
 	b.ReportMetric(ccHop, "Cc-hop-driven")
@@ -338,7 +342,7 @@ func BenchmarkAblationVirtualChannels(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 42})
+	sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: 42})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -397,7 +401,7 @@ func BenchmarkTabuSearch16(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := search.NewTabu().Search(sys.Evaluator(), spec, rand.New(rand.NewSource(42))); err != nil {
+		if _, err := search.NewTabu().Search(nil, sys.Evaluator(), spec, rand.New(rand.NewSource(42))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -445,7 +449,7 @@ func BenchmarkExtensionUnequalClusters(b *testing.B) {
 	sizes := []int{2, 4, 4, 6}
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		sched, err := sys.Schedule(core.ScheduleOptions{Sizes: sizes, Seed: 42})
+		sched, err := sys.Schedule(nil, core.ScheduleOptions{Sizes: sizes, Seed: 42})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -453,7 +457,11 @@ func BenchmarkExtensionUnequalClusters(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		gain = sched.Quality.Cc / sys.Evaluate(rnd).Cc
+		rq, err := sys.Evaluate(rnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = sched.Quality.Cc / rq.Cc
 	}
 	b.ReportMetric(gain, "Cc-gain-vs-random")
 }
@@ -470,7 +478,7 @@ func BenchmarkExtensionMixedTraffic(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 42})
+	sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: 42})
 	if err != nil {
 		b.Fatal(err)
 	}

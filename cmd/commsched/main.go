@@ -103,12 +103,12 @@ func run(topo string, switches, degree, rings, ringSize, bridges, rows, cols, di
 		}
 		clusters = len(ws)
 		label = "weighted-tabu"
-		sched, err = sys.ScheduleWeighted(sizes, ws, seed)
+		sched, err = sys.ScheduleWeighted(nil, sizes, ws, seed)
 		if err != nil {
 			return err
 		}
 	} else {
-		sched, err = sys.Schedule(core.ScheduleOptions{Clusters: clusters, Searcher: searcher, Seed: seed})
+		sched, err = sys.Schedule(nil, core.ScheduleOptions{Clusters: clusters, Searcher: searcher, Seed: seed})
 		if err != nil {
 			return err
 		}
@@ -122,7 +122,10 @@ func run(topo string, switches, degree, rings, ringSize, bridges, rows, cols, di
 		if err != nil {
 			return err
 		}
-		q := sys.Evaluate(p)
+		q, err := sys.Evaluate(p)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("random R%d: Cc = %.4f   %s\n", i+1, q.Cc, p)
 	}
 	return nil

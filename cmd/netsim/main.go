@@ -72,7 +72,7 @@ func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapK
 	label := "OP"
 	switch mapKind {
 	case "scheduled":
-		sched, err := sys.Schedule(core.ScheduleOptions{Clusters: clusters, Seed: 42})
+		sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: clusters, Seed: 42})
 		if err != nil {
 			return err
 		}
@@ -86,7 +86,10 @@ func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapK
 	default:
 		return fmt.Errorf("unknown mapping kind %q", mapKind)
 	}
-	q := sys.Evaluate(p)
+	q, err := sys.Evaluate(p)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("network %s, mapping %s: %s\nCc = %.4f (F_G %.4f, D_G %.4f)\n\n",
 		net.Name(), label, p, q.Cc, q.FG, q.DG)
 
@@ -94,7 +97,7 @@ func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapK
 		VirtualChannels: vcs, MessageFlits: msgFlits,
 		WarmupCycles: warmup, MeasureCycles: cycles, Seed: simSeed,
 	}
-	sweep, err := sys.SimulateSweep(p, cfg, simnet.LinearRates(points, maxRate))
+	sweep, err := sys.SimulateSweep(nil, p, cfg, simnet.LinearRates(points, maxRate))
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 //	paperfigs -fig 6        Cc vs performance correlation (Figure 6)
 //	paperfigs -fig claims   headline claims (gains, optimality, heuristics)
 //	paperfigs -fig ablations design-choice ablations + future-work extensions
+//	paperfigs -fig resilience link-failure injection and degraded-mode rescheduling
 //	paperfigs -fig all      everything above
 //
 // Use -quick for a reduced simulation scale.
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1..6, claims, ablations, model, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1..6, claims, ablations, model, resilience, or all")
 	quick := flag.Bool("quick", false, "reduced simulation scale (for smoke runs)")
 	csvDir := flag.String("csv", "", "also write fig1/fig3/fig5/fig6 data as CSV files into this directory")
 	flag.Parse()
@@ -117,6 +118,8 @@ func run(fig string, sc experiments.Scale) error {
 		return ablations(sc)
 	case "model":
 		return model(sc)
+	case "resilience":
+		return resilience(sc)
 	case "all":
 		if err := fig1(); err != nil {
 			return err
@@ -143,7 +146,10 @@ func run(fig string, sc experiments.Scale) error {
 		if err := ablations(sc); err != nil {
 			return err
 		}
-		return model(sc)
+		if err := model(sc); err != nil {
+			return err
+		}
+		return resilience(sc)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -198,6 +204,16 @@ func ablations(sc experiments.Scale) error {
 }
 
 func header(title string) { fmt.Printf("\n==== %s ====\n\n", title) }
+
+func resilience(sc experiments.Scale) error {
+	header("Resilience: link failures, degraded-mode rescheduling, repair vs from-scratch")
+	r, err := experiments.Resilience(nil, []int{1, 2, 3}, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table())
+	return nil
+}
 
 func fig1() error {
 	header("Figure 1: Tabu search trace, 16-switch network")

@@ -83,6 +83,18 @@ func TestRunFig3And6(t *testing.T) {
 	}
 }
 
+func TestRunResilience(t *testing.T) {
+	out, err := capture(t, func() error { return run("resilience", tinyScale()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Cc_repair", "acc_resched", "irregular-16", "rings-24"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("resilience output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunUnknownFigure(t *testing.T) {
 	if _, err := capture(t, func() error { return run("42", tinyScale()) }); err == nil {
 		t.Fatal("unknown figure accepted")

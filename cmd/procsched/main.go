@@ -97,7 +97,7 @@ func run(switches, degree int, topoSeed int64, clusters string, slots int, seed 
 		if err != nil {
 			return 0, err
 		}
-		points, err := simnet.Sweep(net, rt, pat, cfg, rates)
+		points, err := simnet.Sweep(nil, net, rt, pat, cfg, rates)
 		if err != nil {
 			return 0, err
 		}

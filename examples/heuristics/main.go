@@ -36,7 +36,7 @@ func main() {
 	}
 
 	fmt.Println("exhaustive enumeration of all 16!/(4!^4 4!) = 2,627,625 partitions…")
-	opt, err := search.NewExhaustive().Search(sys.Evaluator(), spec, nil)
+	opt, err := search.NewExhaustive().Search(nil, sys.Evaluator(), spec, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func main() {
 	}
 	fmt.Printf("%-28s %-12s %-14s %s\n", "heuristic", "best F_G", "evaluations", "optimal?")
 	for _, s := range searchers {
-		res, err := s.Search(sys.Evaluator(), spec, rand.New(rand.NewSource(42)))
+		res, err := s.Search(nil, sys.Evaluator(), spec, rand.New(rand.NewSource(42)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -74,7 +74,7 @@ func main() {
 	cfg := simnet.Config{WarmupCycles: 1000, MeasureCycles: 5000, Seed: 3}
 	rates := simnet.LinearRates(5, 0.4)
 	sweep := func(pat traffic.Pattern) float64 {
-		points, err := simnet.Sweep(net, rt, pat, cfg, rates)
+		points, err := simnet.Sweep(nil, net, rt, pat, cfg, rates)
 		if err != nil {
 			log.Fatal(err)
 		}

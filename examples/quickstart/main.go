@@ -37,7 +37,7 @@ func main() {
 	fmt.Printf("up*/down* root: switch %d\n", sys.Routing().Root())
 
 	// 3. Schedule 4 parallel applications communication-aware.
-	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 42})
+	sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,8 +50,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	rq, err := sys.Evaluate(random)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("random mapping:    %s\nclustering coefficient Cc = %.3f\n",
-		random, sys.Evaluate(random).Cc)
+		random, rq.Cc)
 
 	// 5. Does Cc predict real performance? Simulate both at the same load.
 	cfg := simnet.Config{InjectionRate: 0.25, WarmupCycles: 1000, MeasureCycles: 5000, Seed: 3}

@@ -40,7 +40,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 42})
+	sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,11 +60,11 @@ func main() {
 	}
 	cfg := simnet.Config{WarmupCycles: 1500, MeasureCycles: 6000, Seed: 5}
 	rates := simnet.LinearRates(6, 0.45)
-	op, err := sys.SimulateSweep(sched.Partition, cfg, rates)
+	op, err := sys.SimulateSweep(nil, sched.Partition, cfg, rates)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rd, err := sys.SimulateSweep(random, cfg, rates)
+	rd, err := sys.SimulateSweep(nil, random, cfg, rates)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func main() {
 		net.Switches(), net.Hosts(), net.Hosts()/4)
 
 	// Communication-aware placement.
-	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 11})
+	sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,17 +55,21 @@ func main() {
 		log.Fatal(err)
 	}
 
+	nq, err := sys.Evaluate(naive)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("communication-aware: %s  (Cc %.2f)\n", sched.Partition, sched.Quality.Cc)
-	fmt.Printf("round-robin:         %s  (Cc %.2f)\n\n", naive, sys.Evaluate(naive).Cc)
+	fmt.Printf("round-robin:         %s  (Cc %.2f)\n\n", naive, nq.Cc)
 
 	// Load sweep: streaming load rises as more clients tune in.
 	cfg := simnet.Config{WarmupCycles: 1500, MeasureCycles: 6000, Seed: 5}
 	rates := simnet.LinearRates(6, 0.42)
-	aware, err := sys.SimulateSweep(sched.Partition, cfg, rates)
+	aware, err := sys.SimulateSweep(nil, sched.Partition, cfg, rates)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rr, err := sys.SimulateSweep(naive, cfg, rates)
+	rr, err := sys.SimulateSweep(nil, naive, cfg, rates)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -47,10 +48,11 @@ type Options struct {
 
 // System is a characterized network: topology + routing + distance table.
 type System struct {
-	net  *topology.Network
-	rt   *routing.UpDown
-	tab  *distance.Table
-	eval *quality.Evaluator
+	net    *topology.Network
+	rt     *routing.UpDown
+	tab    *distance.Table
+	eval   *quality.Evaluator
+	metric Metric
 }
 
 // NewSystem characterizes a network: builds up*/down* routing and computes
@@ -79,7 +81,7 @@ func NewSystem(net *topology.Network, opts Options) (*System, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown metric %d", opts.Metric)
 	}
-	return &System{net: net, rt: rt, tab: tab, eval: quality.NewEvaluator(tab)}, nil
+	return &System{net: net, rt: rt, tab: tab, eval: quality.NewEvaluator(tab), metric: opts.Metric}, nil
 }
 
 // Network returns the system's topology.
@@ -104,13 +106,22 @@ type Quality struct {
 	Cc float64
 }
 
-// Evaluate computes F_G, D_G, and Cc for a partition.
-func (s *System) Evaluate(p *mapping.Partition) Quality {
+// Evaluate computes F_G, D_G, and Cc for a partition. A partition that
+// does not cover the system's switches is rejected with an error (the
+// underlying evaluator treats a mismatch as a programming error and
+// panics; the façade keeps that panic unreachable).
+func (s *System) Evaluate(p *mapping.Partition) (Quality, error) {
+	if p == nil {
+		return Quality{}, fmt.Errorf("core: Evaluate needs a partition")
+	}
+	if p.N() != s.net.Switches() {
+		return Quality{}, fmt.Errorf("core: partition covers %d switches, system has %d", p.N(), s.net.Switches())
+	}
 	return Quality{
 		FG: s.eval.Similarity(p),
 		DG: s.eval.Dissimilarity(p),
 		Cc: s.eval.ClusteringCoefficient(p),
-	}
+	}, nil
 }
 
 // ScheduleOptions configures a scheduling run.
@@ -140,11 +151,16 @@ type Schedule struct {
 }
 
 // Schedule runs the scheduling technique: it searches for the partition
-// minimizing F_G (maximizing Cc) over the system's distance table.
-func (s *System) Schedule(opts ScheduleOptions) (*Schedule, error) {
+// minimizing F_G (maximizing Cc) over the system's distance table. A nil
+// ctx means context.Background; cancelling it stops the search promptly
+// with an error wrapping ctx.Err().
+func (s *System) Schedule(ctx context.Context, opts ScheduleOptions) (*Schedule, error) {
 	var spec search.Spec
 	var err error
 	if opts.Sizes != nil {
+		if err := s.validateSizes(opts.Sizes); err != nil {
+			return nil, err
+		}
 		spec = search.Spec{Sizes: opts.Sizes}
 	} else {
 		if opts.Clusters <= 0 {
@@ -161,15 +177,39 @@ func (s *System) Schedule(opts ScheduleOptions) (*Schedule, error) {
 		tb.RecordTrace = opts.RecordTrace
 		searcher = tb
 	}
-	res, err := searcher.Search(s.eval, spec, rand.New(rand.NewSource(opts.Seed)))
+	res, err := searcher.Search(ctx, s.eval, spec, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	q, err := s.Evaluate(res.Best)
 	if err != nil {
 		return nil, err
 	}
 	return &Schedule{
 		Partition: res.Best,
-		Quality:   s.Evaluate(res.Best),
+		Quality:   q,
 		Search:    res,
 	}, nil
+}
+
+// validateSizes checks an explicit cluster-size vector against the
+// system before it can reach the evaluator (whose mismatch handling is a
+// panic, not an error).
+func (s *System) validateSizes(sizes []int) error {
+	if len(sizes) == 0 {
+		return fmt.Errorf("core: empty cluster-size list")
+	}
+	total := 0
+	for c, sz := range sizes {
+		if sz <= 0 {
+			return fmt.Errorf("core: cluster %d has non-positive size %d", c, sz)
+		}
+		total += sz
+	}
+	if total != s.net.Switches() {
+		return fmt.Errorf("core: cluster sizes sum to %d, system has %d switches", total, s.net.Switches())
+	}
+	return nil
 }
 
 // ScheduleWeighted runs the scheduling technique with per-cluster traffic
@@ -177,21 +217,29 @@ func (s *System) Schedule(opts ScheduleOptions) (*Schedule, error) {
 // unequal communication requirements. Sizes[i] is cluster i's switch
 // count, Weights[i] its relative traffic intensity; heavier clusters get
 // the better-connected switch sets.
-func (s *System) ScheduleWeighted(sizes []int, weights []float64, seed int64) (*Schedule, error) {
+// A nil ctx means context.Background.
+func (s *System) ScheduleWeighted(ctx context.Context, sizes []int, weights []float64, seed int64) (*Schedule, error) {
 	if len(sizes) != len(weights) {
 		return nil, fmt.Errorf("core: %d sizes vs %d weights", len(sizes), len(weights))
+	}
+	if err := s.validateSizes(sizes); err != nil {
+		return nil, err
 	}
 	we, err := quality.NewWeightedEvaluator(s.tab, weights)
 	if err != nil {
 		return nil, err
 	}
-	res, err := search.NewTabu().SearchObjective(we, search.Spec{Sizes: sizes}, rand.New(rand.NewSource(seed)))
+	res, err := search.NewTabu().SearchObjective(ctx, we, search.Spec{Sizes: sizes}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	q, err := s.Evaluate(res.Best)
 	if err != nil {
 		return nil, err
 	}
 	return &Schedule{
 		Partition: res.Best,
-		Quality:   s.Evaluate(res.Best),
+		Quality:   q,
 		Search:    res,
 	}, nil
 }
@@ -205,6 +253,9 @@ func (s *System) RandomMapping(clusters int, seed int64) (*mapping.Partition, er
 // IntraClusterPattern builds the paper's traffic pattern (every message to
 // a peer of the sender's own logical cluster) for a partition.
 func (s *System) IntraClusterPattern(p *mapping.Partition) (traffic.Pattern, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: IntraClusterPattern needs a partition")
+	}
 	pm, err := mapping.NewProcessMap(s.net, p)
 	if err != nil {
 		return nil, err
@@ -217,6 +268,9 @@ func (s *System) IntraClusterPattern(p *mapping.Partition) (traffic.Pattern, err
 // cfg.HostCluster is unset, it is filled from the partition so the
 // returned metrics include the per-application breakdown.
 func (s *System) Simulate(p *mapping.Partition, cfg simnet.Config) (simnet.Metrics, error) {
+	if p == nil {
+		return simnet.Metrics{}, fmt.Errorf("core: Simulate needs a partition")
+	}
 	pm, err := mapping.NewProcessMap(s.net, p)
 	if err != nil {
 		return simnet.Metrics{}, err
@@ -240,13 +294,14 @@ func (s *System) Simulate(p *mapping.Partition, cfg simnet.Config) (simnet.Metri
 }
 
 // SimulateSweep runs the simulator across a load ladder (the paper's
-// S1…S9) for one mapping.
-func (s *System) SimulateSweep(p *mapping.Partition, cfg simnet.Config, rates []float64) ([]simnet.SweepPoint, error) {
+// S1…S9) for one mapping. A nil ctx means context.Background;
+// cancellation stops all in-flight runs promptly.
+func (s *System) SimulateSweep(ctx context.Context, p *mapping.Partition, cfg simnet.Config, rates []float64) ([]simnet.SweepPoint, error) {
 	pattern, err := s.IntraClusterPattern(p)
 	if err != nil {
 		return nil, err
 	}
-	return simnet.Sweep(s.net, s.rt, pattern, cfg, rates)
+	return simnet.Sweep(ctx, s.net, s.rt, pattern, cfg, rates)
 }
 
 // SimulatePattern runs the simulator with an arbitrary traffic pattern —

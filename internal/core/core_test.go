@@ -11,6 +11,16 @@ import (
 	"commsched/internal/traffic"
 )
 
+// mustCc evaluates a partition and fails the test on error.
+func mustCc(t *testing.T, sys *System, p *mapping.Partition) float64 {
+	t.Helper()
+	q, err := sys.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Cc
+}
+
 func net16(t *testing.T) *topology.Network {
 	t.Helper()
 	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(1)), topology.Config{})
@@ -93,7 +103,7 @@ func TestScheduleDefaultTabu(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := sys.Schedule(ScheduleOptions{Clusters: 4, Seed: 7})
+	sched, err := sys.Schedule(nil, ScheduleOptions{Clusters: 4, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,8 +119,8 @@ func TestScheduleDefaultTabu(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if q := sys.Evaluate(r); q.Cc >= sched.Quality.Cc {
-			t.Fatalf("random mapping (seed %d) Cc %v >= scheduled %v", seed, q.Cc, sched.Quality.Cc)
+		if cc := mustCc(t, sys, r); cc >= sched.Quality.Cc {
+			t.Fatalf("random mapping (seed %d) Cc %v >= scheduled %v", seed, cc, sched.Quality.Cc)
 		}
 	}
 }
@@ -120,10 +130,10 @@ func TestScheduleOptionsValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Schedule(ScheduleOptions{}); err == nil {
+	if _, err := sys.Schedule(nil, ScheduleOptions{}); err == nil {
 		t.Fatal("missing Clusters/Sizes accepted")
 	}
-	if _, err := sys.Schedule(ScheduleOptions{Clusters: 5}); err == nil {
+	if _, err := sys.Schedule(nil, ScheduleOptions{Clusters: 5}); err == nil {
 		t.Fatal("indivisible cluster count accepted")
 	}
 }
@@ -133,7 +143,7 @@ func TestScheduleExplicitSizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := sys.Schedule(ScheduleOptions{Sizes: []int{2, 6, 8}, Seed: 3})
+	sched, err := sys.Schedule(nil, ScheduleOptions{Sizes: []int{2, 6, 8}, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +157,7 @@ func TestScheduleCustomSearcher(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := sys.Schedule(ScheduleOptions{Clusters: 4, Searcher: search.NewGreedy(), Seed: 1})
+	sched, err := sys.Schedule(nil, ScheduleOptions{Clusters: 4, Searcher: search.NewGreedy(), Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +171,7 @@ func TestScheduleTraceRecording(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := sys.Schedule(ScheduleOptions{Clusters: 4, Seed: 1, RecordTrace: true})
+	sched, err := sys.Schedule(nil, ScheduleOptions{Clusters: 4, Seed: 1, RecordTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +186,7 @@ func TestScheduleWeighted(t *testing.T) {
 		t.Fatal(err)
 	}
 	sizes := []int{4, 4, 4, 4}
-	sched, err := sys.ScheduleWeighted(sizes, []float64{50, 1, 1, 1}, 3)
+	sched, err := sys.ScheduleWeighted(nil, sizes, []float64{50, 1, 1, 1}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,10 +206,10 @@ func TestScheduleWeighted(t *testing.T) {
 	if heavy > worst {
 		t.Fatalf("heavy cluster cost %v above loosest cluster %v", heavy, worst)
 	}
-	if _, err := sys.ScheduleWeighted(sizes, []float64{1, 2}, 3); err == nil {
+	if _, err := sys.ScheduleWeighted(nil, sizes, []float64{1, 2}, 3); err == nil {
 		t.Fatal("mismatched sizes/weights accepted")
 	}
-	if _, err := sys.ScheduleWeighted(sizes, []float64{1, 1, 1, -1}, 3); err == nil {
+	if _, err := sys.ScheduleWeighted(nil, sizes, []float64{1, 1, 1, -1}, 3); err == nil {
 		t.Fatal("negative weight accepted")
 	}
 }
@@ -209,7 +219,7 @@ func TestSimulateEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := sys.Schedule(ScheduleOptions{Clusters: 4, Seed: 2})
+	sched, err := sys.Schedule(nil, ScheduleOptions{Clusters: 4, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +247,7 @@ func TestSimulateSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	points, err := sys.SimulateSweep(p, simnet.Config{WarmupCycles: 200, MeasureCycles: 800, Seed: 4},
+	points, err := sys.SimulateSweep(nil, p, simnet.Config{WarmupCycles: 200, MeasureCycles: 800, Seed: 4},
 		simnet.LinearRates(3, 0.3))
 	if err != nil {
 		t.Fatal(err)
@@ -282,7 +292,7 @@ func TestIntraClusterPatternSizeMismatch(t *testing.T) {
 	if _, err := sys.Simulate(p, simnet.Config{InjectionRate: 0.1}); err == nil {
 		t.Fatal("Simulate accepted mismatched partition")
 	}
-	if _, err := sys.SimulateSweep(p, simnet.Config{}, []float64{0.1}); err == nil {
+	if _, err := sys.SimulateSweep(nil, p, simnet.Config{}, []float64{0.1}); err == nil {
 		t.Fatal("SimulateSweep accepted mismatched partition")
 	}
 }

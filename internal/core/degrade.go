@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"commsched/internal/distance"
+	"commsched/internal/fault"
+	"commsched/internal/mapping"
+	"commsched/internal/quality"
+	"commsched/internal/routing"
+	"commsched/internal/search"
+	"commsched/internal/simnet"
+	"commsched/internal/topology"
+)
+
+// DegradedSystem is a System re-characterized after a failure plan: the
+// degraded topology with its re-derived up*/down* routing and distance
+// table, plus the bookkeeping needed to carry an existing schedule over.
+type DegradedSystem struct {
+	*System
+	// Faults records what the plan removed and how switch IDs were
+	// compacted (Identity when no switch died).
+	Faults *fault.Degraded
+	// RootChanged reports that the spanning-tree root had to be
+	// re-elected because the original root switch died.
+	RootChanged bool
+	// RecomputedPairs counts the distance-table entries that were
+	// re-solved rather than carried over (n·(n−1)/2 on a full rebuild).
+	RecomputedPairs int
+}
+
+// Degrade applies a failure plan to the system and re-characterizes the
+// surviving network: routing is re-derived (keeping the old root when it
+// survived, re-electing otherwise), verified deadlock-free, and the
+// distance table is rebuilt — incrementally, re-solving only the pairs
+// whose legal routes changed, when no switch died and the resistance
+// metric is in use. A plan that partitions the network is rejected with
+// a descriptive error; no call path panics.
+func (s *System) Degrade(plan fault.Plan) (*DegradedSystem, error) {
+	d, err := fault.Apply(s.net, plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: degrade: %w", err)
+	}
+	oldRoot := s.rt.Root()
+	newRoot := d.OldToNew[oldRoot]
+	rt, err := routing.NewUpDown(d.Net, newRoot) // -1 re-elects when the root died
+	if err != nil {
+		return nil, fmt.Errorf("core: degrade: %w", err)
+	}
+	if err := rt.VerifyDeadlockFree(); err != nil {
+		return nil, fmt.Errorf("core: degrade: %w", err)
+	}
+	var (
+		tab        *distance.Table
+		recomputed int
+	)
+	switch s.metric {
+	case MetricResistance:
+		if d.Identity() {
+			tab, recomputed, err = distance.ComputeDelta(d.Net, rt, s.rt, s.tab)
+		} else {
+			tab, err = distance.Compute(d.Net, rt)
+			n := d.Net.Switches()
+			recomputed = n * (n - 1) / 2
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: degrade: %w", err)
+		}
+	case MetricHops:
+		tab = distance.HopTable(d.Net, rt)
+	default:
+		return nil, fmt.Errorf("core: unknown metric %d", s.metric)
+	}
+	return &DegradedSystem{
+		System: &System{
+			net:    d.Net,
+			rt:     rt,
+			tab:    tab,
+			eval:   quality.NewEvaluator(tab),
+			metric: s.metric,
+		},
+		Faults:          d,
+		RootChanged:     newRoot < 0,
+		RecomputedPairs: recomputed,
+	}, nil
+}
+
+// ProjectPartition carries a pre-failure schedule onto the degraded
+// network: dead switches are dropped and the survivors keep their
+// cluster, relabeled through the ID compaction. A cluster that lost all
+// of its switches makes the old schedule unusable and is an error.
+func (ds *DegradedSystem) ProjectPartition(p *mapping.Partition) (*mapping.Partition, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: ProjectPartition needs a partition")
+	}
+	if p.N() != len(ds.Faults.OldToNew) {
+		return nil, fmt.Errorf("core: partition covers %d switches, pre-failure network had %d",
+			p.N(), len(ds.Faults.OldToNew))
+	}
+	m := p.M()
+	assign := make([]int, ds.net.Switches())
+	alive := make([]int, m)
+	for old, next := range ds.Faults.OldToNew {
+		if next < 0 {
+			continue
+		}
+		c := p.Cluster(old)
+		assign[next] = c
+		alive[c]++
+	}
+	for c, n := range alive {
+		if n == 0 {
+			return nil, fmt.Errorf("core: cluster %d lost all of its switches to the failure plan", c)
+		}
+	}
+	proj, err := mapping.New(assign, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: projecting partition: %w", err)
+	}
+	return proj, nil
+}
+
+// RepairResult is the outcome of warm-start rescheduling on a degraded
+// system.
+type RepairResult struct {
+	// Schedule is the repaired mapping with its quality on the degraded
+	// network.
+	Schedule *Schedule
+	// From is the projected pre-failure mapping the search started from.
+	From *mapping.Partition
+	// FromQuality is From's quality on the degraded network — the
+	// "unrepaired" operating point.
+	FromQuality Quality
+	// Moved counts the switches whose cluster changed between From and
+	// the repaired mapping: the migration cost of adopting the repair.
+	Moved int
+}
+
+// Repair reschedules an existing mapping on the degraded network by
+// warm-starting the paper's Tabu search from the projected pre-failure
+// partition. Because steepest-descent only leaves the start through
+// improving (or tabu-escape) moves, the result tends to move far fewer
+// switches than a from-scratch reschedule while recovering most of its
+// clustering coefficient. A nil ctx means context.Background.
+func (ds *DegradedSystem) Repair(ctx context.Context, old *mapping.Partition, seed int64) (*RepairResult, error) {
+	proj, err := ds.ProjectPartition(old)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, proj.M())
+	for c := range sizes {
+		sizes[c] = proj.Size(c)
+	}
+	fromQ, err := ds.Evaluate(proj)
+	if err != nil {
+		return nil, err
+	}
+	res, err := search.NewTabu().SearchFrom(ctx, ds.eval, search.Spec{Sizes: sizes},
+		rand.New(rand.NewSource(seed)), proj)
+	if err != nil {
+		return nil, fmt.Errorf("core: repair: %w", err)
+	}
+	q, err := ds.Evaluate(res.Best)
+	if err != nil {
+		return nil, err
+	}
+	moved, err := mapping.Moves(proj, res.Best)
+	if err != nil {
+		return nil, err
+	}
+	return &RepairResult{
+		Schedule:    &Schedule{Partition: res.Best, Quality: q, Search: res},
+		From:        proj,
+		FromQuality: fromQ,
+		Moved:       moved,
+	}, nil
+}
+
+// LinkEventsFromPlan converts a failure plan into the simulator's
+// mid-run link-event timeline, for simulating the window between a
+// failure and the reconfiguration that reacts to it. Link failures map
+// one-to-one; a switch failure becomes the simultaneous death of every
+// link incident to the switch. Events whose links do not exist on the
+// system's network are skipped (the simulator would reject them).
+func (s *System) LinkEventsFromPlan(plan fault.Plan) []simnet.LinkEvent {
+	var out []simnet.LinkEvent
+	seen := make(map[topology.Link]bool)
+	add := func(a, b int, at, repairAt int64) {
+		l := topology.NormalizeLink(a, b)
+		if !s.net.HasLink(l.A, l.B) || seen[l] {
+			return
+		}
+		seen[l] = true
+		out = append(out, simnet.LinkEvent{A: l.A, B: l.B, At: at, RepairAt: repairAt})
+	}
+	for _, ev := range plan.Events {
+		switch ev.Kind {
+		case fault.LinkDown:
+			add(ev.Link.A, ev.Link.B, ev.At, 0)
+		case fault.FlakyLink:
+			add(ev.Link.A, ev.Link.B, ev.At, ev.RepairAt)
+		case fault.SwitchDown:
+			if ev.Switch < 0 || ev.Switch >= s.net.Switches() {
+				continue
+			}
+			for _, nb := range s.net.Neighbors(ev.Switch) {
+				add(ev.Switch, nb, ev.At, 0)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"commsched/internal/fault"
+	"commsched/internal/mapping"
+	"commsched/internal/simnet"
+	"commsched/internal/topology"
+)
+
+// sys16 characterizes the 16-switch seeded network used across the
+// degraded-mode tests.
+func sys16(t *testing.T) *System {
+	t.Helper()
+	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(2000)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// linkPlan draws a connectivity-preserving plan with k link failures.
+func linkPlan(t *testing.T, sys *System, k int, seed int64) fault.Plan {
+	t.Helper()
+	plan, err := fault.RandomPlan(sys.Network(), fault.PlanSpec{LinkFailures: k}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestDegradeLinkFailures(t *testing.T) {
+	sys := sys16(t)
+	plan := linkPlan(t, sys, 2, 1)
+	ds, err := sys.Degrade(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Faults.Identity() {
+		t.Fatal("pure link failures must not renumber switches")
+	}
+	if ds.RootChanged {
+		t.Fatal("root did not die, must not report a re-election")
+	}
+	if ds.Network().Switches() != 16 {
+		t.Fatalf("degraded network has %d switches, want 16", ds.Network().Switches())
+	}
+	if got, want := len(ds.Network().Links()), len(sys.Network().Links())-2; got != want {
+		t.Fatalf("degraded network has %d links, want %d", got, want)
+	}
+	full := 16 * 15 / 2
+	if ds.RecomputedPairs <= 0 || ds.RecomputedPairs > full {
+		t.Fatalf("RecomputedPairs = %d, want in (0,%d]", ds.RecomputedPairs, full)
+	}
+	// The incremental rebuild must agree with characterizing from scratch.
+	fresh, err := NewSystem(ds.Network(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			a, b := ds.DistanceTable().At(i, j), fresh.DistanceTable().At(i, j)
+			if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("delta table (%d,%d) = %v, fresh = %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestDegradeSwitchFailureCompactsAndReroutes(t *testing.T) {
+	sys := sys16(t)
+	plan, err := fault.RandomPlan(sys.Network(), fault.PlanSpec{SwitchFailures: 1}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sys.Degrade(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Faults.Identity() {
+		t.Fatal("switch death must renumber")
+	}
+	if ds.Network().Switches() != 15 {
+		t.Fatalf("degraded network has %d switches, want 15", ds.Network().Switches())
+	}
+	if ds.DistanceTable().N() != 15 {
+		t.Fatalf("distance table covers %d, want 15", ds.DistanceTable().N())
+	}
+}
+
+func TestDegradeRootDeath(t *testing.T) {
+	sys := sys16(t)
+	root := sys.Routing().Root()
+	plan := fault.Plan{Name: "kill-root", Events: []fault.Event{{Kind: fault.SwitchDown, Switch: root}}}
+	ds, err := sys.Degrade(plan)
+	if err != nil {
+		// Killing the root may partition this topology; then the error
+		// must say so and the test has nothing more to check.
+		t.Skipf("killing root partitions the seeded net: %v", err)
+	}
+	if !ds.RootChanged {
+		t.Fatal("root died but RootChanged is false")
+	}
+	if r := ds.Routing().Root(); r < 0 || r >= ds.Network().Switches() {
+		t.Fatalf("no valid root re-elected: %d", r)
+	}
+}
+
+func TestDegradePartitioningPlanRejected(t *testing.T) {
+	// A path graph: removing any link partitions it.
+	var links []topology.Link
+	for s := 0; s < 5; s++ {
+		links = append(links, topology.Link{A: s, B: s + 1})
+	}
+	net, err := topology.New("path-6", 6, links, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.Plan{Events: []fault.Event{{Kind: fault.LinkDown, Link: topology.Link{A: 2, B: 3}}}}
+	if _, err := sys.Degrade(plan); err == nil {
+		t.Fatal("partitioning plan accepted")
+	}
+}
+
+func TestProjectPartitionDropsDeadSwitches(t *testing.T) {
+	sys := sys16(t)
+	sched, err := sys.Schedule(nil, ScheduleOptions{Clusters: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.RandomPlan(sys.Network(), fault.PlanSpec{SwitchFailures: 1}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sys.Degrade(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := ds.ProjectPartition(sched.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.N() != 15 || proj.M() != 4 {
+		t.Fatalf("projected shape %dx%d, want 15x4", proj.N(), proj.M())
+	}
+	// Surviving switches keep their cluster through the renumbering.
+	dead := plan.Events[0].Switch
+	for old := 0; old < 16; old++ {
+		next := ds.Faults.OldToNew[old]
+		if old == dead {
+			if next != -1 {
+				t.Fatalf("dead switch %d mapped to %d", old, next)
+			}
+			continue
+		}
+		if proj.Cluster(next) != sched.Partition.Cluster(old) {
+			t.Fatalf("switch %d changed cluster across projection", old)
+		}
+	}
+}
+
+func TestRepairRecoversQualityCheaply(t *testing.T) {
+	sys := sys16(t)
+	sched, err := sys.Schedule(nil, ScheduleOptions{Clusters: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		plan := linkPlan(t, sys, k, int64(10+k))
+		ds, err := sys.Degrade(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ds.Repair(nil, sched.Partition, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The repair never worsens the projected mapping's quality.
+		if rep.Schedule.Quality.FG > rep.FromQuality.FG+1e-9 {
+			t.Fatalf("k=%d: repair worsened F_G: %.4f > %.4f",
+				k, rep.Schedule.Quality.FG, rep.FromQuality.FG)
+		}
+		// From-scratch reschedule on the degraded system as the yardstick.
+		scratch, err := ds.Schedule(nil, ScheduleOptions{Clusters: 4, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Acceptance: repaired Cc within 10% of the from-scratch optimum.
+		if rep.Schedule.Quality.Cc < 0.9*scratch.Quality.Cc {
+			t.Fatalf("k=%d: repaired Cc %.4f below 90%% of rescheduled %.4f",
+				k, rep.Schedule.Quality.Cc, scratch.Quality.Cc)
+		}
+		if rep.Moved < 0 || rep.Moved > 16 {
+			t.Fatalf("k=%d: Moved = %d out of range", k, rep.Moved)
+		}
+	}
+}
+
+func TestRepairCancellable(t *testing.T) {
+	sys := sys16(t)
+	sched, err := sys.Schedule(nil, ScheduleOptions{Clusters: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sys.Degrade(linkPlan(t, sys, 2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ds.Repair(ctx, sched.Partition, 42); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := ds.Schedule(ctx, ScheduleOptions{Clusters: 4, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Schedule err = %v, want context.Canceled", err)
+	}
+}
+
+func TestLinkEventsFromPlan(t *testing.T) {
+	sys := sys16(t)
+	links := sys.Network().Links()
+	dead := 5
+	plan := fault.Plan{Events: []fault.Event{
+		{Kind: fault.LinkDown, Link: links[0], At: 100},
+		{Kind: fault.FlakyLink, Link: links[1], At: 200, RepairAt: 400},
+		{Kind: fault.SwitchDown, Switch: dead, At: 300},
+	}}
+	evs := sys.LinkEventsFromPlan(plan)
+	want := 2 + sys.Network().Degree(dead)
+	// links[0] or links[1] may touch the dead switch; then dedup shrinks
+	// the list — just bound and spot-check.
+	if len(evs) < sys.Network().Degree(dead) || len(evs) > want {
+		t.Fatalf("got %d events, want within [%d,%d]", len(evs), sys.Network().Degree(dead), want)
+	}
+	foundRepair := false
+	for _, ev := range evs {
+		if ev.RepairAt != 0 {
+			foundRepair = true
+			if ev.At != 200 || ev.RepairAt != 400 {
+				t.Fatalf("flaky event times wrong: %+v", ev)
+			}
+		}
+		if !sys.Network().HasLink(ev.A, ev.B) {
+			t.Fatalf("event on nonexistent link: %+v", ev)
+		}
+	}
+	if !foundRepair {
+		t.Fatal("flaky link did not survive conversion")
+	}
+}
+
+// Façade hardening: malformed inputs must come back as errors, never as
+// panics from the quality/mapping layers.
+func TestFacadeNeverPanics(t *testing.T) {
+	sys := sys16(t)
+	wrong, err := mapping.Balanced(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Evaluate(nil); err == nil {
+		t.Fatal("Evaluate(nil) accepted")
+	}
+	if _, err := sys.Evaluate(wrong); err == nil {
+		t.Fatal("Evaluate on mismatched partition accepted")
+	}
+	if _, err := sys.Simulate(nil, simnet.Config{MeasureCycles: 10}); err == nil {
+		t.Fatal("Simulate(nil) accepted")
+	}
+	if _, err := sys.IntraClusterPattern(nil); err == nil {
+		t.Fatal("IntraClusterPattern(nil) accepted")
+	}
+	if _, err := sys.Schedule(nil, ScheduleOptions{Sizes: []int{4, 4}}); err == nil {
+		t.Fatal("sizes summing to 8 of 16 accepted")
+	}
+	if _, err := sys.Schedule(nil, ScheduleOptions{Sizes: []int{16, 0}}); err == nil {
+		t.Fatal("zero-size cluster accepted")
+	}
+	if _, err := sys.ScheduleWeighted(nil, []int{4, 4}, []float64{1, 1}, 1); err == nil {
+		t.Fatal("weighted sizes summing to 8 of 16 accepted")
+	}
+	if _, err := sys.ScheduleWeighted(nil, []int{8, 8}, []float64{1}, 1); err == nil {
+		t.Fatal("weights/sizes length mismatch accepted")
+	}
+}

@@ -21,7 +21,7 @@ func ExampleSystem_Schedule() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 42})
+	sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,8 +51,15 @@ func ExampleSystem_Evaluate() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("contiguous Cc > alternating Cc: %v\n",
-		sys.Evaluate(good).Cc > sys.Evaluate(bad).Cc)
+	gq, err := sys.Evaluate(good)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bq, err := sys.Evaluate(bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contiguous Cc > alternating Cc: %v\n", gq.Cc > bq.Cc)
 	// Output:
 	// contiguous Cc > alternating Cc: true
 }

@@ -32,7 +32,7 @@ func TestPipelineOnRegularTopologies(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sched, err := sys.Schedule(ScheduleOptions{Clusters: b.clusters, Seed: 5})
+			sched, err := sys.Schedule(nil, ScheduleOptions{Clusters: b.clusters, Seed: 5})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -44,9 +44,9 @@ func TestPipelineOnRegularTopologies(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if sys.Evaluate(rnd).Cc > sched.Quality.Cc {
+			if cc := mustCc(t, sys, rnd); cc > sched.Quality.Cc {
 				t.Fatalf("%s: random Cc %.3f beat scheduled %.3f",
-					b.name, sys.Evaluate(rnd).Cc, sched.Quality.Cc)
+					b.name, cc, sched.Quality.Cc)
 			}
 			// And the simulator runs on it.
 			m, err := sys.Simulate(sched.Partition, simnet.Config{
@@ -88,8 +88,8 @@ func TestMeshQuadrantsBeatStripes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys.Evaluate(qp).Cc <= sys.Evaluate(sp).Cc {
-		t.Fatalf("quadrants Cc %.3f not above stripes %.3f",
-			sys.Evaluate(qp).Cc, sys.Evaluate(sp).Cc)
+	qcc, scc := mustCc(t, sys, qp), mustCc(t, sys, sp)
+	if qcc <= scc {
+		t.Fatalf("quadrants Cc %.3f not above stripes %.3f", qcc, scc)
 	}
 }

@@ -1,0 +1,140 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+)
+
+// panicProvider panics on every call, modeling a routing structure
+// corrupted by a topology change.
+type panicProvider struct{}
+
+func (panicProvider) Distance(s, t int) int { panic("corrupted provider") }
+func (panicProvider) PathLinks(s, t int) []topology.Link {
+	panic("corrupted provider")
+}
+
+func TestComputeRecoversWorkerPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := topology.RandomIrregular(12, 3, rng, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Compute(net, panicProvider{})
+	if err == nil {
+		t.Fatal("worker panic not converted into an error")
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("error does not mention the panic: %v", err)
+	}
+}
+
+func TestComputeDeltaMatchesFullRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2000))
+	net, err := topology.RandomIrregular(16, 3, rng, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Compute(net, ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove one non-bridge link (keep IDs stable) and re-derive routing.
+	var degraded *topology.Network
+	for _, l := range net.Links() {
+		var keep []topology.Link
+		for _, k := range net.Links() {
+			if k != l {
+				keep = append(keep, k)
+			}
+		}
+		cand, err := topology.New("degraded", net.Switches(), keep, topology.Config{
+			Ports: net.Ports(), HostsPerSwitch: net.HostsPerSwitch(),
+		})
+		if err == nil && cand.Connected() {
+			degraded = cand
+			break
+		}
+	}
+	if degraded == nil {
+		t.Fatal("no removable link found")
+	}
+	ud2, err := routing.NewUpDown(degraded, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := Compute(degraded, ud2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, recomputed, err := ComputeDelta(degraded, ud2, ud, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := degraded.Switches()
+	total := n * (n - 1) / 2
+	if recomputed <= 0 || recomputed > total {
+		t.Fatalf("recomputed %d pairs of %d", recomputed, total)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(full.At(i, j)-delta.At(i, j)) > 1e-9 {
+				t.Fatalf("delta table diverges at (%d,%d): %v vs %v", i, j, delta.At(i, j), full.At(i, j))
+			}
+		}
+	}
+	t.Logf("delta rebuild re-solved %d/%d pairs", recomputed, total)
+}
+
+func TestComputeDeltaNilOldFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, err := topology.RandomIrregular(12, 3, rng, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, recomputed, err := ComputeDelta(net, ud, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := net.Switches()
+	if recomputed != n*(n-1)/2 {
+		t.Fatalf("recomputed = %d, want all %d pairs", recomputed, n*(n-1)/2)
+	}
+	if tab.N() != n {
+		t.Fatalf("table size %d", tab.N())
+	}
+}
+
+func TestComputeDeltaSizeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net, err := topology.RandomIrregular(12, 3, rng, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := FromMatrix([][]float64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ComputeDelta(net, ud, ud, small); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

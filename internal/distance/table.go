@@ -39,11 +39,91 @@ type Table struct {
 // the shortest paths supplied by the given routing algorithm. The N(N−1)/2
 // effective-resistance solves are independent, so they are fanned out
 // across GOMAXPROCS workers; the result is deterministic regardless of
-// scheduling because each pair writes its own cells.
+// scheduling because each pair writes its own cells. A panic in a worker
+// (e.g. a path provider misbehaving on a degraded topology) is recovered
+// and surfaced as an error instead of crashing the process.
 func Compute(net *topology.Network, provider routing.PathProvider) (*Table, error) {
 	n := net.Switches()
 	t := newTable(n)
+	err := forEachPair(n, func(i, j int) error {
+		r, err := pairResistance(net, provider.PathLinks(i, j), i, j)
+		if err != nil {
+			return err
+		}
+		t.d[i][j] = r
+		t.d[j][i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
 
+// ComputeDelta rebuilds the table after a topology change, re-solving only
+// the pairs whose shortest-route link sets actually changed between the
+// old and new path providers and copying the rest from the old table. Both
+// providers must be defined over the same switch-ID space (use it only
+// when no switch died, so IDs are stable); the returned count is the
+// number of re-solved pairs.
+func ComputeDelta(net *topology.Network, provider, oldProvider routing.PathProvider, old *Table) (*Table, int, error) {
+	n := net.Switches()
+	if old == nil || oldProvider == nil {
+		t, err := Compute(net, provider)
+		return t, n * (n - 1) / 2, err
+	}
+	if old.N() != n {
+		return nil, 0, fmt.Errorf("distance: old table covers %d switches, network has %d", old.N(), n)
+	}
+	t := newTable(n)
+	var recomputed atomic.Int64
+	err := forEachPair(n, func(i, j int) error {
+		links := provider.PathLinks(i, j)
+		if sameLinkSet(links, oldProvider.PathLinks(i, j)) {
+			t.d[i][j] = old.d[i][j]
+			t.d[j][i] = old.d[j][i]
+			return nil
+		}
+		recomputed.Add(1)
+		r, err := pairResistance(net, links, i, j)
+		if err != nil {
+			return err
+		}
+		t.d[i][j] = r
+		t.d[j][i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, int(recomputed.Load()), nil
+}
+
+// sameLinkSet reports whether two canonical link slices contain the same
+// links, ignoring order.
+func sameLinkSet(a, b []topology.Link) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	seen := make(map[topology.Link]bool, len(a))
+	for _, l := range a {
+		seen[l] = true
+	}
+	for _, l := range b {
+		if !seen[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachPair fans fn out over all i<j pairs across GOMAXPROCS workers,
+// converting worker panics into errors and stopping early on the first
+// failure.
+func forEachPair(n int, fn func(i, j int) error) error {
 	type pair struct{ i, j int }
 	pairs := make([]pair, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
@@ -67,27 +147,30 @@ func Compute(net *topology.Network, provider routing.PathProvider) (*Table, erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					err := fmt.Errorf("distance: worker panic: %v", r)
+					failed.CompareAndSwap(nil, &err)
+				}
+			}()
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= len(pairs) || failed.Load() != nil {
 					return
 				}
 				p := pairs[k]
-				r, err := pairResistance(net, provider, p.i, p.j)
-				if err != nil {
+				if err := fn(p.i, p.j); err != nil {
 					failed.CompareAndSwap(nil, &err)
 					return
 				}
-				t.d[p.i][p.j] = r
-				t.d[p.j][p.i] = r
 			}
 		}()
 	}
 	wg.Wait()
 	if errp := failed.Load(); errp != nil {
-		return nil, *errp
+		return *errp
 	}
-	return t, nil
+	return nil
 }
 
 // cgThreshold selects the solver: networks above this switch count use
@@ -97,8 +180,7 @@ var cgThreshold = 64
 
 // pairResistance computes one cell: the effective resistance between i and
 // j over the links of their shortest supplied routes.
-func pairResistance(net *topology.Network, provider routing.PathProvider, i, j int) (float64, error) {
-	links := provider.PathLinks(i, j)
+func pairResistance(net *topology.Network, links []topology.Link, i, j int) (float64, error) {
 	if len(links) == 0 {
 		return 0, fmt.Errorf("distance: no route between switches %d and %d", i, j)
 	}

@@ -37,27 +37,31 @@ func AblateMetric(sc Scale) (*MetricAblation, error) {
 	if err != nil {
 		return nil, err
 	}
-	schedRes, err := resSys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
+	schedRes, err := resSys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
 	if err != nil {
 		return nil, err
 	}
-	schedHop, err := hopSys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
+	schedHop, err := hopSys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
 	if err != nil {
 		return nil, err
 	}
 	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
 	cfg := simConfig(sc)
-	sweepRes, err := resSys.SimulateSweep(schedRes.Partition, cfg, rates)
+	sweepRes, err := resSys.SimulateSweep(nil, schedRes.Partition, cfg, rates)
 	if err != nil {
 		return nil, err
 	}
-	sweepHop, err := resSys.SimulateSweep(schedHop.Partition, cfg, rates)
+	sweepHop, err := resSys.SimulateSweep(nil, schedHop.Partition, cfg, rates)
+	if err != nil {
+		return nil, err
+	}
+	hopOnRes, err := resSys.Evaluate(schedHop.Partition)
 	if err != nil {
 		return nil, err
 	}
 	return &MetricAblation{
 		CcResistance:         schedRes.Quality.Cc,
-		CcHop:                resSys.Evaluate(schedHop.Partition).Cc,
+		CcHop:                hopOnRes.Cc,
 		ThroughputResistance: simnet.Throughput(sweepRes),
 		ThroughputHop:        simnet.Throughput(sweepHop),
 	}, nil
@@ -97,7 +101,7 @@ func StudyMixedTraffic(fractions []float64, sc Scale) (*MixedTrafficStudy, error
 	if err != nil {
 		return nil, err
 	}
-	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
+	sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +135,7 @@ func StudyMixedTraffic(fractions []float64, sc Scale) (*MixedTrafficStudy, error
 			return nil, err
 		}
 		tp := func(pat traffic.Pattern) (float64, error) {
-			points, err := simnet.Sweep(net, sys.Routing(), pat, cfg, rates)
+			points, err := simnet.Sweep(nil, net, sys.Routing(), pat, cfg, rates)
 			if err != nil {
 				return 0, err
 			}
@@ -186,11 +190,11 @@ func StudyWeighted(heavyWeight float64) (*WeightedExtension, error) {
 		return nil, err
 	}
 	sizes := []int{4, 4, 4, 4}
-	weighted, err := sys.ScheduleWeighted(sizes, []float64{heavyWeight, 1, 1, 1}, ScheduleSeed)
+	weighted, err := sys.ScheduleWeighted(nil, sizes, []float64{heavyWeight, 1, 1, 1}, ScheduleSeed)
 	if err != nil {
 		return nil, err
 	}
-	plain, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
+	plain, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
 	if err != nil {
 		return nil, err
 	}

@@ -41,11 +41,11 @@ func TabuVsExhaustive(switches int, topoSeed int64) (*OptimalityResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex, err := search.NewExhaustive().Search(sys.Evaluator(), spec, nil)
+	ex, err := search.NewExhaustive().Search(nil, sys.Evaluator(), spec, nil)
 	if err != nil {
 		return nil, err
 	}
-	tb, err := search.NewTabu().Search(sys.Evaluator(), spec, rand.New(rand.NewSource(ScheduleSeed)))
+	tb, err := search.NewTabu().Search(nil, sys.Evaluator(), spec, rand.New(rand.NewSource(ScheduleSeed)))
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +111,7 @@ func CompareHeuristics(switches int, topoSeed int64) (*HeuristicComparison, erro
 	res := &HeuristicComparison{Switches: switches}
 	var tabuF float64
 	for _, s := range searchers {
-		r, err := s.Search(sys.Evaluator(), spec, rand.New(rand.NewSource(ScheduleSeed)))
+		r, err := s.Search(nil, sys.Evaluator(), spec, rand.New(rand.NewSource(ScheduleSeed)))
 		if err != nil {
 			return nil, err
 		}

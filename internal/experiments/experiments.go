@@ -93,7 +93,7 @@ type MappingPoint struct {
 // buildMappings produces the OP mapping (scheduling technique) and the
 // random baselines for a system.
 func buildMappings(sys *core.System, clusters, randoms int) (MappingPoint, []MappingPoint, error) {
-	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: clusters, Seed: ScheduleSeed})
+	sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: clusters, Seed: ScheduleSeed})
 	if err != nil {
 		return MappingPoint{}, nil, err
 	}
@@ -104,10 +104,14 @@ func buildMappings(sys *core.System, clusters, randoms int) (MappingPoint, []Map
 		if err != nil {
 			return MappingPoint{}, nil, err
 		}
+		q, err := sys.Evaluate(p)
+		if err != nil {
+			return MappingPoint{}, nil, err
+		}
 		rs = append(rs, MappingPoint{
 			Label:     fmt.Sprintf("R%d", i+1),
 			Partition: p,
-			Cc:        sys.Evaluate(p).Cc,
+			Cc:        q.Cc,
 		})
 	}
 	return op, rs, nil

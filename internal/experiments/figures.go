@@ -37,7 +37,7 @@ func Fig1() (*Fig1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed, RecordTrace: true})
+	sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed, RecordTrace: true})
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,11 @@ func partitionExperiment(net *topology.Network, truth []int, randoms int) (*Part
 		if err != nil {
 			return nil, err
 		}
-		res.GroundTruth = &MappingPoint{Label: "rings", Partition: tp, Cc: sys.Evaluate(tp).Cc}
+		tq, err := sys.Evaluate(tp)
+		if err != nil {
+			return nil, err
+		}
+		res.GroundTruth = &MappingPoint{Label: "rings", Partition: tp, Cc: tq.Cc}
 		res.MatchesGroundTruth = op.Partition.Canonical().Equal(tp.Canonical())
 	}
 	return res, nil
@@ -205,7 +209,7 @@ func simExperiment(net *topology.Network, sc Scale) (*SimResult, error) {
 	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
 	cfg := simConfig(sc)
 	run := func(m MappingPoint) (SimSeries, error) {
-		points, err := sys.SimulateSweep(m.Partition, cfg, rates)
+		points, err := sys.SimulateSweep(nil, m.Partition, cfg, rates)
 		if err != nil {
 			return SimSeries{}, err
 		}

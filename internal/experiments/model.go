@@ -60,7 +60,7 @@ func ValidateModel(switches, count int, sc Scale) (*ModelValidation, error) {
 		if err != nil {
 			return nil, err
 		}
-		points, err := simnet.Sweep(net, ud, pattern, simConfig(sc), rates)
+		points, err := simnet.Sweep(nil, net, ud, pattern, simConfig(sc), rates)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +142,7 @@ func AblateRoot(stride int, sc Scale) (*RootAblation, error) {
 				pairs++
 			}
 		}
-		points, err := simnet.Sweep(net, sys.Routing(), pattern, simConfig(sc), rates)
+		points, err := simnet.Sweep(nil, net, sys.Routing(), pattern, simConfig(sc), rates)
 		if err != nil {
 			return nil, err
 		}

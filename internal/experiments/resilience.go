@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"commsched/internal/core"
+	"commsched/internal/fault"
+	"commsched/internal/mapping"
+	"commsched/internal/simnet"
+	"commsched/internal/stats"
+	"commsched/internal/topology"
+)
+
+// FaultSeedBase numbers the random failure plans (one per failure count).
+const FaultSeedBase = 500
+
+// ResilienceRow is one (network, failure count) operating point of the
+// resilience study: the clustering coefficient and accepted traffic of
+// the three ways to keep running after the failures, plus the delivery
+// loss during the un-reconfigured window.
+type ResilienceRow struct {
+	// Network names the instance.
+	Network string
+	// LinkFailures is the number of permanent link failures injected.
+	LinkFailures int
+	// DeliveredFraction is the fraction of messages that still completed
+	// when the links died mid-run, before any reconfiguration (routing
+	// tables still reference the dead links).
+	DeliveredFraction float64
+	// CcUnrepaired/CcRepaired/CcRescheduled are the clustering
+	// coefficients on the degraded network of: the old mapping carried
+	// over unchanged, the warm-start Tabu repair, and a from-scratch
+	// reschedule.
+	CcUnrepaired, CcRepaired, CcRescheduled float64
+	// MovedRepaired/MovedRescheduled count the switches that change
+	// cluster when adopting each option (repair counts raw label
+	// changes; reschedule is scored up to cluster relabeling).
+	MovedRepaired, MovedRescheduled int
+	// AccUnrepaired/AccRepaired/AccRescheduled are the accepted-traffic
+	// measurements of the three mappings on the degraded network at the
+	// common probe rate.
+	AccUnrepaired, AccRepaired, AccRescheduled float64
+	// ProbeRate is that common injection rate, flits/cycle/host.
+	ProbeRate float64
+}
+
+// ResilienceResult aggregates the resilience study.
+type ResilienceResult struct {
+	Rows []ResilienceRow
+}
+
+// Resilience runs the fault-tolerance study: for each failure count it
+// draws a connectivity-preserving random link-failure plan, measures the
+// delivery loss of a mid-run failure on the healthy configuration, then
+// degrades the system and compares three recoveries — keeping the old
+// mapping, warm-start Tabu repair, and rescheduling from scratch — on
+// quality (Cc) and on simulated accepted traffic at a common probe rate.
+// A nil ctx means context.Background; cancellation aborts between and
+// inside the simulation runs.
+func Resilience(ctx context.Context, failures []int, sc Scale) (*ResilienceResult, error) {
+	if len(failures) == 0 {
+		return nil, fmt.Errorf("experiments: no failure counts")
+	}
+	nets := []struct {
+		name  string
+		build func() (*topology.Network, error)
+	}{
+		{"irregular-16", Network16},
+		{"rings-24", Network24Rings},
+	}
+	res := &ResilienceResult{}
+	for _, n := range nets {
+		net, err := n.build()
+		if err != nil {
+			return nil, err
+		}
+		sys, err := core.NewSystem(net, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sched, err := sys.Schedule(ctx, core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
+		if err != nil {
+			return nil, err
+		}
+		rows, err := resilienceOnNetwork(ctx, n.name, sys, sched, failures, sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: resilience on %s: %w", n.name, err)
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res, nil
+}
+
+func resilienceOnNetwork(ctx context.Context, name string, sys *core.System, sched *core.Schedule, failures []int, sc Scale) ([]ResilienceRow, error) {
+	probe := 0.6 * sc.MaxRate
+	cfg := simConfig(sc)
+	cfg.InjectionRate = probe
+	failAt := int64(sc.WarmupCycles + sc.MeasureCycles/4)
+
+	var rows []ResilienceRow
+	for i, k := range failures {
+		if k <= 0 {
+			return nil, fmt.Errorf("non-positive failure count %d", k)
+		}
+		rng := rand.New(rand.NewSource(FaultSeedBase + int64(i)))
+		plan, err := fault.RandomPlan(sys.Network(), fault.PlanSpec{LinkFailures: k, At: failAt}, rng)
+		if err != nil {
+			return nil, err
+		}
+
+		// 1. The un-reconfigured window: links die mid-run while routing
+		// still references them.
+		midCfg := cfg
+		midCfg.LinkEvents = sys.LinkEventsFromPlan(plan)
+		pattern, err := sys.IntraClusterPattern(sched.Partition)
+		if err != nil {
+			return nil, err
+		}
+		midSim, err := simnet.New(sys.Network(), sys.Routing(), pattern, midCfg)
+		if err != nil {
+			return nil, err
+		}
+		midM, err := midSim.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+
+		// 2. Degrade and recover three ways.
+		ds, err := sys.Degrade(plan)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := ds.Repair(ctx, sched.Partition, ScheduleSeed)
+		if err != nil {
+			return nil, err
+		}
+		scratch, err := ds.Schedule(ctx, core.ScheduleOptions{Clusters: 4, Seed: ScheduleSeed})
+		if err != nil {
+			return nil, err
+		}
+		movedScratch, err := mapping.MinMoves(rep.From, scratch.Partition)
+		if err != nil {
+			return nil, err
+		}
+
+		// 3. Simulate the three mappings on the degraded network.
+		accept := func(p *mapping.Partition) (float64, error) {
+			pts, err := ds.SimulateSweep(ctx, p, simConfig(sc), []float64{probe})
+			if err != nil {
+				return 0, err
+			}
+			return pts[0].Metrics.AcceptedTraffic, nil
+		}
+		accUn, err := accept(rep.From)
+		if err != nil {
+			return nil, err
+		}
+		accRep, err := accept(rep.Schedule.Partition)
+		if err != nil {
+			return nil, err
+		}
+		accScr, err := accept(scratch.Partition)
+		if err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, ResilienceRow{
+			Network:           name,
+			LinkFailures:      k,
+			DeliveredFraction: midM.DeliveredFraction,
+			CcUnrepaired:      rep.FromQuality.Cc,
+			CcRepaired:        rep.Schedule.Quality.Cc,
+			CcRescheduled:     scratch.Quality.Cc,
+			MovedRepaired:     rep.Moved,
+			MovedRescheduled:  movedScratch,
+			AccUnrepaired:     accUn,
+			AccRepaired:       accRep,
+			AccRescheduled:    accScr,
+			ProbeRate:         probe,
+		})
+	}
+	return rows, nil
+}
+
+// Table renders the resilience study.
+func (r *ResilienceResult) Table() string {
+	var b strings.Builder
+	t := stats.NewTable("network", "fails", "delivered", "Cc_old", "Cc_repair", "Cc_resched",
+		"moved_repair", "moved_resched", "acc_old", "acc_repair", "acc_resched")
+	for _, row := range r.Rows {
+		t.AddRow(row.Network,
+			fmt.Sprintf("%d", row.LinkFailures),
+			fmt.Sprintf("%.3f", row.DeliveredFraction),
+			fmt.Sprintf("%.4f", row.CcUnrepaired),
+			fmt.Sprintf("%.4f", row.CcRepaired),
+			fmt.Sprintf("%.4f", row.CcRescheduled),
+			fmt.Sprintf("%d", row.MovedRepaired),
+			fmt.Sprintf("%d", row.MovedRescheduled),
+			fmt.Sprintf("%.4f", row.AccUnrepaired),
+			fmt.Sprintf("%.4f", row.AccRepaired),
+			fmt.Sprintf("%.4f", row.AccRescheduled))
+	}
+	b.WriteString(t.String())
+	b.WriteString(fmt.Sprintf("\nprobe rate %.3f flits/cycle/host; failures strike at warmup+measure/4\n",
+		r.Rows[0].ProbeRate))
+	return b.String()
+}

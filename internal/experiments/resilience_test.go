@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestResilienceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sc := QuickScale()
+	r, err := Resilience(nil, []int{1, 2}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 { // 2 networks × 2 failure counts
+		t.Fatalf("got %d rows, want 4", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.DeliveredFraction <= 0 || row.DeliveredFraction > 1 {
+			t.Fatalf("%s k=%d: DeliveredFraction %v out of (0,1]",
+				row.Network, row.LinkFailures, row.DeliveredFraction)
+		}
+		// Repair never worsens the carried-over mapping and stays within
+		// 10% of the from-scratch reschedule (the acceptance bar).
+		if row.CcRepaired < row.CcUnrepaired-1e-9 {
+			t.Fatalf("%s k=%d: repair worsened Cc: %.4f < %.4f",
+				row.Network, row.LinkFailures, row.CcRepaired, row.CcUnrepaired)
+		}
+		if row.CcRepaired < 0.9*row.CcRescheduled {
+			t.Fatalf("%s k=%d: repaired Cc %.4f below 90%% of rescheduled %.4f",
+				row.Network, row.LinkFailures, row.CcRepaired, row.CcRescheduled)
+		}
+		// Warm-start repair must be the cheaper migration.
+		if row.MovedRescheduled > 0 && row.MovedRepaired >= row.MovedRescheduled {
+			t.Fatalf("%s k=%d: repair moved %d switches, reschedule only %d",
+				row.Network, row.LinkFailures, row.MovedRepaired, row.MovedRescheduled)
+		}
+		if row.AccUnrepaired <= 0 || row.AccRepaired <= 0 || row.AccRescheduled <= 0 {
+			t.Fatalf("%s k=%d: degenerate accepted traffic %+v",
+				row.Network, row.LinkFailures, row)
+		}
+	}
+	table := r.Table()
+	for _, col := range []string{"Cc_repair", "moved_resched", "irregular-16", "rings-24"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("table missing %q:\n%s", col, table)
+		}
+	}
+}
+
+func TestResilienceValidation(t *testing.T) {
+	if _, err := Resilience(nil, nil, QuickScale()); err == nil {
+		t.Fatal("empty failure list accepted")
+	}
+	if _, err := Resilience(nil, []int{0}, QuickScale()); err == nil {
+		t.Fatal("zero failure count accepted")
+	}
+}
+
+func TestResilienceCancellable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Resilience(ctx, []int{1}, QuickScale()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,113 @@
+package mapping
+
+import "fmt"
+
+// Moves counts the switches whose cluster label differs between from and
+// to — the raw migration cost of replacing one mapping with another when
+// cluster labels are meaningful (e.g. cluster c is application c).
+func Moves(from, to *Partition) (int, error) {
+	if from == nil || to == nil {
+		return 0, fmt.Errorf("mapping: Moves needs two partitions")
+	}
+	if from.N() != to.N() {
+		return 0, fmt.Errorf("mapping: Moves over %d vs %d switches", from.N(), to.N())
+	}
+	if from.M() != to.M() {
+		return 0, fmt.Errorf("mapping: Moves over %d vs %d clusters", from.M(), to.M())
+	}
+	moved := 0
+	for s := 0; s < from.N(); s++ {
+		if from.Cluster(s) != to.Cluster(s) {
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// MinMoves counts the switches that must change cluster when cluster
+// labels are interchangeable: the minimum of Moves over all relabelings
+// of to. This is the migration cost of adopting a rescheduled mapping —
+// an application can keep its switch set under any label, so only
+// genuine switch movements count.
+//
+// For M ≤ 8 clusters the optimum is found exactly by enumerating label
+// permutations; beyond that a greedy maximum-overlap matching gives an
+// upper bound on the true cost.
+func MinMoves(from, to *Partition) (int, error) {
+	if from == nil || to == nil {
+		return 0, fmt.Errorf("mapping: MinMoves needs two partitions")
+	}
+	if from.N() != to.N() {
+		return 0, fmt.Errorf("mapping: MinMoves over %d vs %d switches", from.N(), to.N())
+	}
+	if from.M() != to.M() {
+		return 0, fmt.Errorf("mapping: MinMoves over %d vs %d clusters", from.M(), to.M())
+	}
+	m := from.M()
+	// overlap[a][b] = |from cluster a ∩ to cluster b|.
+	overlap := make([][]int, m)
+	for a := range overlap {
+		overlap[a] = make([]int, m)
+	}
+	for s := 0; s < from.N(); s++ {
+		overlap[from.Cluster(s)][to.Cluster(s)]++
+	}
+	var kept int
+	if m <= 8 {
+		kept = maxAssignmentExact(overlap)
+	} else {
+		kept = maxAssignmentGreedy(overlap)
+	}
+	return from.N() - kept, nil
+}
+
+// maxAssignmentExact maximizes Σ overlap[a][perm(a)] over all label
+// permutations by recursive enumeration with a bitmask of used columns.
+func maxAssignmentExact(overlap [][]int) int {
+	m := len(overlap)
+	best := 0
+	var rec func(row, used, sum int)
+	rec = func(row, used, sum int) {
+		if row == m {
+			if sum > best {
+				best = sum
+			}
+			return
+		}
+		for col := 0; col < m; col++ {
+			if used&(1<<col) == 0 {
+				rec(row+1, used|1<<col, sum+overlap[row][col])
+			}
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+// maxAssignmentGreedy repeatedly matches the unused (row, col) pair with
+// the largest overlap — a fast 2-approximation for large cluster counts.
+func maxAssignmentGreedy(overlap [][]int) int {
+	m := len(overlap)
+	usedRow := make([]bool, m)
+	usedCol := make([]bool, m)
+	total := 0
+	for k := 0; k < m; k++ {
+		bestA, bestB, bestV := -1, -1, -1
+		for a := 0; a < m; a++ {
+			if usedRow[a] {
+				continue
+			}
+			for b := 0; b < m; b++ {
+				if usedCol[b] {
+					continue
+				}
+				if overlap[a][b] > bestV {
+					bestA, bestB, bestV = a, b, overlap[a][b]
+				}
+			}
+		}
+		usedRow[bestA], usedCol[bestB] = true, true
+		total += bestV
+	}
+	return total
+}

@@ -1,0 +1,106 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMovesCountsLabelChanges(t *testing.T) {
+	a, err := New([]int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]int{0, 1, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Moves(a, a); err != nil || n != 0 {
+		t.Fatalf("Moves(a,a) = %d, %v", n, err)
+	}
+	if n, err := Moves(a, b); err != nil || n != 2 {
+		t.Fatalf("Moves(a,b) = %d, %v, want 2", n, err)
+	}
+}
+
+func TestMovesValidation(t *testing.T) {
+	a, _ := New([]int{0, 0, 1, 1}, 2)
+	short, _ := New([]int{0, 1}, 2)
+	more, _ := New([]int{0, 1, 2, 3}, 4)
+	if _, err := Moves(nil, a); err == nil {
+		t.Fatal("nil from accepted")
+	}
+	if _, err := Moves(a, short); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Moves(a, more); err == nil {
+		t.Fatal("cluster-count mismatch accepted")
+	}
+}
+
+func TestMinMovesIgnoresRelabeling(t *testing.T) {
+	a, _ := New([]int{0, 0, 1, 1}, 2)
+	// Same partition with labels swapped: zero genuine movement.
+	b, _ := New([]int{1, 1, 0, 0}, 2)
+	if n, err := MinMoves(a, b); err != nil || n != 0 {
+		t.Fatalf("MinMoves over relabeling = %d, %v, want 0", n, err)
+	}
+	if n, err := Moves(a, b); err != nil || n != 4 {
+		t.Fatalf("raw Moves over relabeling = %d, %v, want 4", n, err)
+	}
+}
+
+func TestMinMovesNeverExceedsMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		a, err := Random(16, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Random(16, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := Moves(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, err := MinMoves(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min > raw {
+			t.Fatalf("MinMoves %d > Moves %d", min, raw)
+		}
+		if min < 0 || min > 16 {
+			t.Fatalf("MinMoves %d out of range", min)
+		}
+	}
+}
+
+func TestMinMovesSingleSwap(t *testing.T) {
+	a, _ := New([]int{0, 0, 1, 1, 2, 2}, 3)
+	b := a.Clone()
+	b.Swap(0, 2)
+	n, err := MinMoves(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("one swap = %d moves, want 2", n)
+	}
+}
+
+func TestMinMovesGreedyPath(t *testing.T) {
+	// 9 clusters forces the greedy matching; identity must still be 0.
+	assign := make([]int, 18)
+	for s := range assign {
+		assign[s] = s / 2
+	}
+	a, err := New(assign, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := MinMoves(a, a.Clone()); err != nil || n != 0 {
+		t.Fatalf("greedy MinMoves(identity) = %d, %v", n, err)
+	}
+}

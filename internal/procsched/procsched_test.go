@@ -225,7 +225,7 @@ func TestTabuMatchesSwitchLevelOnAlignedInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := search.NewTabu().Search(ev, spec, rand.New(rand.NewSource(13)))
+	sw, err := search.NewTabu().Search(nil, ev, spec, rand.New(rand.NewSource(13)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -198,6 +198,21 @@ func (ud *UpDown) ChannelDependencyGraph() *DepGraph {
 	return g
 }
 
+// VerifyDeadlockFree checks the Dally & Seitz condition on the up*/down*
+// channel dependency graph and returns an error exhibiting a dependency
+// cycle if one exists. Up*/down* is deadlock-free by construction, so a
+// failure here indicates a corrupted routing structure (e.g. built on a
+// mutated topology); degraded-mode callers use it as a safety net before
+// committing to a re-derived routing.
+func (ud *UpDown) VerifyDeadlockFree() error {
+	g := ud.ChannelDependencyGraph()
+	if cyc := g.Cycle(); cyc != nil {
+		return fmt.Errorf("routing: up*/down* channel dependency cycle on %s (root %d): %v",
+			ud.net.Name(), ud.root, cyc)
+	}
+	return nil
+}
+
 // ChannelDependencyGraph builds the dependency graph of unrestricted
 // minimal-path routing: a message that used channel (u,v) en route to t
 // (that is, v is closer to t than u) may request any channel (v,w) that

@@ -1,0 +1,130 @@
+package routing_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"commsched/internal/fault"
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+)
+
+func TestNewUpDownDisconnectedError(t *testing.T) {
+	// Two triangles with no link between them.
+	links := []topology.Link{
+		{A: 0, B: 1}, {A: 1, B: 2}, {A: 0, B: 2},
+		{A: 3, B: 4}, {A: 4, B: 5}, {A: 3, B: 5},
+	}
+	net, err := topology.New("two-islands", 6, links, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = routing.NewUpDown(net, -1)
+	if err == nil {
+		t.Fatal("up*/down* derived on a partitioned network")
+	}
+	msg := err.Error()
+	for _, want := range []string{"partitioned", "two-islands", "3", "4", "5"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestVerifyDeadlockFreeHealthy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net, err := topology.RandomIrregular(16, 3, rng, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ud.VerifyDeadlockFree(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegradedTopologiesStayDeadlockFree re-derives up*/down* on every
+// degraded-but-connected topology produced by seeded fault plans (link
+// failures, switch failures, and mixes) and checks the channel dependency
+// graph stays acyclic.
+func TestDegradedTopologiesStayDeadlockFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2000))
+	net, err := topology.RandomIrregular(16, 3, rng, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []fault.PlanSpec{
+		{LinkFailures: 1},
+		{LinkFailures: 2},
+		{LinkFailures: 3},
+		{SwitchFailures: 1},
+		{SwitchFailures: 2},
+		{LinkFailures: 2, SwitchFailures: 1},
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		for _, spec := range specs {
+			planRng := rand.New(rand.NewSource(1000 + seed))
+			plan, err := fault.RandomPlan(net, spec, planRng)
+			if err != nil {
+				t.Fatalf("seed %d spec %+v: %v", seed, spec, err)
+			}
+			d, err := fault.Apply(net, plan)
+			if err != nil {
+				t.Fatalf("seed %d plan %s: %v", seed, plan.Name, err)
+			}
+			ud, err := routing.NewUpDown(d.Net, -1)
+			if err != nil {
+				t.Fatalf("seed %d plan %s: re-derivation failed: %v", seed, plan.Name, err)
+			}
+			if err := ud.VerifyDeadlockFree(); err != nil {
+				t.Fatalf("seed %d plan %s: %v", seed, plan.Name, err)
+			}
+			// Every surviving pair must still be routable.
+			n := d.Net.Switches()
+			for s := 0; s < n; s++ {
+				for u := 0; u < n; u++ {
+					if s != u && ud.Distance(s, u) <= 0 {
+						t.Fatalf("seed %d plan %s: no legal route %d→%d", seed, plan.Name, s, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRootReElection covers the degraded-mode corner where the spanning
+// tree root dies: the caller re-elects by passing -1, and the new root
+// must be a live switch of the degraded net.
+func TestRootReElection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, err := topology.RandomIrregular(16, 3, rng, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRoot := ud.Root()
+	plan := fault.Plan{Name: "kill-root", Events: []fault.Event{
+		{Kind: fault.SwitchDown, Switch: oldRoot},
+	}}
+	d, err := fault.Apply(net, plan)
+	if err != nil {
+		t.Skipf("root removal partitions this instance: %v", err)
+	}
+	ud2, err := routing.NewUpDown(d.Net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ud2.Root(); r < 0 || r >= d.Net.Switches() {
+		t.Fatalf("re-elected root %d out of range", r)
+	}
+	if err := ud2.VerifyDeadlockFree(); err != nil {
+		t.Fatal(err)
+	}
+}

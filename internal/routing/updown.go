@@ -73,7 +73,14 @@ func NewUpDown(net *topology.Network, root int) (*UpDown, error) {
 		return nil, fmt.Errorf("routing: root %d out of range [0,%d)", root, n)
 	}
 	if !net.Connected() {
-		return nil, fmt.Errorf("routing: up*/down* requires a connected network")
+		var unreachable []int
+		for s, d := range net.BFSDistances(0) {
+			if d < 0 {
+				unreachable = append(unreachable, s)
+			}
+		}
+		return nil, fmt.Errorf("routing: up*/down* requires a connected network: %s is partitioned, switches %v unreachable from switch 0",
+			net.Name(), unreachable)
 	}
 	if root < 0 {
 		root = electRoot(net)

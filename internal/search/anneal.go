@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -32,7 +34,8 @@ func NewAnneal() *Anneal {
 func (a *Anneal) Name() string { return "simulated-annealing" }
 
 // Search implements Searcher.
-func (a *Anneal) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+func (a *Anneal) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
@@ -53,6 +56,11 @@ func (a *Anneal) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Resul
 		}
 		n := p.N()
 		for step := 0; step < a.Steps; step++ {
+			if step%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("search: annealing cancelled: %w", err)
+				}
+			}
 			u, v := rng.Intn(n), rng.Intn(n)
 			if p.Cluster(u) == p.Cluster(v) {
 				continue

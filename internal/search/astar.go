@@ -2,6 +2,7 @@ package search
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -55,7 +56,8 @@ func (h *nodeHeap) Pop() any {
 
 // Search implements Searcher. rng is unused (A* is deterministic) but
 // accepted for interface uniformity.
-func (a *AStar) Search(e *quality.Evaluator, spec Spec, _ *rand.Rand) (*Result, error) {
+func (a *AStar) Search(ctx context.Context, e *quality.Evaluator, spec Spec, _ *rand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
@@ -120,6 +122,11 @@ func (a *AStar) Search(e *quality.Evaluator, spec Spec, _ *rand.Rand) (*Result, 
 	expanded := 0
 	var incumbent *astarNode
 	for open.Len() > 0 {
+		if expanded%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("search: a-star cancelled: %w", err)
+			}
+		}
 		node := heap.Pop(open).(*astarNode)
 		if incumbent != nil && node.f >= incumbent.g {
 			break // best-first: nothing cheaper remains

@@ -19,11 +19,11 @@ func TestAStarMatchesExhaustive(t *testing.T) {
 		}
 		e := evalFor(t, net)
 		sp := spec(t, 12, 3)
-		ex, err := NewExhaustive().Search(e, sp, nil)
+		ex, err := NewExhaustive().Search(nil, e, sp, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		as, err := NewAStar().Search(e, sp, nil)
+		as, err := NewAStar().Search(nil, e, sp, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,11 +40,11 @@ func TestAStarExpandsFewerNodesThanExhaustive(t *testing.T) {
 	}
 	e := evalFor(t, net)
 	sp := spec(t, 12, 3)
-	ex, err := NewExhaustive().Search(e, sp, nil)
+	ex, err := NewExhaustive().Search(nil, e, sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	as, err := NewAStar().Search(e, sp, nil)
+	as, err := NewAStar().Search(nil, e, sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestAStarExpandsFewerNodesThanExhaustive(t *testing.T) {
 
 func TestAStarUnequalSizes(t *testing.T) {
 	e := quality.NewEvaluator(blockTable(t, 6, 2))
-	res, err := NewAStar().Search(e, Spec{Sizes: []int{2, 4}}, nil)
+	res, err := NewAStar().Search(nil, e, Spec{Sizes: []int{2, 4}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestAStarBudgetFallsBackGreedy(t *testing.T) {
 	e := evalFor(t, net)
 	sp := spec(t, 16, 4)
 	a := &AStar{MaxNodes: 10}
-	res, err := a.Search(e, sp, nil)
+	res, err := a.Search(nil, e, sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestAStarBudgetFallsBackGreedy(t *testing.T) {
 
 func TestAStarRejectsBadSpec(t *testing.T) {
 	e := quality.NewEvaluator(blockTable(t, 6, 2))
-	if _, err := NewAStar().Search(e, Spec{Sizes: []int{3}}, nil); err == nil {
+	if _, err := NewAStar().Search(nil, e, Spec{Sizes: []int{3}}, nil); err == nil {
 		t.Fatal("bad spec accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -36,7 +37,8 @@ var ErrLimitExceeded = fmt.Errorf("search: exhaustive enumeration limit exceeded
 
 // Search implements Searcher. rng is unused (the search is deterministic)
 // but accepted for interface uniformity.
-func (x *Exhaustive) Search(e *quality.Evaluator, spec Spec, _ *rand.Rand) (*Result, error) {
+func (x *Exhaustive) Search(ctx context.Context, e *quality.Evaluator, spec Spec, _ *rand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
@@ -55,6 +57,11 @@ func (x *Exhaustive) Search(e *quality.Evaluator, spec Spec, _ *rand.Rand) (*Res
 		nodes++
 		if x.Limit > 0 && nodes > x.Limit {
 			return ErrLimitExceeded
+		}
+		if nodes%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("search: exhaustive cancelled: %w", err)
+			}
 		}
 		// Prune: a partial assignment whose intra cost already exceeds the
 		// incumbent cannot improve (all increments are non-negative).

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -42,7 +44,8 @@ type chromosome struct {
 }
 
 // Search implements Searcher.
-func (g *Genetic) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+func (g *Genetic) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
@@ -55,6 +58,9 @@ func (g *Genetic) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Resu
 		res.Evaluations++
 	}
 	for gen := 0; gen < g.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("search: genetic cancelled: %w", err)
+		}
 		sort.Slice(pop, func(i, j int) bool { return pop[i].val < pop[j].val })
 		next := make([]chromosome, 0, g.Population)
 		for i := 0; i < g.Elite && i < len(pop); i++ {

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -27,7 +29,8 @@ func NewGreedy() *Greedy { return &Greedy{Restarts: 10, MaxIterations: 1000} }
 func (g *Greedy) Name() string { return "greedy" }
 
 // Search implements Searcher.
-func (g *Greedy) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+func (g *Greedy) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
@@ -39,6 +42,9 @@ func (g *Greedy) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Resul
 		}
 		cur := e.IntraSum(p)
 		for iter := 0; iter < g.MaxIterations; iter++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("search: greedy cancelled: %w", err)
+			}
 			bestU, bestV := -1, -1
 			bestDelta := math.Inf(1)
 			n := p.N()

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -36,7 +38,8 @@ func NewGSA() *GSA {
 func (g *GSA) Name() string { return "genetic-simulated-annealing" }
 
 // Search implements Searcher.
-func (g *GSA) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+func (g *GSA) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
@@ -50,6 +53,9 @@ func (g *GSA) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, 
 	}
 	temp := g.calibrate(pop)
 	for gen := 0; gen < g.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("search: gsa cancelled: %w", err)
+		}
 		for i := range pop {
 			// One annealed transposition per individual.
 			a, b := rng.Intn(n), rng.Intn(n)

@@ -34,11 +34,11 @@ func weightedEval(t *testing.T, weights []float64, topoSeed int64) *quality.Weig
 func TestSearchObjectiveUnitWeightsMatchesPlainSearch(t *testing.T) {
 	we := weightedEval(t, []float64{1, 1, 1, 1}, 21)
 	sp := spec(t, 16, 4)
-	plain, err := NewTabu().Search(we.Base(), sp, rand.New(rand.NewSource(5)))
+	plain, err := NewTabu().Search(nil, we.Base(), sp, rand.New(rand.NewSource(5)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	weighted, err := NewTabu().SearchObjective(we, sp, rand.New(rand.NewSource(5)))
+	weighted, err := NewTabu().SearchObjective(nil, we, sp, rand.New(rand.NewSource(5)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +55,11 @@ func TestSearchObjectiveFavorsHeavyCluster(t *testing.T) {
 	// an intra cost no worse than what the unweighted search gives it.
 	we := weightedEval(t, []float64{100, 1, 1, 1}, 22)
 	sp := spec(t, 16, 4)
-	plain, err := NewTabu().Search(we.Base(), sp, rand.New(rand.NewSource(9)))
+	plain, err := NewTabu().Search(nil, we.Base(), sp, rand.New(rand.NewSource(9)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	weighted, err := NewTabu().SearchObjective(we, sp, rand.New(rand.NewSource(9)))
+	weighted, err := NewTabu().SearchObjective(nil, we, sp, rand.New(rand.NewSource(9)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,10 +79,10 @@ func TestSearchObjectiveFavorsHeavyCluster(t *testing.T) {
 
 func TestSearchObjectiveValidation(t *testing.T) {
 	we := weightedEval(t, []float64{1, 1, 1, 1}, 23)
-	if _, err := NewTabu().SearchObjective(we, Spec{}, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := NewTabu().SearchObjective(nil, we, Spec{}, rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("empty spec accepted")
 	}
-	if _, err := NewTabu().SearchObjective(we, Spec{Sizes: []int{4, 0}}, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := NewTabu().SearchObjective(nil, we, Spec{Sizes: []int{4, 0}}, rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("zero-size cluster accepted")
 	}
 }

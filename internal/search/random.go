@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"commsched/internal/quality"
@@ -21,7 +23,8 @@ func NewRandomSample() *RandomSample { return &RandomSample{Samples: 1} }
 func (r *RandomSample) Name() string { return "random" }
 
 // Search implements Searcher.
-func (r *RandomSample) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+func (r *RandomSample) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+	ctx = orBackground(ctx)
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
@@ -31,6 +34,11 @@ func (r *RandomSample) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (
 	}
 	res := &Result{}
 	for i := 0; i < samples; i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("search: random sampling cancelled: %w", err)
+			}
+		}
 		p, err := spec.randomPartition(rng)
 		if err != nil {
 			return nil, err

@@ -12,6 +12,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -103,8 +104,19 @@ type Searcher interface {
 	// Name identifies the heuristic in reports.
 	Name() string
 	// Search runs the heuristic. Implementations must be deterministic
-	// given the evaluator, spec, and rng state.
-	Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error)
+	// given the evaluator, spec, and rng state, must honor ctx
+	// cancellation promptly (returning ctx.Err(), possibly wrapped), and
+	// must accept a nil ctx as context.Background().
+	Search(ctx context.Context, e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error)
+}
+
+// orBackground normalizes a nil context so searcher internals can call
+// ctx.Err() unconditionally.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // finishResult fills the derived fields of a result from its best

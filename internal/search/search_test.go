@@ -118,7 +118,7 @@ func TestAllSearchersFindBlockOptimumSmall(t *testing.T) {
 		if s.Name() == "random" {
 			continue
 		}
-		res, err := s.Search(e, sp, rand.New(rand.NewSource(1)))
+		res, err := s.Search(nil, e, sp, rand.New(rand.NewSource(1)))
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -140,7 +140,7 @@ func TestSearchersRejectBadSpec(t *testing.T) {
 	e := quality.NewEvaluator(blockTable(t, 8, 2))
 	bad := Spec{Sizes: []int{3, 3}}
 	for _, s := range allSearchers() {
-		if _, err := s.Search(e, bad, rand.New(rand.NewSource(1))); err == nil {
+		if _, err := s.Search(nil, e, bad, rand.New(rand.NewSource(1))); err == nil {
 			t.Errorf("%s accepted a mismatched spec", s.Name())
 		}
 	}
@@ -150,11 +150,11 @@ func TestSearchersDeterministicPerSeed(t *testing.T) {
 	e := quality.NewEvaluator(blockTable(t, 12, 3))
 	sp := spec(t, 12, 3)
 	for _, s := range allSearchers() {
-		r1, err := s.Search(e, sp, rand.New(rand.NewSource(7)))
+		r1, err := s.Search(nil, e, sp, rand.New(rand.NewSource(7)))
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
-		r2, err := s.Search(e, sp, rand.New(rand.NewSource(7)))
+		r2, err := s.Search(nil, e, sp, rand.New(rand.NewSource(7)))
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -177,11 +177,11 @@ func TestTabuMatchesExhaustiveOnRealTopology(t *testing.T) {
 	}
 	e := evalFor(t, net)
 	sp := spec(t, 12, 3)
-	ex, err := NewExhaustive().Search(e, sp, nil)
+	ex, err := NewExhaustive().Search(nil, e, sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tb, err := NewTabu().Search(e, sp, rand.New(rand.NewSource(5)))
+	tb, err := NewTabu().Search(nil, e, sp, rand.New(rand.NewSource(5)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestTabuTraceRecordsRestarts(t *testing.T) {
 	sp := spec(t, 12, 3)
 	tb := NewTabu()
 	tb.RecordTrace = true
-	res, err := tb.Search(e, sp, rand.New(rand.NewSource(2)))
+	res, err := tb.Search(nil, e, sp, rand.New(rand.NewSource(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestTabuBothStopCriteriaOccur(t *testing.T) {
 	sp := spec(t, 16, 4)
 	tb := NewTabu()
 	tb.RecordTrace = true
-	res, err := tb.Search(e, sp, rand.New(rand.NewSource(9)))
+	res, err := tb.Search(nil, e, sp, rand.New(rand.NewSource(9)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestTabuBothStopCriteriaOccur(t *testing.T) {
 
 func TestTabuNoTraceByDefault(t *testing.T) {
 	e := quality.NewEvaluator(blockTable(t, 8, 2))
-	res, err := NewTabu().Search(e, spec(t, 8, 2), rand.New(rand.NewSource(3)))
+	res, err := NewTabu().Search(nil, e, spec(t, 8, 2), rand.New(rand.NewSource(3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,11 +284,11 @@ func TestTabuBeatsSingleRandomDraw(t *testing.T) {
 	}
 	e := evalFor(t, net)
 	sp := spec(t, 16, 4)
-	tb, err := NewTabu().Search(e, sp, rand.New(rand.NewSource(1)))
+	tb, err := NewTabu().Search(nil, e, sp, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := NewRandomSample().Search(e, sp, rand.New(rand.NewSource(1)))
+	rd, err := NewRandomSample().Search(nil, e, sp, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestTabuBeatsSingleRandomDraw(t *testing.T) {
 func TestExhaustiveCountsPartitions(t *testing.T) {
 	// 6 switches into 2 unlabeled clusters of 3: 6!/(3!²·2!) = 10.
 	e := quality.NewEvaluator(blockTable(t, 6, 2))
-	res, err := NewExhaustive().Search(e, spec(t, 6, 2), nil)
+	res, err := NewExhaustive().Search(nil, e, spec(t, 6, 2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestExhaustiveCountsPartitions(t *testing.T) {
 func TestExhaustiveUnequalSizes(t *testing.T) {
 	// Unequal clusters must not be treated as interchangeable.
 	e := quality.NewEvaluator(blockTable(t, 6, 2))
-	res, err := NewExhaustive().Search(e, Spec{Sizes: []int{2, 4}}, nil)
+	res, err := NewExhaustive().Search(nil, e, Spec{Sizes: []int{2, 4}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestExhaustiveUnequalSizes(t *testing.T) {
 func TestExhaustiveLimit(t *testing.T) {
 	e := quality.NewEvaluator(blockTable(t, 12, 3))
 	x := &Exhaustive{Limit: 5}
-	if _, err := x.Search(e, spec(t, 12, 3), nil); err == nil {
+	if _, err := x.Search(nil, e, spec(t, 12, 3), nil); err == nil {
 		t.Fatal("limit not enforced")
 	}
 }
@@ -341,7 +341,7 @@ func TestGreedyDescends(t *testing.T) {
 	}
 	e := evalFor(t, net)
 	sp := spec(t, 16, 4)
-	g, err := NewGreedy().Search(e, sp, rand.New(rand.NewSource(1)))
+	g, err := NewGreedy().Search(nil, e, sp, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +371,7 @@ func TestAnnealImprovesOverStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewAnneal().Search(e, sp, rng)
+	res, err := NewAnneal().Search(nil, e, sp, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +385,7 @@ func TestAnnealImprovesOverStart(t *testing.T) {
 
 func TestGeneticPreservesSpecSizes(t *testing.T) {
 	e := quality.NewEvaluator(blockTable(t, 12, 3))
-	res, err := NewGenetic().Search(e, Spec{Sizes: []int{2, 4, 6}}, rand.New(rand.NewSource(6)))
+	res, err := NewGenetic().Search(nil, e, Spec{Sizes: []int{2, 4, 6}}, rand.New(rand.NewSource(6)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,11 +413,11 @@ func TestOrderCrossoverIsPermutation(t *testing.T) {
 func TestRandomSampleMultipleDraws(t *testing.T) {
 	e := quality.NewEvaluator(blockTable(t, 8, 2))
 	sp := spec(t, 8, 2)
-	one, err := (&RandomSample{Samples: 1}).Search(e, sp, rand.New(rand.NewSource(4)))
+	one, err := (&RandomSample{Samples: 1}).Search(nil, e, sp, rand.New(rand.NewSource(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := (&RandomSample{Samples: 500}).Search(e, sp, rand.New(rand.NewSource(4)))
+	many, err := (&RandomSample{Samples: 500}).Search(nil, e, sp, rand.New(rand.NewSource(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,11 +438,11 @@ func TestParallelTabuDeterministicAndGood(t *testing.T) {
 	sp := spec(t, 16, 4)
 	par := NewTabu()
 	par.Parallel = true
-	r1, err := par.Search(e, sp, rand.New(rand.NewSource(9)))
+	r1, err := par.Search(nil, e, sp, rand.New(rand.NewSource(9)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := par.Search(e, sp, rand.New(rand.NewSource(9)))
+	r2, err := par.Search(nil, e, sp, rand.New(rand.NewSource(9)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +451,7 @@ func TestParallelTabuDeterministicAndGood(t *testing.T) {
 	}
 	// Parallel restarts must find the same optimum the sequential run does
 	// on this instance (both match exhaustive on small networks).
-	seq, err := NewTabu().Search(e, sp, rand.New(rand.NewSource(9)))
+	seq, err := NewTabu().Search(nil, e, sp, rand.New(rand.NewSource(9)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,7 +468,7 @@ func TestParallelTabuRejectsTrace(t *testing.T) {
 	tb := NewTabu()
 	tb.Parallel = true
 	tb.RecordTrace = true
-	if _, err := tb.Search(e, spec(t, 8, 2), rand.New(rand.NewSource(1))); err == nil {
+	if _, err := tb.Search(nil, e, spec(t, 8, 2), rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("trace recording with Parallel accepted")
 	}
 }
@@ -482,7 +482,7 @@ func TestTabuFindsRingClusters(t *testing.T) {
 	}
 	e := evalFor(t, net)
 	sp := spec(t, 24, 4)
-	res, err := NewTabu().Search(e, sp, rand.New(rand.NewSource(2020)))
+	res, err := NewTabu().Search(nil, e, sp, rand.New(rand.NewSource(2020)))
 	if err != nil {
 		t.Fatal(err)
 	}

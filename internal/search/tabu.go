@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -65,11 +66,11 @@ type Objective interface {
 }
 
 // Search implements Searcher.
-func (t *Tabu) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
+func (t *Tabu) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result, error) {
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
-	res, err := t.searchObjective(e, spec, rng, func(p *mapping.Partition) float64 {
+	res, err := t.searchObjective(orBackground(ctx), e, spec, rng, func(p *mapping.Partition) float64 {
 		return e.Similarity(p)
 	})
 	if err != nil {
@@ -82,28 +83,69 @@ func (t *Tabu) Search(e *quality.Evaluator, spec Spec, rng *rand.Rand) (*Result,
 // swap-evaluable objective — the entry point for the weighted
 // communication-requirements extension. Result.BestF is left zero (the
 // paper's F_G normalization only applies to the unweighted objective).
-func (t *Tabu) SearchObjective(obj Objective, spec Spec, rng *rand.Rand) (*Result, error) {
+func (t *Tabu) SearchObjective(ctx context.Context, obj Objective, spec Spec, rng *rand.Rand) (*Result, error) {
+	if err := validateSpecShape(spec); err != nil {
+		return nil, err
+	}
+	return t.searchObjective(orBackground(ctx), obj, spec, rng, nil)
+}
+
+// SearchFrom runs a single warm-started Tabu pass from an existing
+// partition instead of random restarts — the repair scheduler for degraded
+// networks: starting from the pre-failure mapping keeps the search near
+// it, so the repaired mapping moves few switches. The start partition must
+// match the spec; it is not mutated.
+func (t *Tabu) SearchFrom(ctx context.Context, obj Objective, spec Spec, rng *rand.Rand, start *mapping.Partition) (*Result, error) {
+	ctx = orBackground(ctx)
+	if err := validateSpecShape(spec); err != nil {
+		return nil, err
+	}
+	if start == nil {
+		return nil, fmt.Errorf("search: SearchFrom needs a start partition")
+	}
+	if start.N() != spec.N() || start.M() != spec.M() {
+		return nil, fmt.Errorf("search: start partition is %d switches / %d clusters, spec wants %d / %d",
+			start.N(), start.M(), spec.N(), spec.M())
+	}
+	for c := 0; c < start.M(); c++ {
+		if start.Size(c) != spec.Sizes[c] {
+			return nil, fmt.Errorf("search: start cluster %d has %d switches, spec wants %d",
+				c, start.Size(c), spec.Sizes[c])
+		}
+	}
+	res := &Result{}
+	globalIter := 0
+	if err := t.runRestart(ctx, obj, start.Clone(), res, 0, &globalIter, nil); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// validateSpecShape checks the parts of a spec that do not need an
+// evaluator.
+func validateSpecShape(spec Spec) error {
 	if len(spec.Sizes) == 0 {
-		return nil, fmt.Errorf("search: empty spec")
+		return fmt.Errorf("search: empty spec")
 	}
 	for c, x := range spec.Sizes {
 		if x <= 0 {
-			return nil, fmt.Errorf("search: cluster %d has non-positive size %d", c, x)
+			return fmt.Errorf("search: cluster %d has non-positive size %d", c, x)
 		}
 	}
-	return t.searchObjective(obj, spec, rng, nil)
+	return nil
 }
 
 // searchObjective is the shared Tabu core. traceF, when non-nil and
 // RecordTrace is set, maps partitions to the recorded trace value.
-func (t *Tabu) searchObjective(obj Objective, spec Spec, rng *rand.Rand, traceF func(*mapping.Partition) float64) (*Result, error) {
+func (t *Tabu) searchObjective(ctx context.Context, obj Objective, spec Spec, rng *rand.Rand, traceF func(*mapping.Partition) float64) (*Result, error) {
 	if t.Parallel {
-		return t.searchParallel(obj, spec, rng)
+		return t.searchParallel(ctx, obj, spec, rng)
 	}
 	res := &Result{}
 	globalIter := 0
-	record := func(p *mapping.Partition, restart int) {
-		if t.RecordTrace && traceF != nil {
+	var record func(p *mapping.Partition, restart int)
+	if t.RecordTrace && traceF != nil {
+		record = func(p *mapping.Partition, restart int) {
 			res.Trace = append(res.Trace, TracePoint{Iteration: globalIter, Restart: restart, F: traceF(p)})
 		}
 	}
@@ -112,48 +154,65 @@ func (t *Tabu) searchObjective(obj Objective, spec Spec, rng *rand.Rand, traceF 
 		if err != nil {
 			return nil, err
 		}
-		cur := obj.IntraSum(p)
-		t.consider(res, p, cur)
-		record(p, restart)
-
-		// tabu[key] = first iteration at which the move is allowed again.
-		tabu := map[[2]int]int{}
-		localMinima := []float64{} // values of local minima reached this restart
-		repeats := 0
-
-		for iter := 0; iter < t.MaxIterations; iter++ {
-			globalIter++
-			bestU, bestV, bestDelta, found := t.bestMove(obj, p, tabu, iter, cur, res.BestIntraSum)
-			res.Evaluations += evalsPerSweep(p)
-			if !found {
-				// Fully tabu neighborhood (tiny instances): nothing to do.
-				break
-			}
-			if bestDelta >= -valueEpsilon {
-				// Local minimum: record it, count repeats of the same value.
-				repeats = countRepeat(localMinima, cur)
-				localMinima = append(localMinima, cur)
-				if repeats >= t.RepeatLimit {
-					break
-				}
-				// Escape uphill with the smallest increase; forbid the
-				// inverse move for Tenure iterations.
-				tabu[moveKey(bestU, bestV)] = iter + 1 + t.Tenure
-			}
-			p.Swap(bestU, bestV)
-			cur += bestDelta
-			res.Iterations++
-			t.consider(res, p, cur)
-			record(p, restart)
+		if err := t.runRestart(ctx, obj, p, res, restart, &globalIter, record); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil
 }
 
+// runRestart executes one Tabu pass from the given starting partition,
+// updating res in place. The partition is mutated.
+func (t *Tabu) runRestart(ctx context.Context, obj Objective, p *mapping.Partition, res *Result, restart int, globalIter *int, record func(*mapping.Partition, int)) error {
+	cur := obj.IntraSum(p)
+	t.consider(res, p, cur)
+	if record != nil {
+		record(p, restart)
+	}
+
+	// tabu[key] = first iteration at which the move is allowed again.
+	tabu := map[[2]int]int{}
+	localMinima := []float64{} // values of local minima reached this restart
+	repeats := 0
+
+	for iter := 0; iter < t.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("search: tabu cancelled: %w", err)
+		}
+		*globalIter++
+		bestU, bestV, bestDelta, found := t.bestMove(obj, p, tabu, iter, cur, res.BestIntraSum)
+		res.Evaluations += evalsPerSweep(p)
+		if !found {
+			// Fully tabu neighborhood (tiny instances): nothing to do.
+			break
+		}
+		if bestDelta >= -valueEpsilon {
+			// Local minimum: record it, count repeats of the same value.
+			repeats = countRepeat(localMinima, cur)
+			localMinima = append(localMinima, cur)
+			if repeats >= t.RepeatLimit {
+				break
+			}
+			// Escape uphill with the smallest increase; forbid the
+			// inverse move for Tenure iterations.
+			tabu[moveKey(bestU, bestV)] = iter + 1 + t.Tenure
+		}
+		p.Swap(bestU, bestV)
+		cur += bestDelta
+		res.Iterations++
+		t.consider(res, p, cur)
+		if record != nil {
+			record(p, restart)
+		}
+	}
+	return nil
+}
+
 // searchParallel fans the restarts across GOMAXPROCS workers. Restart
 // seeds are pre-drawn sequentially from rng, so the outcome is a pure
-// function of the incoming rng state regardless of scheduling.
-func (t *Tabu) searchParallel(obj Objective, spec Spec, rng *rand.Rand) (*Result, error) {
+// function of the incoming rng state regardless of scheduling. A worker
+// panic is recovered into a returned error.
+func (t *Tabu) searchParallel(ctx context.Context, obj Objective, spec Spec, rng *rand.Rand) (*Result, error) {
 	if t.RecordTrace {
 		return nil, fmt.Errorf("search: Tabu trace recording is not supported with Parallel")
 	}
@@ -169,10 +228,17 @@ func (t *Tabu) searchParallel(obj Objective, spec Spec, rng *rand.Rand) (*Result
 	}
 	var wg sync.WaitGroup
 	var next atomic.Int64
+	var panicked atomic.Pointer[error]
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					err := fmt.Errorf("search: tabu worker panic: %v", r)
+					panicked.CompareAndSwap(nil, &err)
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= t.Restarts {
@@ -184,11 +250,14 @@ func (t *Tabu) searchParallel(obj Objective, spec Spec, rng *rand.Rand) (*Result
 					RepeatLimit:   t.RepeatLimit,
 					Tenure:        t.Tenure,
 				}
-				results[i], errs[i] = single.searchObjective(obj, spec, rand.New(rand.NewSource(seeds[i])), nil)
+				results[i], errs[i] = single.searchObjective(ctx, obj, spec, rand.New(rand.NewSource(seeds[i])), nil)
 			}
 		}()
 	}
 	wg.Wait()
+	if errp := panicked.Load(); errp != nil {
+		return nil, *errp
+	}
 	merged := &Result{}
 	for i := range results {
 		if errs[i] != nil {

@@ -105,7 +105,7 @@ func TestDeterministicRoutingLowersThroughput(t *testing.T) {
 func TestFindSaturation(t *testing.T) {
 	r := newRig(t, 12, 4, 3, 1, true)
 	cfg := Config{WarmupCycles: 300, MeasureCycles: 1500, Seed: 37}
-	rate, m, err := FindSaturation(r.net, r.rt, r.pattern, cfg, 0.8, 0.05)
+	rate, m, err := FindSaturation(nil, r.net, r.rt, r.pattern, cfg, 0.8, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestFindSaturationNeverSaturates(t *testing.T) {
 	// returned as-is.
 	r := newRig(t, 12, 4, 3, 1, false)
 	cfg := Config{WarmupCycles: 200, MeasureCycles: 800, Seed: 39}
-	rate, m, err := FindSaturation(r.net, r.rt, r.pattern, cfg, 0.02, 0.01)
+	rate, m, err := FindSaturation(nil, r.net, r.rt, r.pattern, cfg, 0.02, 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,10 +143,10 @@ func TestFindSaturationNeverSaturates(t *testing.T) {
 
 func TestFindSaturationValidation(t *testing.T) {
 	r := newRig(t, 8, 4, 1, 1, false)
-	if _, _, err := FindSaturation(r.net, r.rt, r.pattern, Config{MeasureCycles: 100}, 0, 0.1); err == nil {
+	if _, _, err := FindSaturation(nil, r.net, r.rt, r.pattern, Config{MeasureCycles: 100}, 0, 0.1); err == nil {
 		t.Fatal("zero maxRate accepted")
 	}
-	if _, _, err := FindSaturation(r.net, r.rt, r.pattern, Config{MeasureCycles: 100}, 1.5, 0.1); err == nil {
+	if _, _, err := FindSaturation(nil, r.net, r.rt, r.pattern, Config{MeasureCycles: 100}, 1.5, 0.1); err == nil {
 		t.Fatal("maxRate above 1 accepted")
 	}
 }
@@ -224,7 +224,7 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 	r := newRig(t, 12, 4, 6, 2, true)
 	cfg := Config{WarmupCycles: 200, MeasureCycles: 1500, Seed: 23}
 	rates := LinearRates(5, 0.4)
-	par, err := Sweep(r.net, r.rt, r.pattern, cfg, rates)
+	par, err := Sweep(nil, r.net, r.rt, r.pattern, cfg, rates)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,8 @@ type Metrics struct {
 	deliveredMessages int64
 	offeredFlits      int64
 	deliveredFlits    int64
+	lostMessages      int64
+	lostFlits         int64
 	totalLatency      int64 // network latency (header injection → tail delivery)
 	totalQueueLatency int64 // total latency (generation → tail delivery)
 
@@ -33,6 +35,15 @@ type Metrics struct {
 	// AcceptedTraffic is the delivered load in flits/switch/cycle — the
 	// paper's "traffic" axis, and its "throughput" when maximal.
 	AcceptedTraffic float64
+	// LostMessages counts messages dropped by link failures during the
+	// window (the worm held a channel of a dying link, or every
+	// admissible hop was dead).
+	LostMessages int64
+	// LostFlits counts the not-yet-delivered flits of those messages.
+	LostFlits int64
+	// DeliveredFraction is delivered/(delivered+lost) messages — 1.0 on a
+	// healthy run, below 1.0 when link failures destroyed traffic.
+	DeliveredFraction float64
 	// AvgLatency is the mean network latency in cycles (header injection
 	// to tail delivery), the paper's latency measure.
 	AvgLatency float64
@@ -135,6 +146,13 @@ func (m *Metrics) finalize(cfg Config, net *topology.Network) {
 	m.Switches = net.Switches()
 	m.GeneratedMessages = m.generatedMessages
 	m.DeliveredMessages = m.deliveredMessages
+	m.LostMessages = m.lostMessages
+	m.LostFlits = m.lostFlits
+	if total := m.deliveredMessages + m.lostMessages; total > 0 {
+		m.DeliveredFraction = float64(m.deliveredMessages) / float64(total)
+	} else {
+		m.DeliveredFraction = 1
+	}
 	cyc := float64(cfg.MeasureCycles)
 	sw := float64(net.Switches())
 	if cyc > 0 && sw > 0 {

@@ -26,13 +26,31 @@
 package simnet
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"commsched/internal/routing"
 	"commsched/internal/topology"
 	"commsched/internal/traffic"
 )
+
+// LinkEvent schedules a mid-run failure of one inter-switch link: the link
+// (both directions) dies at cycle At and, when RepairAt is nonzero, comes
+// back at cycle RepairAt. Messages holding a virtual channel of a dying
+// link — and messages left with no alive admissible hop — are dropped and
+// accounted as lost in the metrics; the routing tables are NOT recomputed
+// mid-run, modeling the window between a hardware failure and the
+// reconfiguration that core.System.Degrade performs.
+type LinkEvent struct {
+	// A and B are the link's switch endpoints (order irrelevant).
+	A, B int
+	// At is the failure cycle (relative to simulation start).
+	At int64
+	// RepairAt is the repair cycle; 0 means the failure is permanent.
+	RepairAt int64
+}
 
 // Config holds the microarchitectural and workload parameters of one
 // simulation run.
@@ -77,6 +95,8 @@ type Config struct {
 	// (logical cluster); when set, Metrics.PerCluster breaks delivery
 	// counts and latency down by the sender's application.
 	HostCluster []int
+	// LinkEvents schedules mid-run link failures and repairs.
+	LinkEvents []LinkEvent
 }
 
 // withDefaults fills zero fields with the defaults above.
@@ -166,6 +186,9 @@ type message struct {
 	// descending records whether the worm has entered its down phase.
 	descending bool
 	delivered  int // flits consumed at the destination
+	// lost marks a message dropped by a link failure (guards against
+	// double-counting when one worm spans several dying links).
+	lost bool
 }
 
 // flit is one flow-control unit.
@@ -262,6 +285,12 @@ type Simulator struct {
 	cycle     int64
 	nextMsgID int
 
+	// deadLinks marks directed links currently failed; events is the
+	// sorted failure/repair timeline consumed by processLinkEvents.
+	deadLinks map[directedLink]bool
+	events    []timedLinkEvent
+	eventIdx  int
+
 	// linkFlits counts flits crossing each directed link during the
 	// measurement window (the paper's observation about up*/down*
 	// overloading links near the root is visible here).
@@ -289,7 +318,30 @@ func New(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg
 		linkVCs:   make(map[directedLink][]*vc),
 		rrInput:   make([]int, net.Switches()),
 		linkFlits: make(map[directedLink]int64),
+		deadLinks: make(map[directedLink]bool),
 	}
+	for i, ev := range cfg.LinkEvents {
+		l := topology.NormalizeLink(ev.A, ev.B)
+		if l.A < 0 || l.B >= net.Switches() || !net.HasLink(l.A, l.B) {
+			return nil, fmt.Errorf("simnet: link event %d: link %d-%d does not exist in %s", i, ev.A, ev.B, net.Name())
+		}
+		if ev.At < 0 {
+			return nil, fmt.Errorf("simnet: link event %d: negative failure cycle %d", i, ev.At)
+		}
+		if ev.RepairAt != 0 && ev.RepairAt <= ev.At {
+			return nil, fmt.Errorf("simnet: link event %d: repair cycle %d not after failure cycle %d", i, ev.RepairAt, ev.At)
+		}
+		s.events = append(s.events, timedLinkEvent{cycle: ev.At, link: l, down: true})
+		if ev.RepairAt > 0 {
+			s.events = append(s.events, timedLinkEvent{cycle: ev.RepairAt, link: l, down: false})
+		}
+	}
+	sort.SliceStable(s.events, func(i, j int) bool {
+		if s.events[i].cycle != s.events[j].cycle {
+			return s.events[i].cycle < s.events[j].cycle
+		}
+		return s.events[i].down && !s.events[j].down
+	})
 	// Directed links and their VCs.
 	for _, l := range net.Links() {
 		for _, dl := range []directedLink{{l.A, l.B}, {l.B, l.A}} {
@@ -317,8 +369,24 @@ func New(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg
 
 // Run simulates warmup plus measurement and returns the metrics.
 func (s *Simulator) Run() Metrics {
+	m, _ := s.RunContext(context.Background())
+	return m
+}
+
+// RunContext is Run with cancellation: the context is polled every few
+// hundred cycles and a cancellation surfaces as a wrapped ctx.Err(). A nil
+// context means Background.
+func (s *Simulator) RunContext(ctx context.Context) (Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
 	for c := 0; c < total; c++ {
+		if c%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Metrics{}, fmt.Errorf("simnet: run cancelled at cycle %d: %w", s.cycle, err)
+			}
+		}
 		if c == s.cfg.WarmupCycles {
 			s.measuring = true
 			s.metrics.measureStart = s.cycle
@@ -327,11 +395,12 @@ func (s *Simulator) Run() Metrics {
 	}
 	s.metrics.finalizeLinks(s.linkFlits, s.cfg)
 	s.metrics.finalize(s.cfg, s.net)
-	return s.metrics
+	return s.metrics, nil
 }
 
 // step advances the simulation one cycle.
 func (s *Simulator) step() {
+	s.processLinkEvents()
 	s.generate()
 	s.allocateRoutes()
 	s.transferFlits()
@@ -339,6 +408,77 @@ func (s *Simulator) step() {
 		s.sampleQueues()
 	}
 	s.cycle++
+}
+
+// timedLinkEvent is one entry of the failure/repair timeline.
+type timedLinkEvent struct {
+	cycle int64
+	link  topology.Link
+	down  bool
+}
+
+// processLinkEvents applies all timeline entries due at the current cycle.
+func (s *Simulator) processLinkEvents() {
+	for s.eventIdx < len(s.events) && s.events[s.eventIdx].cycle <= s.cycle {
+		ev := s.events[s.eventIdx]
+		s.eventIdx++
+		d1 := directedLink{ev.link.A, ev.link.B}
+		d2 := directedLink{ev.link.B, ev.link.A}
+		if !ev.down {
+			delete(s.deadLinks, d1)
+			delete(s.deadLinks, d2)
+			continue
+		}
+		s.deadLinks[d1] = true
+		s.deadLinks[d2] = true
+		// Worms holding a virtual channel of the dying link are lost.
+		for _, dl := range []directedLink{d1, d2} {
+			for _, c := range s.linkVCs[dl] {
+				if m := c.buf.owner; m != nil {
+					s.loseMessage(m)
+				}
+			}
+		}
+	}
+}
+
+// loseMessage drops every flit of m from every buffer, releases the
+// virtual channels and routes it held, and accounts the loss.
+func (s *Simulator) loseMessage(m *message) {
+	if m.lost {
+		return
+	}
+	m.lost = true
+	for sw := range s.inputs {
+		for _, in := range s.inputs[sw] {
+			if in.routedMsg == m {
+				in.route, in.sink, in.routedMsg = nil, false, nil
+			}
+			if in.owner == m {
+				in.owner = nil
+			}
+			if in.len() == 0 {
+				continue
+			}
+			kept := in.q[in.head:in.head:len(in.q)]
+			changed := false
+			for _, f := range in.q[in.head:] {
+				if f.msg == m {
+					changed = true
+					continue
+				}
+				kept = append(kept, f)
+			}
+			if changed {
+				in.q = append(in.q[:0], kept...)
+				in.head = 0
+			}
+		}
+	}
+	if s.measuring {
+		s.metrics.lostMessages++
+		s.metrics.lostFlits += int64(m.size - m.delivered)
+	}
 }
 
 // sampleQueues accumulates source-queue occupancy for the mean-queue
@@ -459,7 +599,14 @@ func (s *Simulator) routeHeader(sw int, in *buffer, m *message) {
 		if len(hops) == 0 {
 			return
 		}
-		cand := s.linkVCs[directedLink{sw, hops[0].To}][0]
+		dl := directedLink{sw, hops[0].To}
+		if s.deadLinks[dl] {
+			// The only route crosses a failed link and the tables don't
+			// know yet: the worm is stranded and dropped.
+			s.loseMessage(m)
+			return
+		}
+		cand := s.linkVCs[dl][0]
 		if admissible(cand) {
 			cand.buf.owner = m
 			in.route, in.sink, in.routedMsg = cand, false, m
@@ -469,9 +616,15 @@ func (s *Simulator) routeHeader(sw int, in *buffer, m *message) {
 	// Adaptive selection: first hop with a free VC, scanning hops and VCs
 	// from a rotating offset so ties spread across channels.
 	off := int(s.cycle) // deterministic, varies per cycle
+	anyAlive := false
 	for hi := 0; hi < len(hops); hi++ {
 		h := hops[(hi+off)%len(hops)]
-		vcs := s.linkVCs[directedLink{sw, h.To}]
+		dl := directedLink{sw, h.To}
+		if s.deadLinks[dl] {
+			continue
+		}
+		anyAlive = true
+		vcs := s.linkVCs[dl]
 		for vi := 0; vi < len(vcs); vi++ {
 			cand := vcs[(vi+off)%len(vcs)]
 			if admissible(cand) {
@@ -482,6 +635,10 @@ func (s *Simulator) routeHeader(sw int, in *buffer, m *message) {
 				return
 			}
 		}
+	}
+	if len(hops) > 0 && !anyAlive {
+		// Every admissible continuation crosses a failed link: stranded.
+		s.loseMessage(m)
 	}
 	// Blocked: try again next cycle.
 }

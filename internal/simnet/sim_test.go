@@ -126,7 +126,7 @@ func TestLowLoadDeliversEverything(t *testing.T) {
 func TestLatencyGrowsWithLoad(t *testing.T) {
 	r := newRig(t, 16, 4, 2, 0, false)
 	cfg := Config{WarmupCycles: 1500, MeasureCycles: 6000, Seed: 3}
-	points, err := Sweep(r.net, r.rt, r.pattern, cfg, []float64{0.02, 0.30})
+	points, err := Sweep(nil, r.net, r.rt, r.pattern, cfg, []float64{0.02, 0.30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,10 +291,10 @@ func TestSweepHelpers(t *testing.T) {
 		t.Fatalf("first rate = %v, want 0.05", rates[0])
 	}
 	r := newRig(t, 8, 4, 7, 1, false)
-	if _, err := Sweep(r.net, r.rt, r.pattern, Config{}, nil); err == nil {
+	if _, err := Sweep(nil, r.net, r.rt, r.pattern, Config{}, nil); err == nil {
 		t.Fatal("empty sweep accepted")
 	}
-	points, err := Sweep(r.net, r.rt, r.pattern,
+	points, err := Sweep(nil, r.net, r.rt, r.pattern,
 		Config{WarmupCycles: 200, MeasureCycles: 1000, Seed: 8}, []float64{0.05, 0.6})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,7 +33,14 @@ type SweepPoint struct {
 // read immutable state and draw from the per-simulator rng passed to
 // Destination, so one pattern value is safely shared across the parallel
 // runs.
-func Sweep(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg Config, rates []float64) ([]SweepPoint, error) {
+//
+// A nil ctx means Background; a cancellation stops all in-flight runs
+// promptly and surfaces the wrapped ctx.Err(). A panicking worker is
+// recovered into a returned error instead of crashing the process.
+func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg Config, rates []float64) ([]SweepPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(rates) == 0 {
 		return nil, fmt.Errorf("simnet: empty rate list")
 	}
@@ -50,6 +58,12 @@ func Sweep(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					err := fmt.Errorf("simnet: sweep worker panic: %v", r)
+					failed.CompareAndSwap(nil, &err)
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(rates) || failed.Load() != nil {
@@ -63,7 +77,12 @@ func Sweep(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, c
 					failed.CompareAndSwap(nil, &err)
 					return
 				}
-				points[i] = SweepPoint{Index: i + 1, Rate: rates[i], Metrics: sim.Run()}
+				m, err := sim.RunContext(ctx)
+				if err != nil {
+					failed.CompareAndSwap(nil, &err)
+					return
+				}
+				points[i] = SweepPoint{Index: i + 1, Rate: rates[i], Metrics: m}
 			}
 		}()
 	}
@@ -112,8 +131,13 @@ func SaturationPoint(points []SweepPoint) int {
 // (0, maxRate]: the largest per-host rate at which the network still
 // accepts (within the Saturated tolerance) everything offered. It returns
 // the bracketing rate and the metrics of the last non-saturated run.
-// Each probe is one full simulation, so tol trades precision for time.
-func FindSaturation(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg Config, maxRate, tol float64) (float64, Metrics, error) {
+// Each probe is one full simulation, so tol trades precision for time; a
+// nil ctx means Background and cancellation aborts between (and inside)
+// probes.
+func FindSaturation(ctx context.Context, net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg Config, maxRate, tol float64) (float64, Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if maxRate <= 0 || maxRate > 1 {
 		return 0, Metrics{}, fmt.Errorf("simnet: maxRate %v outside (0,1]", maxRate)
 	}
@@ -127,7 +151,7 @@ func FindSaturation(net *topology.Network, rt *routing.UpDown, pattern traffic.P
 		if err != nil {
 			return Metrics{}, err
 		}
-		return sim.Run(), nil
+		return sim.RunContext(ctx)
 	}
 	lo, hi := 0.0, maxRate
 	var best Metrics

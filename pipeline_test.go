@@ -40,7 +40,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 
 	// 3. Communication-aware schedule.
-	sched, err := sys.Schedule(core.ScheduleOptions{Clusters: 4, Seed: 42})
+	sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: 4, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,8 +50,12 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sched.Quality.Cc <= sys.Evaluate(rnd).Cc {
-		t.Fatalf("scheduled Cc %.3f not above random %.3f", sched.Quality.Cc, sys.Evaluate(rnd).Cc)
+	rq, err := sys.Evaluate(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Quality.Cc <= rq.Cc {
+		t.Fatalf("scheduled Cc %.3f not above random %.3f", sched.Quality.Cc, rq.Cc)
 	}
 
 	// 5. Simulation: scheduled delivers more at identical load.
