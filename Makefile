@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figs figs-quick cover vet clean
+.PHONY: all build test race bench bench-json figs figs-quick cover vet clean
 
 all: build test
 
@@ -20,6 +20,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# One pass over every benchmark (repro suite + obs overhead probes),
+# archived as machine-readable JSON — a regression record, no thresholds.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ./internal/obs > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_obs.json bench.out
+	rm -f bench.out
 
 figs:
 	$(GO) run ./cmd/paperfigs

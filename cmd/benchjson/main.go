@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark runs can be archived as machine-readable
+// artifacts (see `make bench-json` and the CI bench job) and compared
+// across commits with jq — a regression *record*, not a threshold gate.
+//
+//	go test -bench=. -benchmem -run '^$' . | benchjson -o BENCH.json
+//	benchjson -o BENCH.json bench.out
+//
+// Every benchmark line is parsed into its name, GOMAXPROCS suffix,
+// iteration count, and the full set of value/unit metric pairs —
+// including the custom b.ReportMetric quantities the repro benchmarks
+// emit (throughput gains, correlations, Cc), not just ns/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Pkg is the import path from the preceding "pkg:" context line.
+	Pkg string `json:"pkg,omitempty"`
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran with (0 if unsuffixed).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N.
+	Iterations int `json:"iterations"`
+	// Metrics maps unit → value for every pair on the line
+	// (ns/op, B/op, allocs/op, and custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole run.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` output. Context lines (goos/goarch/cpu/
+// pkg) set fields for subsequent benchmarks; anything unrecognized
+// (PASS, ok, test logs) is skipped.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				b.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   	     100	  11843 ns/op	  0.8021 Cc	  16 B/op
+//
+// Returns ok=false for lines that merely start with "Benchmark" but are
+// not results (e.g. a benchmark's own log output).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// name, iterations, then value/unit pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Split a trailing -N GOMAXPROCS suffix off the name. Sub-benchmark
+	// names can contain dashes, so only a pure-digit suffix counts.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = val
+	}
+	return b, true
+}

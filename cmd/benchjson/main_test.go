@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: commsched
+cpu: AMD EPYC 7B13
+BenchmarkFig1TabuTrace-8   	     100	    118430 ns/op	   0.8021 Cc	      16 B/op	       2 allocs/op
+BenchmarkSimulatorCycles-8 	       2	 512000000 ns/op
+BenchmarkSub/case-a-8      	      10	      1000 ns/op
+Benchmark log line that is not a result
+PASS
+ok  	commsched	1.234s
+pkg: commsched/internal/obs
+BenchmarkDisabledEvent     	1000000000	         0.5032 ns/op
+ok  	commsched/internal/obs	0.700s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("context lines lost: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkFig1TabuTrace" || b.Procs != 8 || b.Iterations != 100 {
+		t.Fatalf("first benchmark header wrong: %+v", b)
+	}
+	if b.Pkg != "commsched" {
+		t.Fatalf("pkg context not attached: %q", b.Pkg)
+	}
+	want := map[string]float64{"ns/op": 118430, "Cc": 0.8021, "B/op": 16, "allocs/op": 2}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Fatalf("metric %s = %v, want %v (all: %v)", unit, b.Metrics[unit], v, b.Metrics)
+		}
+	}
+
+	// Sub-benchmark: only a pure-digit suffix is a GOMAXPROCS marker.
+	sub := rep.Benchmarks[2]
+	if sub.Name != "BenchmarkSub/case-a" || sub.Procs != 8 {
+		t.Fatalf("sub-benchmark name split wrong: %+v", sub)
+	}
+
+	// Second package's context replaces the first.
+	obs := rep.Benchmarks[3]
+	if obs.Pkg != "commsched/internal/obs" || obs.Procs != 0 {
+		t.Fatalf("second package context wrong: %+v", obs)
+	}
+	if obs.Metrics["ns/op"] != 0.5032 {
+		t.Fatalf("fractional ns/op lost: %v", obs.Metrics)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	rep, err := parse(strings.NewReader("Benchmark: starting\nnonsense\nok pkg 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("non-result lines parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}

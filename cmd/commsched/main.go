@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"commsched/internal/core"
+	"commsched/internal/obs"
 	"commsched/internal/search"
 	"commsched/internal/topology"
 )
@@ -46,12 +47,25 @@ func main() {
 		metric    = flag.String("metric", "resistance", "distance model: resistance or hops")
 		randoms   = flag.Int("randoms", 3, "random baseline mappings to report")
 		dumpTable = flag.Bool("table", false, "print the table of equivalent distances")
+
+		metricsOut = flag.String("metrics", "", "write an observability trace (JSON lines) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*topo, *switches, *degree, *rings, *ringSize, *bridges, *rows, *cols, *dim, *in,
-		*topoSeed, *clusters, *weights, *seed, *heuristic, *metric, *randoms, *dumpTable); err != nil {
+	cleanup, err := obs.CLISetup(*metricsOut, *cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "commsched:", err)
+		os.Exit(1)
+	}
+	runErr := run(*topo, *switches, *degree, *rings, *ringSize, *bridges, *rows, *cols, *dim, *in,
+		*topoSeed, *clusters, *weights, *seed, *heuristic, *metric, *randoms, *dumpTable)
+	if err := cleanup(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "commsched:", runErr)
 		os.Exit(1)
 	}
 }

@@ -15,7 +15,9 @@ import (
 	"os"
 
 	"commsched/internal/core"
+	"commsched/internal/experiments"
 	"commsched/internal/mapping"
+	"commsched/internal/obs"
 	"commsched/internal/plot"
 	"commsched/internal/simnet"
 	"commsched/internal/stats"
@@ -39,17 +41,37 @@ func main() {
 		vcs      = flag.Int("vcs", 2, "virtual channels per link")
 		simSeed  = flag.Int64("simseed", 7, "simulation seed")
 		drawPlot = flag.Bool("plot", false, "draw an ASCII latency-vs-traffic chart")
+
+		metrics    = flag.String("metrics", "", "write an observability trace (JSON lines) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		manifest   = flag.String("manifest", "", "write a run manifest (seeds, topology hash, timings) to this file")
 	)
 	flag.Parse()
-	if err := run(*switches, *degree, *topoSeed, *useRings, *clusters, *mapKind, *mapSeed,
-		*points, *maxRate, *warmup, *cycles, *msgFlits, *vcs, *simSeed, *drawPlot); err != nil {
+	cleanup, err := obs.CLISetup(*metrics, *cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+	runErr := run(*switches, *degree, *topoSeed, *useRings, *clusters, *mapKind, *mapSeed,
+		*points, *maxRate, *warmup, *cycles, *msgFlits, *vcs, *simSeed, *drawPlot, *manifest)
+	if err := cleanup(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", runErr)
 		os.Exit(1)
 	}
 }
 
 func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapKind string, mapSeed int64,
-	points int, maxRate float64, warmup, cycles, msgFlits, vcs int, simSeed int64, drawPlot bool) error {
+	points int, maxRate float64, warmup, cycles, msgFlits, vcs int, simSeed int64, drawPlot bool,
+	manifestPath string) error {
+
+	man := experiments.NewManifest("netsim", experiments.Scale{
+		WarmupCycles: warmup, MeasureCycles: cycles, SweepPoints: points, MaxRate: maxRate,
+	})
+	man.Seeds = map[string]int64{"topology": topoSeed, "mapping": mapSeed, "sim": simSeed}
 
 	var (
 		net *topology.Network
@@ -61,6 +83,9 @@ func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapK
 		net, err = topology.RandomIrregular(switches, degree, rand.New(rand.NewSource(topoSeed)), topology.Config{})
 	}
 	if err != nil {
+		return err
+	}
+	if err := man.AddTopology(net.Name(), net); err != nil {
 		return err
 	}
 	sys, err := core.NewSystem(net, core.Options{})
@@ -128,6 +153,11 @@ func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapK
 		}
 		fmt.Println()
 		fmt.Print(chart)
+	}
+	man.Finish()
+	man.Emit()
+	if manifestPath != "" {
+		return man.Write(manifestPath)
 	}
 	return nil
 }

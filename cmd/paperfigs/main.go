@@ -23,30 +23,68 @@ import (
 	"path/filepath"
 
 	"commsched/internal/experiments"
+	"commsched/internal/obs"
 	"commsched/internal/plot"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1..6, claims, ablations, model, resilience, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1..6, clustering, claims, ablations, model, resilience, or all")
 	quick := flag.Bool("quick", false, "reduced simulation scale (for smoke runs)")
 	csvDir := flag.String("csv", "", "also write fig1/fig3/fig5/fig6 data as CSV files into this directory")
+	metrics := flag.String("metrics", "", "write an observability trace (JSON lines) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	manifest := flag.String("manifest", "", "write a run manifest (seeds, topology hashes, timings) to this file")
 	flag.Parse()
 
-	sc := experiments.FullScale()
-	if *quick {
-		sc = experiments.QuickScale()
-		sc.RandomMappings = 5
-	}
-	if *csvDir != "" {
-		if err := writeCSVs(*csvDir, sc); err != nil {
-			fmt.Fprintln(os.Stderr, "paperfigs:", err)
-			os.Exit(1)
-		}
-	}
-	if err := run(*fig, sc); err != nil {
+	if err := mainErr(*fig, *quick, *csvDir, *metrics, *cpuprofile, *memprofile, *manifest); err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)
 	}
+}
+
+func mainErr(fig string, quick bool, csvDir, metrics, cpuprofile, memprofile, manifestPath string) error {
+	cleanup, err := obs.CLISetup(metrics, cpuprofile, memprofile)
+	if err != nil {
+		return err
+	}
+
+	sc := experiments.FullScale()
+	if quick {
+		sc = experiments.QuickScale()
+		sc.RandomMappings = 5
+	}
+	man := experiments.NewManifest("paperfigs", sc)
+	if net, err := experiments.Network16(); err == nil {
+		man.AddTopology("irregular16", net)
+	}
+	if net, err := experiments.Network24Rings(); err == nil {
+		man.AddTopology("rings24", net)
+	}
+
+	runErr := func() error {
+		if csvDir != "" {
+			if err := writeCSVs(csvDir, sc); err != nil {
+				return err
+			}
+		}
+		return run(fig, sc)
+	}()
+
+	man.Finish()
+	man.Emit()
+	if manifestPath == "" && csvDir != "" {
+		manifestPath = filepath.Join(csvDir, "manifest.json")
+	}
+	if manifestPath != "" && runErr == nil {
+		if err := man.Write(manifestPath); err != nil {
+			runErr = err
+		}
+	}
+	if err := cleanup(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
 }
 
 // writeCSVs regenerates the plottable figures and stores their raw data.
@@ -103,7 +141,8 @@ func run(fig string, sc experiments.Scale) error {
 		return fig1()
 	case "2":
 		return fig2(sc)
-	case "3":
+	case "3", "clustering": // "clustering" = the full 16-switch pipeline:
+		// characterize, schedule, simulate OP vs random mappings.
 		_, err := fig3(sc)
 		return err
 	case "4":

@@ -18,6 +18,7 @@ import (
 
 	"commsched/internal/distance"
 	"commsched/internal/mapping"
+	"commsched/internal/obs"
 	"commsched/internal/quality"
 	"commsched/internal/routing"
 	"commsched/internal/search"
@@ -58,6 +59,10 @@ type System struct {
 // NewSystem characterizes a network: builds up*/down* routing and computes
 // the table of equivalent distances (or hop distances, per opts.Metric).
 func NewSystem(net *topology.Network, opts Options) (*System, error) {
+	sp := obs.StartSpan("core.characterize",
+		obs.F("switches", net.Switches()),
+		obs.F("hosts", net.Hosts()),
+		obs.F("metric", int(opts.Metric)))
 	root := -1
 	if opts.Root != nil {
 		root = *opts.Root
@@ -81,6 +86,7 @@ func NewSystem(net *topology.Network, opts Options) (*System, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown metric %d", opts.Metric)
 	}
+	sp.End(obs.F("root", rt.Root()))
 	return &System{net: net, rt: rt, tab: tab, eval: quality.NewEvaluator(tab), metric: opts.Metric}, nil
 }
 
@@ -155,6 +161,9 @@ type Schedule struct {
 // ctx means context.Background; cancelling it stops the search promptly
 // with an error wrapping ctx.Err().
 func (s *System) Schedule(ctx context.Context, opts ScheduleOptions) (*Schedule, error) {
+	sp := obs.StartSpan("core.schedule",
+		obs.F("clusters", opts.Clusters),
+		obs.F("seed", opts.Seed))
 	var spec search.Spec
 	var err error
 	if opts.Sizes != nil {
@@ -185,6 +194,7 @@ func (s *System) Schedule(ctx context.Context, opts ScheduleOptions) (*Schedule,
 	if err != nil {
 		return nil, err
 	}
+	sp.End(obs.F("cc", q.Cc), obs.F("fg", q.FG), obs.F("evaluations", res.Evaluations))
 	return &Schedule{
 		Partition: res.Best,
 		Quality:   q,
@@ -268,6 +278,7 @@ func (s *System) IntraClusterPattern(p *mapping.Partition) (traffic.Pattern, err
 // cfg.HostCluster is unset, it is filled from the partition so the
 // returned metrics include the per-application breakdown.
 func (s *System) Simulate(p *mapping.Partition, cfg simnet.Config) (simnet.Metrics, error) {
+	defer obs.StartSpan("core.simulate", obs.F("rate", cfg.InjectionRate)).End()
 	if p == nil {
 		return simnet.Metrics{}, fmt.Errorf("core: Simulate needs a partition")
 	}

@@ -8,6 +8,7 @@ import (
 	"commsched/internal/distance"
 	"commsched/internal/fault"
 	"commsched/internal/mapping"
+	"commsched/internal/obs"
 	"commsched/internal/quality"
 	"commsched/internal/routing"
 	"commsched/internal/search"
@@ -39,6 +40,7 @@ type DegradedSystem struct {
 // metric is in use. A plan that partitions the network is rejected with
 // a descriptive error; no call path panics.
 func (s *System) Degrade(plan fault.Plan) (*DegradedSystem, error) {
+	sp := obs.StartSpan("core.degrade", obs.F("events", len(plan.Events)))
 	d, err := fault.Apply(s.net, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: degrade: %w", err)
@@ -73,6 +75,10 @@ func (s *System) Degrade(plan fault.Plan) (*DegradedSystem, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown metric %d", s.metric)
 	}
+	sp.End(
+		obs.F("switches", d.Net.Switches()),
+		obs.F("recomputed_pairs", recomputed),
+		obs.F("root_changed", newRoot < 0))
 	return &DegradedSystem{
 		System: &System{
 			net:    d.Net,
@@ -145,6 +151,7 @@ type RepairResult struct {
 // switches than a from-scratch reschedule while recovering most of its
 // clustering coefficient. A nil ctx means context.Background.
 func (ds *DegradedSystem) Repair(ctx context.Context, old *mapping.Partition, seed int64) (*RepairResult, error) {
+	sp := obs.StartSpan("core.repair", obs.F("seed", seed))
 	proj, err := ds.ProjectPartition(old)
 	if err != nil {
 		return nil, err
@@ -170,6 +177,10 @@ func (ds *DegradedSystem) Repair(ctx context.Context, old *mapping.Partition, se
 	if err != nil {
 		return nil, err
 	}
+	sp.End(
+		obs.F("moved", moved),
+		obs.F("cc_before", fromQ.Cc),
+		obs.F("cc_after", q.Cc))
 	return &RepairResult{
 		Schedule:    &Schedule{Partition: res.Best, Quality: q, Search: res},
 		From:        proj,

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"commsched/internal/linalg"
+	"commsched/internal/obs"
 	"commsched/internal/routing"
 	"commsched/internal/topology"
 )
@@ -44,6 +45,7 @@ type Table struct {
 // and surfaced as an error instead of crashing the process.
 func Compute(net *topology.Network, provider routing.PathProvider) (*Table, error) {
 	n := net.Switches()
+	sp := obs.StartSpan("distance.compute", obs.F("switches", n), obs.F("pairs", n*(n-1)/2))
 	t := newTable(n)
 	err := forEachPair(n, func(i, j int) error {
 		r, err := pairResistance(net, provider.PathLinks(i, j), i, j)
@@ -57,6 +59,7 @@ func Compute(net *topology.Network, provider routing.PathProvider) (*Table, erro
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	return t, nil
 }
 
@@ -75,6 +78,7 @@ func ComputeDelta(net *topology.Network, provider, oldProvider routing.PathProvi
 	if old.N() != n {
 		return nil, 0, fmt.Errorf("distance: old table covers %d switches, network has %d", old.N(), n)
 	}
+	sp := obs.StartSpan("distance.compute_delta", obs.F("switches", n), obs.F("pairs", n*(n-1)/2))
 	t := newTable(n)
 	var recomputed atomic.Int64
 	err := forEachPair(n, func(i, j int) error {
@@ -96,6 +100,7 @@ func ComputeDelta(net *topology.Network, provider, oldProvider routing.PathProvi
 	if err != nil {
 		return nil, 0, err
 	}
+	sp.End(obs.F("recomputed", int(recomputed.Load())), obs.F("reused", n*(n-1)/2-int(recomputed.Load())))
 	return t, int(recomputed.Load()), nil
 }
 

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// goldenCompare checks got against testdata/<name> byte for byte, or
+// rewrites the file under -update.
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file %s unreadable (regenerate with -update): %v", path, err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Report the first diverging line so a mismatch is diagnosable
+	// without external diff tooling.
+	gotLines := bytes.Split(got, []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("%s differs at line %d:\n got: %s\nwant: %s", name, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("%s differs in length: got %d lines, want %d", name, len(gotLines), len(wantLines))
+}
+
+// TestGoldenFig1CSV pins the Figure 1 Tabu trace on the canonical
+// 16-switch instance: the search is fully deterministic under its fixed
+// seed, so the CSV must be byte-stable across runs and platforms.
+func TestGoldenFig1CSV(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "fig1.csv", buf.Bytes())
+}
+
+// TestGoldenFig3AndFig6CSV pins the quick-scale Figure 3 simulation series
+// and the Figure 6 correlation derived from it, both on the fixed
+// 16-switch seed. One simulation feeds both files, so the figures stay
+// mutually consistent.
+func TestGoldenFig3AndFig6CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation golden test skipped in -short mode")
+	}
+	sim, err := Fig3(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "fig3_quick.csv", buf.Bytes())
+
+	corr, err := CorrelationFromSim(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := corr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "fig6_quick.csv", buf.Bytes())
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	man := NewManifest("test", QuickScale())
+	net, err := Network16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := man.AddTopology("irregular16", net); err != nil {
+		t.Fatal(err)
+	}
+	// The hash must be a function of the topology alone.
+	net2, err := Network16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	man2 := NewManifest("test", QuickScale())
+	if err := man2.AddTopology("irregular16", net2); err != nil {
+		t.Fatal(err)
+	}
+	if man.Topologies["irregular16"] != man2.Topologies["irregular16"] {
+		t.Fatalf("topology hash not deterministic: %s vs %s",
+			man.Topologies["irregular16"], man2.Topologies["irregular16"])
+	}
+	if len(man.Topologies["irregular16"]) != 64 {
+		t.Fatalf("want hex SHA-256, got %q", man.Topologies["irregular16"])
+	}
+
+	man.Finish()
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := man.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("manifest not parseable: %v", err)
+	}
+	if got.Command != "test" || got.GoVersion == "" {
+		t.Fatalf("manifest fields lost: %+v", got)
+	}
+	if got.Seeds["schedule"] != ScheduleSeed || got.Seeds["sim"] != SimSeed {
+		t.Fatalf("manifest seeds wrong: %+v", got.Seeds)
+	}
+	if time.Since(got.StartedAt) > time.Hour {
+		t.Fatalf("implausible start time %v", got.StartedAt)
+	}
+}
+
+func TestManifestEmitIsNoOpWithoutSink(t *testing.T) {
+	man := NewManifest(fmt.Sprintf("cmd-%d", os.Getpid()), QuickScale())
+	man.Finish()
+	man.Emit() // must not panic or block with observability off
+}

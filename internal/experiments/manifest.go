@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"commsched/internal/obs"
+	"commsched/internal/topology"
+)
+
+// Manifest records the provenance of one experiment run so that a figure
+// or CSV file can be traced back to the exact code, seeds, and topology
+// instances that produced it. Commands create one at startup, add the
+// topologies they instantiate, and write it next to their outputs (and
+// into the observability trace) when the run finishes.
+type Manifest struct {
+	// Command is the producing binary ("paperfigs", "netsim", ...).
+	Command string `json:"command"`
+	// Args are the command-line arguments of the run.
+	Args []string `json:"args,omitempty"`
+	// StartedAt is the wall-clock start of the run (UTC).
+	StartedAt time.Time `json:"started_at"`
+	// DurationMS is the run's total wall time, filled by Finish.
+	DurationMS float64 `json:"duration_ms"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS revision baked into the build (empty for
+	// plain `go run` / test binaries without VCS stamping).
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// Scale is the simulation effort the run used.
+	Scale Scale `json:"scale"`
+	// Seeds are the canonical seeds of the reproduction.
+	Seeds map[string]int64 `json:"seeds"`
+	// Topologies maps instance names to the SHA-256 of their canonical
+	// JSON serialization — two runs with equal hashes simulated the
+	// exact same network.
+	Topologies map[string]string `json:"topologies,omitempty"`
+}
+
+// NewManifest starts a manifest for a command at the given scale, stamping
+// the start time, toolchain, VCS revision, and the package's canonical
+// seeds.
+func NewManifest(command string, sc Scale) *Manifest {
+	m := &Manifest{
+		Command:   command,
+		Args:      os.Args[1:],
+		StartedAt: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		Scale:     sc,
+		Seeds: map[string]int64{
+			"topology16":         TopologySeed16,
+			"schedule":           ScheduleSeed,
+			"random_mapping_base": RandomMappingSeedBase,
+			"sim":                SimSeed,
+		},
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.Revision = s.Value
+			case "vcs.modified":
+				m.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// AddTopology records the canonical hash of a network instance under name.
+func (m *Manifest) AddTopology(name string, net *topology.Network) error {
+	data, err := net.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("experiments: hashing topology %s: %w", name, err)
+	}
+	sum := sha256.Sum256(data)
+	if m.Topologies == nil {
+		m.Topologies = make(map[string]string)
+	}
+	m.Topologies[name] = hex.EncodeToString(sum[:])
+	return nil
+}
+
+// Finish stamps the run duration. Safe to call more than once (the last
+// call wins).
+func (m *Manifest) Finish() {
+	m.DurationMS = float64(time.Since(m.StartedAt)) / float64(time.Millisecond)
+}
+
+// Write stores the manifest as indented JSON at path.
+func (m *Manifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: encoding manifest: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Emit mirrors the manifest into the observability trace as one
+// "run.manifest" event (no-op when no sink is installed).
+func (m *Manifest) Emit() {
+	if !obs.Enabled() {
+		return
+	}
+	fields := []obs.Field{
+		obs.F("command", m.Command),
+		obs.F("go_version", m.GoVersion),
+		obs.F("started_at", m.StartedAt.Format(time.RFC3339Nano)),
+		obs.F("duration_ms", m.DurationMS),
+		obs.F("seed_schedule", m.Seeds["schedule"]),
+		obs.F("seed_sim", m.Seeds["sim"]),
+	}
+	if m.Revision != "" {
+		fields = append(fields, obs.F("revision", m.Revision), obs.F("dirty", m.Dirty))
+	}
+	for name, hash := range m.Topologies {
+		fields = append(fields, obs.F("topology_"+name, hash))
+	}
+	obs.Event("run.manifest", fields...)
+}

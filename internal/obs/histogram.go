@@ -1,0 +1,107 @@
+package obs
+
+import "math"
+
+// Histogram counts observations into fixed upper-bound buckets, tracking
+// count, sum, min, and max. It is not safe for concurrent use — each
+// owner (e.g. one simulator run) keeps its own and flushes it with Emit.
+type Histogram struct {
+	name   string
+	bounds []float64 // ascending upper bounds; an implicit +Inf follows
+	counts []int64   // len(bounds)+1, last is the overflow bucket
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+// An observation v lands in the first bucket with v <= bound, or in the
+// overflow bucket past the last bound.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		name:   name,
+		bounds: b,
+		counts: make([]int64, len(b)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// PowersOfTwoBounds returns {0, 1, 2, 4, …, 2^(n-1)} — the occupancy
+// bucket ladder used for queue-depth histograms.
+func PowersOfTwoBounds(n int) []float64 {
+	bounds := make([]float64, 0, n+1)
+	bounds = append(bounds, 0)
+	v := 1.0
+	for i := 0; i < n; i++ {
+		bounds = append(bounds, v)
+		v *= 2
+	}
+	return bounds
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// BucketCounts returns a copy of the per-bucket counts (the last entry is
+// the overflow bucket).
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Record builds the flush record: kind "hist" with bounds, counts, count,
+// sum, mean, min, and max fields, plus any extras.
+func (h *Histogram) Record(fields ...Field) Record {
+	min, max := h.min, h.max
+	if h.count == 0 {
+		min, max = 0, 0
+	}
+	fs := append([]Field{
+		F("bounds", h.bounds),
+		F("counts", h.BucketCounts()),
+		F("count", h.count),
+		F("sum", h.sum),
+		F("mean", h.Mean()),
+		F("min", min),
+		F("max", max),
+	}, fields...)
+	return Record{Kind: "hist", Name: h.name, Fields: fs}
+}
+
+// Emit flushes the histogram into the stream (no-op when disabled).
+func (h *Histogram) Emit(fields ...Field) {
+	if !Enabled() {
+		return
+	}
+	Emit(h.Record(fields...))
+}

@@ -1,0 +1,165 @@
+// Package obs is the repo's zero-dependency observability layer: counters,
+// gauges, fixed-bucket histograms, span-style timers, and point events,
+// all flowing through one pluggable Sink.
+//
+// The paper's claims are quantitative (Cc as a bandwidth proxy, Tabu
+// convergence within ~20 iterations, saturation-point shifts in the
+// wormhole simulator), so the instrumented hot paths — searchers, the
+// distance-table construction, and the flit-level simulator — emit
+// machine-readable records that make a whole run reproducible and
+// diagnosable from its trace.
+//
+// Cost model: the default state has no sink installed and every emission
+// helper returns immediately after one atomic pointer load; hot loops
+// additionally guard with Enabled() so that field slices are never built.
+// Installing a sink (SetSink, or CLISetup from a command's -metrics flag)
+// turns the stream on process-wide.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Field is one key/value attribute of a Record. Values should be plain
+// scalars, strings, or small slices so every sink can encode them.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Record is one observability datum. Kind is "event" for point-in-time
+// facts, "span" for timed regions (Dur is set), and "hist" for flushed
+// histograms (bucket data travels in Fields).
+type Record struct {
+	// Time is the event time (span start time for spans).
+	Time time.Time
+	// Kind is "event", "span", or "hist".
+	Kind string
+	// Name identifies the instrumentation point, e.g. "search.restart".
+	Name string
+	// Dur is the elapsed time of a span (zero otherwise).
+	Dur time.Duration
+	// Fields carries the record's attributes.
+	Fields []Field
+}
+
+// sinkBox wraps the Sink interface value so the global can live in an
+// atomic.Pointer.
+type sinkBox struct{ s Sink }
+
+var global atomic.Pointer[sinkBox]
+
+// Enabled reports whether a sink is installed. Hot loops check it before
+// assembling fields; a false result costs one atomic load.
+func Enabled() bool { return global.Load() != nil }
+
+// SetSink installs the process-wide sink. Passing nil uninstalls it and
+// restores the free default. The sink must be safe for concurrent use.
+func SetSink(s Sink) {
+	if s == nil {
+		global.Store(nil)
+		return
+	}
+	global.Store(&sinkBox{s: s})
+}
+
+// CurrentSink returns the installed sink, or nil when observability is
+// off.
+func CurrentSink() Sink {
+	if b := global.Load(); b != nil {
+		return b.s
+	}
+	return nil
+}
+
+// Emit forwards a fully built record to the sink; it is dropped when no
+// sink is installed. A zero Time is stamped with the current time.
+func Emit(r Record) {
+	b := global.Load()
+	if b == nil {
+		return
+	}
+	if r.Time.IsZero() {
+		r.Time = time.Now()
+	}
+	b.s.Emit(r)
+}
+
+// Event emits a point-in-time record.
+func Event(name string, fields ...Field) {
+	b := global.Load()
+	if b == nil {
+		return
+	}
+	b.s.Emit(Record{Time: time.Now(), Kind: "event", Name: name, Fields: fields})
+}
+
+// Span is a timed region. StartSpan returns nil when observability is
+// off, and a nil *Span is safe to End — call sites stay branchless:
+//
+//	defer obs.StartSpan("core.schedule").End()
+type Span struct {
+	name   string
+	start  time.Time
+	fields []Field
+}
+
+// StartSpan opens a span; the fields given here are recorded alongside
+// any fields passed to End.
+func StartSpan(name string, fields ...Field) *Span {
+	if global.Load() == nil {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), fields: fields}
+}
+
+// End closes the span and emits its record. Extra fields are appended to
+// the ones given at StartSpan. End on a nil span is a no-op.
+func (s *Span) End(fields ...Field) {
+	if s == nil {
+		return
+	}
+	b := global.Load()
+	if b == nil {
+		return
+	}
+	b.s.Emit(Record{
+		Time:   s.start,
+		Kind:   "span",
+		Name:   s.name,
+		Dur:    time.Since(s.start),
+		Fields: append(s.fields, fields...),
+	})
+}
+
+// Counter is a cumulative atomic counter for concurrent accumulation
+// (e.g. pair rebuilds across distance workers). Flush it into the stream
+// with EmitValue.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// EmitValue emits the counter as an event with a "value" field.
+func (c *Counter) EmitValue(name string, fields ...Field) {
+	if !Enabled() {
+		return
+	}
+	Event(name, append(fields, F("value", c.v.Load()))...)
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }

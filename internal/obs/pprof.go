@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile at path and returns the stop
+// function that finalizes and closes it.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating cpu profile %s: %w", path, err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile snapshots the heap to path (after a GC, so the profile
+// reflects live objects).
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: creating heap profile %s: %w", path, err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: writing heap profile: %w", err)
+	}
+	return nil
+}
+
+// CLISetup wires the standard observability flags of the repo's commands:
+// metricsPath installs a JSONL sink (empty = observability off) and
+// cpuProfile starts a CPU profile (empty = none). The returned cleanup
+// stops the profile, flushes and uninstalls the sink, and writes
+// memProfile when non-empty; commands defer it around their run.
+func CLISetup(metricsPath, cpuProfile, memProfile string) (cleanup func() error, err error) {
+	var (
+		sink    *JSONL
+		stopCPU func() error
+	)
+	if metricsPath != "" {
+		sink, err = OpenJSONL(metricsPath)
+		if err != nil {
+			return nil, err
+		}
+		SetSink(sink)
+	}
+	if cpuProfile != "" {
+		stopCPU, err = StartCPUProfile(cpuProfile)
+		if err != nil {
+			if sink != nil {
+				SetSink(nil)
+				sink.Close()
+			}
+			return nil, err
+		}
+	}
+	return func() error {
+		var first error
+		if stopCPU != nil {
+			first = stopCPU()
+		}
+		if memProfile != "" {
+			if err := WriteHeapProfile(memProfile); err != nil && first == nil {
+				first = err
+			}
+		}
+		if sink != nil {
+			SetSink(nil)
+			if err := sink.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Sink receives every emitted record. Implementations must be safe for
+// concurrent use: searchers, sweep workers, and distance workers emit
+// from multiple goroutines.
+type Sink interface {
+	Emit(r Record)
+}
+
+// Nop is a Sink that drops everything; installing it is equivalent to
+// enabling the pipeline without output (useful to measure emission cost).
+type Nop struct{}
+
+// Emit implements Sink.
+func (Nop) Emit(Record) {}
+
+// Memory collects records in memory — the test and inspection sink.
+type Memory struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Emit implements Sink.
+func (m *Memory) Emit(r Record) {
+	m.mu.Lock()
+	m.records = append(m.records, r)
+	m.mu.Unlock()
+}
+
+// Records returns a copy of everything captured so far.
+func (m *Memory) Records() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, len(m.records))
+	copy(out, m.records)
+	return out
+}
+
+// ByName returns the captured records with the given name.
+func (m *Memory) ByName(name string) []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Record
+	for _, r := range m.records {
+		if r.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Len returns the number of captured records.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.records)
+}
+
+// Reset discards everything captured so far.
+func (m *Memory) Reset() {
+	m.mu.Lock()
+	m.records = nil
+	m.mu.Unlock()
+}
+
+// JSONL writes one JSON object per record — the machine-readable trace
+// format behind the CLIs' -metrics flag. Reserved keys are "ts", "kind",
+// "name", and "dur_ms"; field keys are flattened into the same object, so
+// instrumentation must avoid those names. Keys are emitted sorted
+// (encoding/json map order), making traces diff-friendly.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONL wraps a writer. Close (or Flush) must be called to drain the
+// internal buffer.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// OpenJSONL creates (truncates) a trace file at path.
+func OpenJSONL(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening trace %s: %w", path, err)
+	}
+	return NewJSONL(f), nil
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(r Record) {
+	obj := make(map[string]any, len(r.Fields)+4)
+	obj["ts"] = r.Time.UTC().Format("2006-01-02T15:04:05.000000Z07:00")
+	obj["kind"] = r.Kind
+	obj["name"] = r.Name
+	if r.Dur > 0 {
+		obj["dur_ms"] = float64(r.Dur.Microseconds()) / 1000
+	}
+	for _, f := range r.Fields {
+		obj[f.Key] = f.Value
+	}
+	line, err := json.Marshal(obj)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		if j.err == nil {
+			j.err = fmt.Errorf("obs: encoding record %q: %w", r.Name, err)
+		}
+		return
+	}
+	if j.err != nil {
+		return
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and reports the first write error.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Close flushes and closes the underlying file when there is one.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

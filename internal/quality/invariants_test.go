@@ -1,0 +1,153 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"commsched/internal/distance"
+	"commsched/internal/mapping"
+	"commsched/internal/routing"
+	"commsched/internal/topology"
+)
+
+// Invariant checks of the quality evaluator against the raw definitions,
+// over random instances and random partitions: the intra/inter split of
+// the total squared distance, and agreement of the incremental swap delta
+// (the quantity Tabu's inner loop accumulates) with from-scratch
+// re-evaluation over whole move chains.
+
+const invEps = 1e-9
+
+// randomInstance builds an evaluator plus its distance table for one
+// random irregular network.
+func randomInstance(t *testing.T, switches int, seed int64) (*distance.Table, *Evaluator) {
+	t.Helper()
+	net, err := topology.RandomIrregular(switches, 3, rand.New(rand.NewSource(seed)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := distance.Compute(net, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, NewEvaluator(tab)
+}
+
+// bruteInterSum sums T² over unordered pairs in different clusters.
+func bruteInterSum(e *Evaluator, p *mapping.Partition) float64 {
+	s := 0.0
+	for i := 0; i < p.N(); i++ {
+		for j := i + 1; j < p.N(); j++ {
+			if p.Cluster(i) != p.Cluster(j) {
+				s += e.PairSquared(i, j)
+			}
+		}
+	}
+	return s
+}
+
+// TestIntraPlusInterEqualsSumSquares: every unordered pair is either
+// intra- or inter-cluster, so IntraSum + InterSum must equal Σ_{i<j} T²
+// for any partition — the identity Dissimilarity relies on to avoid a
+// second O(N²) pass.
+func TestIntraPlusInterEqualsSumSquares(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			tab, e := randomInstance(t, 16, seed)
+			rng := rand.New(rand.NewSource(seed * 977))
+			for trial := 0; trial < 10; trial++ {
+				// Random composition of 16 switches into 2–5 clusters of
+				// arbitrary (positive) sizes.
+				m := 2 + rng.Intn(4)
+				sizes := make([]int, m)
+				for i := range sizes {
+					sizes[i] = 1
+				}
+				for left := 16 - m; left > 0; left-- {
+					sizes[rng.Intn(m)]++
+				}
+				p, err := mapping.RandomSizes(sizes, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				intra := e.IntraSum(p)
+				inter := bruteInterSum(e, p)
+				if got, want := intra+inter, tab.SumSquares(); math.Abs(got-want) > invEps {
+					t.Fatalf("trial %d (m=%d): intra %v + inter %v = %v, want SumSquares %v",
+						trial, m, intra, inter, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSwapDeltaChainMatchesFromScratch replays Tabu-style move chains:
+// starting from a random partition, apply a sequence of random
+// inter-cluster swaps, maintaining the objective incrementally through
+// SwapDelta exactly as the search does, and check after every move that
+// the running value matches a from-scratch IntraSum of the mutated
+// partition. This catches both per-move delta errors and error
+// accumulation across a chain.
+func TestSwapDeltaChainMatchesFromScratch(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			_, e := randomInstance(t, 16, seed)
+			rng := rand.New(rand.NewSource(seed * 1543))
+			p, err := mapping.Random(16, 4, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			running := e.IntraSum(p)
+			for move := 0; move < 64; move++ {
+				u, v := rng.Intn(16), rng.Intn(16)
+				delta := e.SwapDelta(p, u, v)
+				if p.Cluster(u) == p.Cluster(v) {
+					if delta != 0 {
+						t.Fatalf("move %d: same-cluster swap (%d,%d) has delta %v", move, u, v, delta)
+					}
+					continue
+				}
+				p.Swap(u, v)
+				running += delta
+				if fresh := e.IntraSum(p); math.Abs(running-fresh) > invEps {
+					t.Fatalf("move %d: incremental objective %v drifted from fresh %v (swap %d,%d)",
+						move, running, fresh, u, v)
+				}
+			}
+		})
+	}
+}
+
+// TestSwapDeltaIsAntisymmetric: undoing a swap must cost exactly the
+// negated delta of doing it.
+func TestSwapDeltaIsAntisymmetric(t *testing.T) {
+	_, e := randomInstance(t, 12, 9)
+	rng := rand.New(rand.NewSource(99))
+	p, err := mapping.Random(12, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 32; trial++ {
+		u, v := rng.Intn(12), rng.Intn(12)
+		if p.Cluster(u) == p.Cluster(v) {
+			continue
+		}
+		fwd := e.SwapDelta(p, u, v)
+		p.Swap(u, v)
+		back := e.SwapDelta(p, u, v)
+		p.Swap(u, v)
+		if math.Abs(fwd+back) > invEps {
+			t.Fatalf("trial %d: forward delta %v, backward delta %v, sum %v != 0", trial, fwd, back, fwd+back)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"commsched/internal/obs"
 	"commsched/internal/quality"
 )
 
@@ -39,6 +40,7 @@ func (a *Anneal) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rn
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan("search.anneal", obs.F("restarts", a.Restarts), obs.F("steps", a.Steps))
 	res := &Result{}
 	for restart := 0; restart < a.Restarts; restart++ {
 		p, err := spec.randomPartition(rng)
@@ -46,6 +48,7 @@ func (a *Anneal) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rn
 			return nil, err
 		}
 		cur := e.IntraSum(p)
+		start := cur
 		if res.Best == nil || cur < res.BestIntraSum {
 			res.Best = p.Clone()
 			res.BestIntraSum = cur
@@ -55,6 +58,8 @@ func (a *Anneal) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rn
 			temp = a.calibrate(e, spec, rng)
 		}
 		n := p.N()
+		accepted, evals, improving := 0, 0, 0
+		improvement := 0.0
 		for step := 0; step < a.Steps; step++ {
 			if step%256 == 0 {
 				if err := ctx.Err(); err != nil {
@@ -67,10 +72,16 @@ func (a *Anneal) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rn
 			}
 			d := e.SwapDelta(p, u, v)
 			res.Evaluations++
+			evals++
 			if d <= 0 || (temp > 0 && rng.Float64() < math.Exp(-d/temp)) {
 				p.Swap(u, v)
 				cur += d
 				res.Iterations++
+				accepted++
+				if d < 0 {
+					improving++
+					improvement -= d
+				}
 				if cur < res.BestIntraSum-valueEpsilon {
 					res.Best = p.Clone()
 					res.BestIntraSum = cur
@@ -78,8 +89,23 @@ func (a *Anneal) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rn
 			}
 			temp *= a.Cooling
 		}
+		if obs.Enabled() {
+			obs.Event("search.restart",
+				obs.F("heuristic", "simulated-annealing"),
+				obs.F("restart", restart),
+				obs.F("iterations", accepted),
+				obs.F("evaluations", evals),
+				obs.F("improving_moves", improving),
+				obs.F("improvement", improvement),
+				obs.F("start", start),
+				obs.F("final", cur),
+				obs.F("final_temp", temp),
+				obs.F("best", res.BestIntraSum))
+		}
 	}
-	return finishResult(e, res), nil
+	res = finishResult(e, res)
+	sp.End(obs.F("best", res.BestIntraSum), obs.F("evaluations", res.Evaluations), obs.F("iterations", res.Iterations))
+	return res, nil
 }
 
 // calibrate estimates a starting temperature as the mean |Δ| over random

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"commsched/internal/mapping"
+	"commsched/internal/obs"
 	"commsched/internal/quality"
 )
 
@@ -49,6 +50,7 @@ func (g *Genetic) Search(ctx context.Context, e *quality.Evaluator, spec Spec, r
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan("search.genetic", obs.F("population", g.Population), obs.F("generations", g.Generations))
 	res := &Result{}
 	n := spec.N()
 	pop := make([]chromosome, g.Population)
@@ -78,6 +80,15 @@ func (g *Genetic) Search(ctx context.Context, e *quality.Evaluator, spec Spec, r
 			res.Evaluations++
 			next = append(next, c)
 		}
+		if obs.Enabled() {
+			// pop is still sorted from the selection step above.
+			obs.Event("search.generation",
+				obs.F("heuristic", "genetic"),
+				obs.F("generation", gen),
+				obs.F("best", pop[0].val),
+				obs.F("worst", pop[len(pop)-1].val),
+				obs.F("evaluations", res.Evaluations))
+		}
 		pop = next
 		res.Iterations++
 	}
@@ -87,7 +98,9 @@ func (g *Genetic) Search(ctx context.Context, e *quality.Evaluator, spec Spec, r
 		return nil, err
 	}
 	res.Best = best
-	return finishResult(e, res), nil
+	res = finishResult(e, res)
+	sp.End(obs.F("best", res.BestIntraSum), obs.F("evaluations", res.Evaluations), obs.F("iterations", res.Iterations))
+	return res, nil
 }
 
 // tournament picks the best of K random chromosomes.

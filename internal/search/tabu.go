@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"commsched/internal/mapping"
+	"commsched/internal/obs"
 	"commsched/internal/quality"
 )
 
@@ -33,11 +34,10 @@ type Tabu struct {
 	// RecordTrace enables TracePoint recording (Figure 1).
 	RecordTrace bool
 	// Parallel runs the restarts concurrently on GOMAXPROCS goroutines.
-	// Each restart is fully independent (its seed is pre-drawn from the
-	// caller's rng, and the aspiration criterion is scoped per restart),
-	// so the result is deterministic for a given rng state — though it
-	// may differ from the sequential run, whose restarts share their
-	// incumbent. Incompatible with RecordTrace.
+	// Both modes pre-draw one seed per restart from the caller's rng and
+	// scope the aspiration criterion to the restart, so for a given rng
+	// state the sequential and parallel runs return the identical Result
+	// regardless of scheduling. Incompatible with RecordTrace.
 	Parallel bool
 }
 
@@ -70,13 +70,16 @@ func (t *Tabu) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rng 
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan("search.tabu", obs.F("restarts", t.Restarts), obs.F("parallel", t.Parallel))
 	res, err := t.searchObjective(orBackground(ctx), e, spec, rng, func(p *mapping.Partition) float64 {
 		return e.Similarity(p)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return finishResult(e, res), nil
+	res = finishResult(e, res)
+	sp.End(obs.F("best", res.BestIntraSum), obs.F("evaluations", res.Evaluations), obs.F("iterations", res.Iterations))
+	return res, nil
 }
 
 // SearchObjective runs the identical Tabu procedure over an arbitrary
@@ -87,7 +90,13 @@ func (t *Tabu) SearchObjective(ctx context.Context, obj Objective, spec Spec, rn
 	if err := validateSpecShape(spec); err != nil {
 		return nil, err
 	}
-	return t.searchObjective(orBackground(ctx), obj, spec, rng, nil)
+	sp := obs.StartSpan("search.tabu", obs.F("restarts", t.Restarts), obs.F("parallel", t.Parallel))
+	res, err := t.searchObjective(orBackground(ctx), obj, spec, rng, nil)
+	if err != nil {
+		return nil, err
+	}
+	sp.End(obs.F("best", res.BestIntraSum), obs.F("evaluations", res.Evaluations), obs.F("iterations", res.Iterations))
+	return res, nil
 }
 
 // SearchFrom runs a single warm-started Tabu pass from an existing
@@ -113,11 +122,13 @@ func (t *Tabu) SearchFrom(ctx context.Context, obj Objective, spec Spec, rng *ra
 				c, start.Size(c), spec.Sizes[c])
 		}
 	}
+	sp := obs.StartSpan("search.tabu_warm", obs.F("n", start.N()), obs.F("m", start.M()))
 	res := &Result{}
 	globalIter := 0
 	if err := t.runRestart(ctx, obj, start.Clone(), res, 0, &globalIter, nil); err != nil {
 		return nil, err
 	}
+	sp.End(obs.F("best", res.BestIntraSum), obs.F("evaluations", res.Evaluations), obs.F("iterations", res.Iterations))
 	return res, nil
 }
 
@@ -137,35 +148,89 @@ func validateSpecShape(spec Spec) error {
 
 // searchObjective is the shared Tabu core. traceF, when non-nil and
 // RecordTrace is set, maps partitions to the recorded trace value.
+//
+// Restart seeds are pre-drawn sequentially from rng and every restart is
+// fully independent (own starting partition, own incumbent for the
+// aspiration criterion), so the sequential and parallel paths return the
+// identical Result for one rng state.
 func (t *Tabu) searchObjective(ctx context.Context, obj Objective, spec Spec, rng *rand.Rand, traceF func(*mapping.Partition) float64) (*Result, error) {
 	if t.Parallel {
 		return t.searchParallel(ctx, obj, spec, rng)
 	}
-	res := &Result{}
+	seeds := restartSeeds(rng, t.Restarts)
+	merged := &Result{}
 	globalIter := 0
 	var record func(p *mapping.Partition, restart int)
 	if t.RecordTrace && traceF != nil {
 		record = func(p *mapping.Partition, restart int) {
-			res.Trace = append(res.Trace, TracePoint{Iteration: globalIter, Restart: restart, F: traceF(p)})
+			merged.Trace = append(merged.Trace, TracePoint{Iteration: globalIter, Restart: restart, F: traceF(p)})
 		}
 	}
-	for restart := 0; restart < t.Restarts; restart++ {
-		p, err := spec.randomPartition(rng)
+	for restart, seed := range seeds {
+		sub, err := t.runSeededRestart(ctx, obj, spec, seed, restart, &globalIter, record)
 		if err != nil {
 			return nil, err
 		}
-		if err := t.runRestart(ctx, obj, p, res, restart, &globalIter, record); err != nil {
-			return nil, err
-		}
+		mergeResult(merged, sub)
 	}
-	return res, nil
+	return merged, nil
+}
+
+// restartSeeds pre-draws one seed per restart, making the set of starting
+// partitions a pure function of the incoming rng state in both the
+// sequential and parallel modes.
+func restartSeeds(rng *rand.Rand, n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	return seeds
+}
+
+// runSeededRestart executes one independent restart from its pre-drawn
+// seed and returns its private Result.
+func (t *Tabu) runSeededRestart(ctx context.Context, obj Objective, spec Spec, seed int64, restart int, globalIter *int, record func(*mapping.Partition, int)) (*Result, error) {
+	p, err := spec.randomPartition(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	sub := &Result{}
+	if err := t.runRestart(ctx, obj, p, sub, restart, globalIter, record); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// mergeResult folds one restart's result into the aggregate, keeping the
+// strictly better incumbent (first restart wins ties, matching the
+// sequential visit order).
+func mergeResult(dst, src *Result) {
+	dst.Evaluations += src.Evaluations
+	dst.Iterations += src.Iterations
+	if dst.Best == nil || src.BestIntraSum < dst.BestIntraSum-valueEpsilon {
+		dst.Best = src.Best
+		dst.BestIntraSum = src.BestIntraSum
+	}
+}
+
+// restartStats accumulates the observability counters of one Tabu
+// restart: neighborhood-scan activity and move outcomes.
+type restartStats struct {
+	iterations  int     // accepted moves this restart
+	evaluations int     // candidate evaluations this restart
+	tabuHits    int     // candidate moves rejected by the tabu list
+	aspirations int     // tabu moves admitted by the aspiration criterion
+	improving   int     // accepted moves with negative delta
+	uphill      int     // tabu-escape moves (non-negative delta)
+	improvement float64 // total objective decrease from improving moves
 }
 
 // runRestart executes one Tabu pass from the given starting partition,
 // updating res in place. The partition is mutated.
 func (t *Tabu) runRestart(ctx context.Context, obj Objective, p *mapping.Partition, res *Result, restart int, globalIter *int, record func(*mapping.Partition, int)) error {
-	cur := obj.IntraSum(p)
-	t.consider(res, p, cur)
+	start := obj.IntraSum(p)
+	cur := start
+	t.consider(obj, res, p, cur)
 	if record != nil {
 		record(p, restart)
 	}
@@ -174,14 +239,17 @@ func (t *Tabu) runRestart(ctx context.Context, obj Objective, p *mapping.Partiti
 	tabu := map[[2]int]int{}
 	localMinima := []float64{} // values of local minima reached this restart
 	repeats := 0
+	var stats restartStats
 
 	for iter := 0; iter < t.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("search: tabu cancelled: %w", err)
 		}
 		*globalIter++
-		bestU, bestV, bestDelta, found := t.bestMove(obj, p, tabu, iter, cur, res.BestIntraSum)
-		res.Evaluations += evalsPerSweep(p)
+		bestU, bestV, bestDelta, found := t.bestMove(obj, p, tabu, iter, cur, res.BestIntraSum, &stats)
+		sweep := evalsPerSweep(p)
+		res.Evaluations += sweep
+		stats.evaluations += sweep
 		if !found {
 			// Fully tabu neighborhood (tiny instances): nothing to do.
 			break
@@ -196,30 +264,53 @@ func (t *Tabu) runRestart(ctx context.Context, obj Objective, p *mapping.Partiti
 			// Escape uphill with the smallest increase; forbid the
 			// inverse move for Tenure iterations.
 			tabu[moveKey(bestU, bestV)] = iter + 1 + t.Tenure
+			stats.uphill++
+		} else {
+			stats.improving++
+			stats.improvement -= bestDelta
 		}
 		p.Swap(bestU, bestV)
 		cur += bestDelta
 		res.Iterations++
-		t.consider(res, p, cur)
+		stats.iterations++
+		t.consider(obj, res, p, cur)
 		if record != nil {
 			record(p, restart)
 		}
 	}
+	if obs.Enabled() {
+		tabuRate := 0.0
+		if stats.evaluations > 0 {
+			tabuRate = float64(stats.tabuHits) / float64(stats.evaluations)
+		}
+		obs.Event("search.restart",
+			obs.F("heuristic", "tabu"),
+			obs.F("restart", restart),
+			obs.F("iterations", stats.iterations),
+			obs.F("evaluations", stats.evaluations),
+			obs.F("tabu_hits", stats.tabuHits),
+			obs.F("tabu_hit_rate", tabuRate),
+			obs.F("aspirations", stats.aspirations),
+			obs.F("improving_moves", stats.improving),
+			obs.F("uphill_moves", stats.uphill),
+			obs.F("improvement", stats.improvement),
+			obs.F("start", start),
+			obs.F("final", cur),
+			obs.F("best", res.BestIntraSum))
+	}
 	return nil
 }
 
-// searchParallel fans the restarts across GOMAXPROCS workers. Restart
-// seeds are pre-drawn sequentially from rng, so the outcome is a pure
-// function of the incoming rng state regardless of scheduling. A worker
-// panic is recovered into a returned error.
+// searchParallel fans the restarts across GOMAXPROCS workers. It runs the
+// exact per-restart procedure of the sequential path on the same pre-drawn
+// seeds and merges in restart order, so the outcome is identical to the
+// sequential run regardless of scheduling. A worker panic is recovered
+// into a returned error.
 func (t *Tabu) searchParallel(ctx context.Context, obj Objective, spec Spec, rng *rand.Rand) (*Result, error) {
 	if t.RecordTrace {
 		return nil, fmt.Errorf("search: Tabu trace recording is not supported with Parallel")
 	}
-	seeds := make([]int64, t.Restarts)
-	for i := range seeds {
-		seeds[i] = rng.Int63()
-	}
+	seeds := restartSeeds(rng, t.Restarts)
 	results := make([]*Result, t.Restarts)
 	errs := make([]error, t.Restarts)
 	workers := runtime.GOMAXPROCS(0)
@@ -244,13 +335,8 @@ func (t *Tabu) searchParallel(ctx context.Context, obj Objective, spec Spec, rng
 				if i >= t.Restarts {
 					return
 				}
-				single := &Tabu{
-					Restarts:      1,
-					MaxIterations: t.MaxIterations,
-					RepeatLimit:   t.RepeatLimit,
-					Tenure:        t.Tenure,
-				}
-				results[i], errs[i] = single.searchObjective(ctx, obj, spec, rand.New(rand.NewSource(seeds[i])), nil)
+				iter := 0
+				results[i], errs[i] = t.runSeededRestart(ctx, obj, spec, seeds[i], i, &iter, nil)
 			}
 		}()
 	}
@@ -263,21 +349,16 @@ func (t *Tabu) searchParallel(ctx context.Context, obj Objective, spec Spec, rng
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
-		r := results[i]
-		merged.Evaluations += r.Evaluations
-		merged.Iterations += r.Iterations
-		if merged.Best == nil || r.BestIntraSum < merged.BestIntraSum-valueEpsilon {
-			merged.Best = r.Best
-			merged.BestIntraSum = r.BestIntraSum
-		}
+		mergeResult(merged, results[i])
 	}
 	return merged, nil
 }
 
 // bestMove scans all inter-cluster swaps and returns the non-tabu move
 // with the smallest delta. Tabu moves are admissible when they would beat
-// the global best (aspiration criterion).
-func (t *Tabu) bestMove(e Objective, p *mapping.Partition, tabu map[[2]int]int, iter int, cur, globalBest float64) (u, v int, delta float64, found bool) {
+// the global best (aspiration criterion). stats accumulates tabu-hit and
+// aspiration counts for the restart's observability record.
+func (t *Tabu) bestMove(e Objective, p *mapping.Partition, tabu map[[2]int]int, iter int, cur, globalBest float64, stats *restartStats) (u, v int, delta float64, found bool) {
 	n := p.N()
 	delta = math.Inf(1)
 	for a := 0; a < n; a++ {
@@ -290,8 +371,10 @@ func (t *Tabu) bestMove(e Objective, p *mapping.Partition, tabu map[[2]int]int, 
 				// Aspiration: allow a tabu move only if it improves on the
 				// best value seen anywhere.
 				if globalBest == 0 || cur+d >= globalBest-valueEpsilon {
+					stats.tabuHits++
 					continue
 				}
+				stats.aspirations++
 			}
 			if d < delta {
 				u, v, delta, found = a, b, d, true
@@ -301,11 +384,16 @@ func (t *Tabu) bestMove(e Objective, p *mapping.Partition, tabu map[[2]int]int, 
 	return u, v, delta, found
 }
 
-// consider updates the incumbent best-so-far.
-func (t *Tabu) consider(res *Result, p *mapping.Partition, val float64) {
+// consider updates the incumbent best-so-far. The candidate is screened
+// with the cheap running value, but the stored incumbent is re-evaluated
+// from scratch: delta accumulation drifts in the last ulp, and the exact
+// value keeps BestIntraSum identical across objective implementations
+// that agree analytically (e.g. unit-weight WeightedEvaluator vs
+// Evaluator).
+func (t *Tabu) consider(obj Objective, res *Result, p *mapping.Partition, val float64) {
 	if res.Best == nil || val < res.BestIntraSum-valueEpsilon {
 		res.Best = p.Clone()
-		res.BestIntraSum = val
+		res.BestIntraSum = obj.IntraSum(p)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"commsched/internal/obs"
 	"commsched/internal/routing"
 	"commsched/internal/topology"
 	"commsched/internal/traffic"
@@ -298,6 +299,12 @@ type Simulator struct {
 
 	metrics   Metrics
 	measuring bool
+
+	// queueHist accumulates the total source-queue occupancy per measured
+	// cycle. Created only when a sink is installed at New time, so the
+	// default path never pays for it; flushed as one "hist" record at the
+	// end of RunContext.
+	queueHist *obs.Histogram
 }
 
 // New builds a simulator. The routing structure must belong to the same
@@ -364,6 +371,9 @@ func New(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg
 			s.ports[sw] = append(s.ports[sw], &outPort{eject: h})
 		}
 	}
+	if obs.Enabled() {
+		s.queueHist = obs.NewHistogram("simnet.queue_occupancy", obs.PowersOfTwoBounds(14))
+	}
 	return s, nil
 }
 
@@ -380,6 +390,11 @@ func (s *Simulator) RunContext(ctx context.Context) (Metrics, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sp := obs.StartSpan("simnet.run",
+		obs.F("rate", s.cfg.InjectionRate),
+		obs.F("warmup_cycles", s.cfg.WarmupCycles),
+		obs.F("measure_cycles", s.cfg.MeasureCycles),
+		obs.F("seed", s.cfg.Seed))
 	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
 	for c := 0; c < total; c++ {
 		if c%256 == 0 {
@@ -395,6 +410,20 @@ func (s *Simulator) RunContext(ctx context.Context) (Metrics, error) {
 	}
 	s.metrics.finalizeLinks(s.linkFlits, s.cfg)
 	s.metrics.finalize(s.cfg, s.net)
+	sp.End(
+		obs.F("generated_messages", s.metrics.GeneratedMessages),
+		obs.F("delivered_messages", s.metrics.DeliveredMessages),
+		obs.F("lost_messages", s.metrics.LostMessages),
+		obs.F("offered_flits", s.metrics.offeredFlits),
+		obs.F("delivered_flits", s.metrics.deliveredFlits),
+		obs.F("lost_flits", s.metrics.LostFlits),
+		obs.F("offered_traffic", s.metrics.OfferedTraffic),
+		obs.F("accepted_traffic", s.metrics.AcceptedTraffic),
+		obs.F("avg_latency", s.metrics.AvgLatency),
+		obs.F("saturated", s.metrics.Saturated()))
+	if s.queueHist != nil {
+		s.queueHist.Emit(obs.F("rate", s.cfg.InjectionRate), obs.F("seed", s.cfg.Seed))
+	}
 	return s.metrics, nil
 }
 
@@ -495,6 +524,9 @@ func (s *Simulator) sampleQueues() {
 	}
 	s.metrics.queueSamples++
 	s.metrics.queueFlitsSum += total
+	if s.queueHist != nil {
+		s.queueHist.Observe(float64(total))
+	}
 }
 
 // meanMessageFlits returns the expected message length under the

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"commsched/internal/obs"
 	"commsched/internal/routing"
 	"commsched/internal/topology"
 	"commsched/internal/traffic"
@@ -44,6 +45,7 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 	if len(rates) == 0 {
 		return nil, fmt.Errorf("simnet: empty rate list")
 	}
+	sp := obs.StartSpan("simnet.sweep", obs.F("points", len(rates)), obs.F("max_rate", rates[len(rates)-1]))
 	points := make([]SweepPoint, len(rates))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(rates) {
@@ -83,6 +85,14 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 					return
 				}
 				points[i] = SweepPoint{Index: i + 1, Rate: rates[i], Metrics: m}
+				if obs.Enabled() {
+					obs.Event("simnet.sweep_point",
+						obs.F("point", i+1),
+						obs.F("rate", rates[i]),
+						obs.F("accepted_traffic", m.AcceptedTraffic),
+						obs.F("avg_latency", m.AvgLatency),
+						obs.F("saturated", m.Saturated()))
+				}
 			}
 		}()
 	}
@@ -90,6 +100,7 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 	if errp := failed.Load(); errp != nil {
 		return nil, *errp
 	}
+	sp.End(obs.F("throughput", Throughput(points)))
 	return points, nil
 }
 
@@ -144,18 +155,27 @@ func FindSaturation(ctx context.Context, net *topology.Network, rt *routing.UpDo
 	if tol <= 0 {
 		tol = maxRate / 64
 	}
-	probe := func(rate float64) (Metrics, error) {
+	probe := func(lo, hi, rate float64) (Metrics, error) {
 		c := cfg
 		c.InjectionRate = rate
 		sim, err := New(net, rt, pattern, c)
 		if err != nil {
 			return Metrics{}, err
 		}
-		return sim.RunContext(ctx)
+		m, err := sim.RunContext(ctx)
+		if err == nil && obs.Enabled() {
+			obs.Event("simnet.saturation_probe",
+				obs.F("rate", rate),
+				obs.F("lo", lo),
+				obs.F("hi", hi),
+				obs.F("accepted_traffic", m.AcceptedTraffic),
+				obs.F("saturated", m.Saturated()))
+		}
+		return m, err
 	}
 	lo, hi := 0.0, maxRate
 	var best Metrics
-	m, err := probe(maxRate)
+	m, err := probe(lo, hi, maxRate)
 	if err != nil {
 		return 0, Metrics{}, err
 	}
@@ -164,7 +184,7 @@ func FindSaturation(ctx context.Context, net *topology.Network, rt *routing.UpDo
 	}
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
-		m, err := probe(mid)
+		m, err := probe(lo, hi, mid)
 		if err != nil {
 			return 0, Metrics{}, err
 		}
