@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json figs figs-quick cover vet clean
+.PHONY: all build test race bench bench-json bench-perf bench-diff figs figs-quick cover vet clean
 
 all: build test
 
@@ -27,6 +27,25 @@ bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ./internal/obs > bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_obs.json bench.out
 	rm -f bench.out
+
+# Refresh the post-flat-core baseline (the bench-diff reference).
+bench-perf:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ./internal/obs > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_perf.json bench.out
+	rm -f bench.out
+
+# Threshold gate: re-run the benchmarks and fail when ns/op or allocs/op
+# regress beyond BENCH_THRESHOLD against the committed baseline. The
+# single-pass runs are noisy, so the default tolerance is generous; on a
+# failure the fresh report is left in bench_new.json for inspection.
+BENCH_BASE ?= BENCH_perf.json
+BENCH_THRESHOLD ?= 0.5
+bench-diff:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ./internal/obs > bench.out
+	$(GO) run ./cmd/benchjson -o bench_new.json bench.out
+	rm -f bench.out
+	$(GO) run ./cmd/benchjson compare -threshold $(BENCH_THRESHOLD) $(BENCH_BASE) bench_new.json
+	rm -f bench_new.json
 
 figs:
 	$(GO) run ./cmd/paperfigs

@@ -408,7 +408,8 @@ func BenchmarkTabuSearch16(b *testing.B) {
 }
 
 // BenchmarkSimulatorCycles times raw simulation speed in cycles/op on the
-// 16-switch network at moderate load.
+// 16-switch network at moderate load. The op includes simulator
+// construction; see BenchmarkSimulatorSteadyState for the bare cycle loop.
 func BenchmarkSimulatorCycles(b *testing.B) {
 	net, err := experiments.Network16()
 	if err != nil {
@@ -422,16 +423,56 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	cfg := simnet.Config{
+		InjectionRate: 0.2, WarmupCycles: 0, MeasureCycles: 2000, Seed: 3,
+	}
+	var flits int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Simulate(p, simnet.Config{
-			InjectionRate: 0.2, WarmupCycles: 0, MeasureCycles: 2000, Seed: 3,
-		}); err != nil {
+		m, err := sys.Simulate(p, cfg)
+		if err != nil {
 			b.Fatal(err)
 		}
+		flits += m.DeliveredFlits
 	}
 	b.SetBytes(0)
-	b.ReportMetric(2000, "cycles/op")
+	b.ReportMetric(float64(cfg.WarmupCycles+cfg.MeasureCycles), "cycles/op")
+	b.ReportMetric(float64(flits)/float64(b.N), "flits/op")
+}
+
+// BenchmarkSimulatorSteadyState times the simulation loop alone: the
+// simulator is built and warmed outside the timer, so the measured region
+// is the allocation-free steady state (expect ~0 allocs/op).
+func BenchmarkSimulatorSteadyState(b *testing.B) {
+	net, err := experiments.Network16()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := routing.NewUpDown(net, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pattern, err := traffic.NewUniform(net.Hosts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The rate must sit below uniform-traffic saturation: past saturation
+	// the source queues (and the message arena) grow without bound, which
+	// is real allocation, not overhead.
+	sim, err := simnet.New(net, rt, pattern, simnet.Config{
+		InjectionRate: 0.05, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 2000
+	sim.Advance(20 * chunk) // warm: populate buffers and the message arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Advance(chunk)
+	}
+	b.ReportMetric(chunk, "cycles/op")
 }
 
 // BenchmarkExtensionUnequalClusters exercises the future-work feature:

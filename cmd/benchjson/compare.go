@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// compareMetrics are the units the compare subcommand tracks and gates
+// on. For both, higher is worse.
+var compareMetrics = []string{"ns/op", "allocs/op"}
+
+// runCompare implements `benchjson compare [-threshold f] old.json
+// new.json`. It returns the process exit code: 0 when no tracked metric
+// regressed beyond the threshold, 1 otherwise; errors (bad flags,
+// unreadable files) are returned instead.
+func runCompare(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.10,
+		"fail when a tracked metric grows by more than this fraction")
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() != 2 {
+		return 0, fmt.Errorf("compare needs exactly two files: old.json new.json")
+	}
+	oldRep, err := loadReport(fs.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadReport(fs.Arg(1))
+	if err != nil {
+		return 0, err
+	}
+
+	key := func(b Benchmark) string { return b.Pkg + "\x00" + b.Name }
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[key(b)] = b
+	}
+
+	regressions := 0
+	matched := 0
+	fmt.Fprintf(w, "%-44s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[key(nb)]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %-10s %14s %14s %9s\n", displayName(nb), "-", "-", "(new)", "-")
+			continue
+		}
+		matched++
+		for _, unit := range compareMetrics {
+			ov, ook := ob.Metrics[unit]
+			nv, nok := nb.Metrics[unit]
+			if !ook || !nok {
+				continue
+			}
+			delta, regressed := relativeDelta(ov, nv, *threshold)
+			mark := ""
+			if regressed {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-44s %-10s %14.1f %14.1f %8s%%%s\n",
+				displayName(nb), unit, ov, nv, formatDelta(delta), mark)
+		}
+	}
+	if matched == 0 {
+		return 0, fmt.Errorf("no benchmarks in common between the two reports")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d metric(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		return 1, nil
+	}
+	fmt.Fprintf(w, "\nno regressions beyond %.0f%% across %d matched benchmarks\n", *threshold*100, matched)
+	return 0, nil
+}
+
+// relativeDelta returns (nv-ov)/ov and whether that growth exceeds the
+// threshold. A zero old value with a nonzero new value counts as an
+// infinite regression; zero to zero is no change.
+func relativeDelta(ov, nv, threshold float64) (float64, bool) {
+	if ov == 0 {
+		if nv == 0 {
+			return 0, false
+		}
+		return math.Inf(1), true
+	}
+	d := (nv - ov) / ov
+	return d, d > threshold
+}
+
+func formatDelta(d float64) string {
+	if math.IsInf(d, 1) {
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f", d*100)
+}
+
+func displayName(b Benchmark) string {
+	if b.Pkg == "" {
+		return b.Name
+	}
+	// Keep only the last path element; full import paths blow the column.
+	parts := strings.Split(b.Pkg, "/")
+	return parts[len(parts)-1] + "." + b.Name
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

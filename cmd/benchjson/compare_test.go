@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{
+		Pkg: "example.com/m", Name: name, Iterations: 10,
+		Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs},
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldF := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 50)}})
+	newF := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{bench("BenchmarkA", 500, 10)}})
+	var out strings.Builder
+	code, err := runCompare([]string{oldF, newF}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d for an improvement, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("summary missing: %s", out.String())
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldF := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 50)}})
+	newF := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1500, 50)}})
+	var out strings.Builder
+	code, err := runCompare([]string{"-threshold", "0.10", oldF, newF}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatalf("exit code 0 for a 50%% ns/op regression\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regression marker missing: %s", out.String())
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldF := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 50)}})
+	newF := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1040, 50)}})
+	var out strings.Builder
+	code, err := runCompare([]string{"-threshold", "0.10", oldF, newF}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d for a 4%% drift under a 10%% threshold\n%s", code, out.String())
+	}
+}
+
+func TestCompareZeroToNonzeroAllocsRegresses(t *testing.T) {
+	dir := t.TempDir()
+	oldF := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 0)}})
+	newF := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 3)}})
+	var out strings.Builder
+	code, err := runCompare([]string{oldF, newF}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatalf("exit code 0 when allocs went 0 -> 3\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "+inf") {
+		t.Fatalf("infinite delta not rendered: %s", out.String())
+	}
+}
+
+func TestCompareUnmatchedBenchmarksIgnored(t *testing.T) {
+	dir := t.TempDir()
+	oldF := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 5)}})
+	newF := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA", 900, 5),
+		bench("BenchmarkBrandNew", 1, 1),
+	}})
+	var out strings.Builder
+	code, err := runCompare([]string{oldF, newF}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("a benchmark present only in the new report must not fail the gate\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "(new)") {
+		t.Fatalf("new-only benchmark not reported: %s", out.String())
+	}
+}
+
+func TestCompareNoOverlapErrors(t *testing.T) {
+	dir := t.TempDir()
+	oldF := writeReport(t, dir, "old.json", Report{Benchmarks: []Benchmark{bench("BenchmarkA", 1, 1)}})
+	newF := writeReport(t, dir, "new.json", Report{Benchmarks: []Benchmark{bench("BenchmarkB", 1, 1)}})
+	var out strings.Builder
+	if _, err := runCompare([]string{oldF, newF}, &out); err == nil {
+		t.Fatal("disjoint reports must error, not silently pass")
+	}
+}
+
+func TestCompareBadArgs(t *testing.T) {
+	var out strings.Builder
+	if _, err := runCompare([]string{"only-one.json"}, &out); err == nil {
+		t.Fatal("one file accepted")
+	}
+	if _, err := runCompare([]string{"nope1.json", "nope2.json"}, &out); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}

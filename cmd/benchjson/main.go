@@ -1,15 +1,21 @@
 // Command benchjson converts `go test -bench` text output into a stable
 // JSON document, so benchmark runs can be archived as machine-readable
-// artifacts (see `make bench-json` and the CI bench job) and compared
-// across commits with jq — a regression *record*, not a threshold gate.
+// artifacts (see `make bench-json` and the CI bench job), and diffs two
+// such documents as a threshold gate:
 //
 //	go test -bench=. -benchmem -run '^$' . | benchjson -o BENCH.json
 //	benchjson -o BENCH.json bench.out
+//	benchjson compare -threshold 0.15 old.json new.json
 //
 // Every benchmark line is parsed into its name, GOMAXPROCS suffix,
 // iteration count, and the full set of value/unit metric pairs —
 // including the custom b.ReportMetric quantities the repro benchmarks
 // emit (throughput gains, correlations, Cc), not just ns/op.
+//
+// The compare subcommand reports per-benchmark ns/op and allocs/op
+// deltas between an old and a new report (matched by package + name) and
+// exits nonzero when any tracked metric regresses by more than the
+// threshold fraction — see `make bench-diff`.
 package main
 
 import (
@@ -47,6 +53,13 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		code, err := runCompare(os.Args[2:], os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		os.Exit(code)
+	}
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	flag.Parse()
 

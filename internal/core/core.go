@@ -19,6 +19,7 @@ import (
 	"commsched/internal/distance"
 	"commsched/internal/mapping"
 	"commsched/internal/obs"
+	"commsched/internal/par"
 	"commsched/internal/quality"
 	"commsched/internal/routing"
 	"commsched/internal/search"
@@ -313,6 +314,31 @@ func (s *System) SimulateSweep(ctx context.Context, p *mapping.Partition, cfg si
 		return nil, err
 	}
 	return simnet.Sweep(ctx, s.net, s.rt, pattern, cfg, rates)
+}
+
+// SimulateSweepMany runs SimulateSweep for several mappings and returns
+// the sweeps in input order. The mappings execute concurrently (each
+// sweep additionally parallelizes over its rates); every run stays
+// deterministic per (mapping, rate) seed, so the result is identical to
+// calling SimulateSweep in a loop. A nil ctx means context.Background; a
+// cancellation or first error stops the remaining work.
+func (s *System) SimulateSweepMany(ctx context.Context, ps []*mapping.Partition, cfg simnet.Config, rates []float64) ([][]simnet.SweepPoint, error) {
+	sp := obs.StartSpan("core.simulate_sweep_many",
+		obs.F("mappings", len(ps)), obs.F("points", len(rates)))
+	out := make([][]simnet.SweepPoint, len(ps))
+	err := par.ForEach(ctx, len(ps), func(ctx context.Context, i int) error {
+		pts, err := s.SimulateSweep(ctx, ps[i], cfg, rates)
+		if err != nil {
+			return fmt.Errorf("core: sweep for mapping %d: %w", i, err)
+		}
+		out[i] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sp.End()
+	return out, nil
 }
 
 // SimulatePattern runs the simulator with an arbitrary traffic pattern —

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"commsched/internal/core"
+	"commsched/internal/par"
 	"commsched/internal/simnet"
 	"commsched/internal/stats"
 	"commsched/internal/traffic"
@@ -115,27 +117,30 @@ func StudyMixedTraffic(fractions []float64, sc Scale) (*MixedTrafficStudy, error
 	}
 	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
 	cfg := simConfig(sc)
-	study := &MixedTrafficStudy{}
-	for _, frac := range fractions {
+	study := &MixedTrafficStudy{Points: make([]MixedTrafficPoint, len(fractions))}
+	// The fractions are independent operating points; they run
+	// concurrently with results written by index.
+	err = par.ForEach(nil, len(fractions), func(ctx context.Context, i int) error {
+		frac := fractions[i]
 		// Build patterns for each mapping at this fraction.
 		schedIntra, err := sys.IntraClusterPattern(sched.Partition)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rndIntra, err := sys.IntraClusterPattern(rnd)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		schedMix, err := traffic.NewMixed(schedIntra, uni, frac)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rndMix, err := traffic.NewMixed(rndIntra, uni, frac)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tp := func(pat traffic.Pattern) (float64, error) {
-			points, err := simnet.Sweep(nil, net, sys.Routing(), pat, cfg, rates)
+			points, err := simnet.Sweep(ctx, net, sys.Routing(), pat, cfg, rates)
 			if err != nil {
 				return 0, err
 			}
@@ -143,17 +148,21 @@ func StudyMixedTraffic(fractions []float64, sc Scale) (*MixedTrafficStudy, error
 		}
 		ts, err := tp(schedMix)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tr, err := tp(rndMix)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gain := 0.0
 		if tr > 0 {
 			gain = ts / tr
 		}
-		study.Points = append(study.Points, MixedTrafficPoint{IntraFraction: frac, Gain: gain})
+		study.Points[i] = MixedTrafficPoint{IntraFraction: frac, Gain: gain}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return study, nil
 }

@@ -208,23 +208,23 @@ func simExperiment(net *topology.Network, sc Scale) (*SimResult, error) {
 	}
 	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
 	cfg := simConfig(sc)
-	run := func(m MappingPoint) (SimSeries, error) {
-		points, err := sys.SimulateSweep(nil, m.Partition, cfg, rates)
-		if err != nil {
-			return SimSeries{}, err
-		}
-		return SimSeries{Mapping: m, Points: points, Throughput: simnet.Throughput(points)}, nil
+	// All mappings (OP first, then the R_i baselines) sweep concurrently;
+	// each run's seed depends only on (mapping, rate), so the curves are
+	// identical to the former sequential loop.
+	all := append([]MappingPoint{op}, rs...)
+	parts := make([]*mapping.Partition, len(all))
+	for i, m := range all {
+		parts[i] = m.Partition
 	}
-	res := &SimResult{Network: net.Name()}
-	if res.OP, err = run(op); err != nil {
+	sweeps, err := sys.SimulateSweepMany(nil, parts, cfg, rates)
+	if err != nil {
 		return nil, err
 	}
+	res := &SimResult{Network: net.Name()}
+	res.OP = SimSeries{Mapping: op, Points: sweeps[0], Throughput: simnet.Throughput(sweeps[0])}
 	bestRandom := 0.0
-	for _, m := range rs {
-		s, err := run(m)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range rs {
+		s := SimSeries{Mapping: m, Points: sweeps[i+1], Throughput: simnet.Throughput(sweeps[i+1])}
 		res.Randoms = append(res.Randoms, s)
 		if s.Throughput > bestRandom {
 			bestRandom = s.Throughput

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"commsched/internal/core"
 	"commsched/internal/distance"
+	"commsched/internal/par"
 	"commsched/internal/routing"
 	"commsched/internal/simnet"
 	"commsched/internal/stats"
@@ -33,20 +35,26 @@ func ValidateModel(switches, count int, sc Scale) (*ModelValidation, error) {
 	if count < 3 {
 		return nil, fmt.Errorf("experiments: model validation needs >= 3 topologies, got %d", count)
 	}
-	res := &ModelValidation{Topologies: count}
+	res := &ModelValidation{
+		Topologies:    count,
+		MeanDistances: make([]float64, count),
+		Throughputs:   make([]float64, count),
+	}
 	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
-	for k := 0; k < count; k++ {
+	// Each topology is characterized and swept independently; the
+	// instances run concurrently with results written by index.
+	err := par.ForEach(nil, count, func(ctx context.Context, k int) error {
 		net, err := NetworkOfSize(switches, int64(7000+17*k))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ud, err := routing.NewUpDown(net, -1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tab, err := distance.Compute(net, ud)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Mean equivalent distance over pairs.
 		sum, pairs := 0.0, 0
@@ -58,14 +66,18 @@ func ValidateModel(switches, count int, sc Scale) (*ModelValidation, error) {
 		}
 		pattern, err := traffic.NewUniform(net.Hosts())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		points, err := simnet.Sweep(nil, net, ud, pattern, simConfig(sc), rates)
+		points, err := simnet.Sweep(ctx, net, ud, pattern, simConfig(sc), rates)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.MeanDistances = append(res.MeanDistances, sum/float64(pairs))
-		res.Throughputs = append(res.Throughputs, simnet.Throughput(points))
+		res.MeanDistances[k] = sum / float64(pairs)
+		res.Throughputs[k] = simnet.Throughput(points)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	r, err := stats.Pearson(res.MeanDistances, res.Throughputs)
 	if err != nil {
@@ -115,40 +127,53 @@ func AblateRoot(stride int, sc Scale) (*RootAblation, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &RootAblation{ElectedRoot: elected.Root()}
-	roots := map[int]bool{elected.Root(): true}
+	selected := map[int]bool{elected.Root(): true}
 	for r := 0; r < net.Switches(); r += stride {
-		roots[r] = true
+		selected[r] = true
+	}
+	var roots []int
+	for r := 0; r < net.Switches(); r++ {
+		if selected[r] {
+			roots = append(roots, r)
+		}
+	}
+	res := &RootAblation{
+		ElectedRoot:  elected.Root(),
+		Roots:        roots,
+		MeanDistance: make([]float64, len(roots)),
+		Throughput:   make([]float64, len(roots)),
 	}
 	rates := simnet.LinearRates(sc.SweepPoints, sc.MaxRate)
 	pattern, err := traffic.NewUniform(net.Hosts())
 	if err != nil {
 		return nil, err
 	}
-	for r := 0; r < net.Switches(); r++ {
-		if !roots[r] {
-			continue
-		}
-		root := r
+	// Every candidate root re-characterizes the same network; the roots
+	// are independent, so they run concurrently in root order.
+	err = par.ForEach(nil, len(roots), func(ctx context.Context, i int) error {
+		root := roots[i]
 		sys, err := core.NewSystem(net, core.Options{Root: &root})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tab := sys.DistanceTable()
 		sum, pairs := 0.0, 0
-		for i := 0; i < net.Switches(); i++ {
-			for j := i + 1; j < net.Switches(); j++ {
-				sum += tab.At(i, j)
+		for a := 0; a < net.Switches(); a++ {
+			for b := a + 1; b < net.Switches(); b++ {
+				sum += tab.At(a, b)
 				pairs++
 			}
 		}
-		points, err := simnet.Sweep(nil, net, sys.Routing(), pattern, simConfig(sc), rates)
+		points, err := simnet.Sweep(ctx, net, sys.Routing(), pattern, simConfig(sc), rates)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Roots = append(res.Roots, r)
-		res.MeanDistance = append(res.MeanDistance, sum/float64(pairs))
-		res.Throughput = append(res.Throughput, simnet.Throughput(points))
+		res.MeanDistance[i] = sum / float64(pairs)
+		res.Throughput[i] = simnet.Throughput(points)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

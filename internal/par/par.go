@@ -1,0 +1,71 @@
+// Package par provides the bounded-worker fan-out pattern used by every
+// parallel loop in the module: GOMAXPROCS workers pull indices from an
+// atomic counter, the first error (or recovered panic) cancels the rest,
+// and a context cancellation is honored between items. Results are
+// written by index, so a parallel loop is observably identical to the
+// sequential one it replaces.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(ctx, i) for every i in [0, n) across at most
+// min(GOMAXPROCS, n) goroutines and returns the first error. A nil ctx
+// means Background; cancellation stops workers between items and is
+// surfaced as the (wrapped) context error. A panicking fn is recovered
+// into an error instead of crashing the process. fn must write its result
+// into caller-owned storage at index i; distinct indices never race.
+func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		failed atomic.Pointer[error]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					err := fmt.Errorf("par: worker panic: %v", r)
+					failed.CompareAndSwap(nil, &err)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() != nil {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					err = fmt.Errorf("par: cancelled at item %d: %w", i, err)
+					failed.CompareAndSwap(nil, &err)
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					failed.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := failed.Load(); errp != nil {
+		return *errp
+	}
+	return nil
+}

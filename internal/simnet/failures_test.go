@@ -167,3 +167,96 @@ func TestSweepCancellation(t *testing.T) {
 		t.Fatalf("FindSaturation err = %v, want context.Canceled", err)
 	}
 }
+
+func TestLoseMessageMultiBufferWorm(t *testing.T) {
+	// Drop a worm whose flits span several buffers mid-flight and verify
+	// the purge is complete: every flit gone, every virtual-channel
+	// ownership and route released, the arena slot recycled, and the
+	// network still able to drain. The global scan below double-checks
+	// that the per-message residency trail really covers every buffer the
+	// worm touched.
+	r := newRig(t, 12, 4, 3, 1, true)
+	sim, err := New(r.net, r.rt, r.pattern, Config{
+		InjectionRate: 0.4, MessageFlits: 16, BufferFlits: 4,
+		WarmupCycles: 1, MeasureCycles: 1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step until some message's flits occupy >= 3 distinct buffers.
+	victim := none
+	for c := 0; c < 2000 && victim == none; c++ {
+		sim.step()
+		span := make(map[int32]map[int32]bool)
+		for bid := range sim.bufs {
+			b := &sim.bufs[bid]
+			for i := b.head; i < len(b.q); i++ {
+				mi := b.q[i].msg
+				if span[mi] == nil {
+					span[mi] = make(map[int32]bool)
+				}
+				span[mi][int32(bid)] = true
+			}
+		}
+		for mi, bs := range span {
+			if len(bs) >= 3 {
+				victim = mi
+				break
+			}
+		}
+	}
+	if victim == none {
+		t.Fatal("no worm spanning 3+ buffers appeared within 2000 cycles")
+	}
+	owned, routed, victimFlits := 0, 0, 0
+	for bid := range sim.bufs {
+		b := &sim.bufs[bid]
+		if b.owner == victim {
+			owned++
+		}
+		if b.routedMsg == victim {
+			routed++
+		}
+		for i := b.head; i < len(b.q); i++ {
+			if b.q[i].msg == victim {
+				victimFlits++
+			}
+		}
+	}
+	if owned == 0 || routed == 0 {
+		t.Fatalf("victim holds %d VCs and %d routes; want both > 0 mid-flight", owned, routed)
+	}
+	pre := sim.inflight()
+
+	sim.loseMessage(victim)
+
+	for bid := range sim.bufs {
+		b := &sim.bufs[bid]
+		if b.owner == victim {
+			t.Fatalf("buffer %d still owned by the lost message", bid)
+		}
+		if b.routedMsg == victim {
+			t.Fatalf("buffer %d still routed for the lost message", bid)
+		}
+		for i := b.head; i < len(b.q); i++ {
+			if b.q[i].msg == victim {
+				t.Fatalf("buffer %d still holds a flit of the lost message", bid)
+			}
+		}
+	}
+	if got := sim.inflight(); got != pre-victimFlits {
+		t.Fatalf("inflight %d after purge, want %d - %d", got, pre, victimFlits)
+	}
+	recycled := false
+	for _, mi := range sim.freeMsgs {
+		if mi == victim {
+			recycled = true
+		}
+	}
+	if !recycled {
+		t.Fatal("lost message's arena slot was not recycled")
+	}
+	if !sim.Drain(200000) {
+		t.Fatal("network failed to drain after the purge")
+	}
+}

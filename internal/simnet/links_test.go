@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"testing"
 
 	"commsched/internal/routing"
@@ -138,6 +139,29 @@ func TestFindSaturationNeverSaturates(t *testing.T) {
 	}
 	if rate != 0.02 || m.Saturated() {
 		t.Fatalf("rate %v saturated=%v, want 0.02/false", rate, m.Saturated())
+	}
+}
+
+func TestFindSaturationAlwaysSaturated(t *testing.T) {
+	// A tolerance as wide as the probe range skips the bisection loop, so
+	// the single (saturating) probe at maxRate leaves no non-saturated
+	// point: the old code returned (0, Metrics{}, nil), silently handing
+	// the caller a zero-value measurement. Now the last saturated probe's
+	// metrics come back with a sentinel error.
+	r := newRig(t, 12, 4, 3, 1, true)
+	cfg := Config{WarmupCycles: 300, MeasureCycles: 1500, Seed: 37}
+	rate, m, err := FindSaturation(nil, r.net, r.rt, r.pattern, cfg, 0.9, 0.85)
+	if !errors.Is(err, ErrAlwaysSaturated) {
+		t.Fatalf("err = %v, want ErrAlwaysSaturated", err)
+	}
+	if rate != 0 {
+		t.Fatalf("rate = %v, want 0", rate)
+	}
+	if !m.Saturated() {
+		t.Fatal("returned metrics must be the saturated probe's, not a zero value")
+	}
+	if m.OfferedTraffic == 0 || m.GeneratedMessages == 0 {
+		t.Fatalf("metrics look zero-valued: %+v", m)
 	}
 }
 

@@ -30,6 +30,9 @@ type Metrics struct {
 	// DeliveredMessages counts messages created in the window and fully
 	// delivered before its end (the latency sample set).
 	DeliveredMessages int64
+	// DeliveredFlits counts every flit consumed at a destination during
+	// the window (including flits of messages generated before it).
+	DeliveredFlits int64
 	// OfferedTraffic is the generated load in flits/switch/cycle.
 	OfferedTraffic float64
 	// AcceptedTraffic is the delivered load in flits/switch/cycle — the
@@ -118,13 +121,19 @@ type LinkLoad struct {
 	Utilization float64
 }
 
-// finalizeLinks derives the sorted per-link load report.
-func (m *Metrics) finalizeLinks(flits map[directedLink]int64, cfg Config) {
+// finalizeLinks derives the sorted per-link load report. flits is indexed
+// by dense directed-link ID, dirs maps IDs back to endpoints; links no
+// flit crossed are omitted from the report.
+func (m *Metrics) finalizeLinks(flits []int64, dirs []directedLink, cfg Config) {
 	if cfg.MeasureCycles <= 0 {
 		return
 	}
 	cyc := float64(cfg.MeasureCycles)
-	for dl, n := range flits {
+	for id, n := range flits {
+		if n == 0 {
+			continue
+		}
+		dl := dirs[id]
 		m.LinkLoads = append(m.LinkLoads, LinkLoad{
 			From: dl.from, To: dl.to, Flits: n, Utilization: float64(n) / cyc,
 		})
@@ -146,6 +155,7 @@ func (m *Metrics) finalize(cfg Config, net *topology.Network) {
 	m.Switches = net.Switches()
 	m.GeneratedMessages = m.generatedMessages
 	m.DeliveredMessages = m.deliveredMessages
+	m.DeliveredFlits = m.deliveredFlits
 	m.LostMessages = m.lostMessages
 	m.LostFlits = m.lostFlits
 	if total := m.deliveredMessages + m.lostMessages; total > 0 {

@@ -23,6 +23,23 @@
 // injection into the network until tail delivery, with queueing latency
 // from generation reported separately) and traffic in flits per switch per
 // cycle.
+//
+// # Data layout
+//
+// The core runs on dense integer IDs assigned at New time: every directed
+// link, every buffer (virtual-channel FIFOs and host source queues), and
+// every output port lives in a flat arena indexed by int32, and per-link
+// state (VC lists, dead flags, flit counters) is a slice lookup instead of
+// a map. Messages live in a recycled arena too — a flit holds a message
+// index, not a pointer — so the steady state of a run allocates nothing.
+// Admissible-continuation candidate lists are precomputed per
+// (switch, destination switch, routing phase), and a per-switch worklist
+// of non-empty buffers lets route allocation and flit transfer touch only
+// buffers with work. The results are bit-identical to the original
+// pointer-and-map implementation: the math/rand draw order (one Bernoulli
+// draw per host per cycle, then destination and size draws) and every
+// rotating arbitration scan are preserved exactly; see DESIGN.md for the
+// draw-order contract.
 package simnet
 
 import (
@@ -176,63 +193,73 @@ func (c Config) validate(hosts int) error {
 	return nil
 }
 
-// message is one in-flight wormhole message.
+// none is the nil value of every dense ID (message, buffer, link, port).
+const none = int32(-1)
+
+// message is one in-flight wormhole message, stored in the simulator's
+// recycled arena and referenced by index.
 type message struct {
-	id        int
-	src, dst  int // hosts
-	dstSwitch int
-	size      int
+	src, dst  int32 // hosts
+	dstSwitch int32
+	size      int32
+	// delivered counts flits consumed at the destination.
+	delivered int32
 	created   int64 // cycle of generation (enters source queue)
 	injected  int64 // cycle the header left the source queue, -1 before
 	// descending records whether the worm has entered its down phase.
 	descending bool
-	delivered  int // flits consumed at the destination
 	// lost marks a message dropped by a link failure (guards against
 	// double-counting when one worm spans several dying links).
 	lost bool
+	// bufs lists every buffer the message has occupied or acquired — its
+	// residency trail. loseMessage purges exactly these instead of
+	// sweeping the whole network; the slice's capacity is recycled with
+	// the arena slot.
+	bufs []int32
 }
 
-// flit is one flow-control unit.
+// flit is one flow-control unit: a message arena index plus the flit's
+// position (0 = header, size-1 = tail).
 type flit struct {
-	msg *message
-	seq int // 0 = header, size-1 = tail
+	msg int32
+	seq int32
 }
-
-func (f flit) isHeader() bool { return f.seq == 0 }
-func (f flit) isTail() bool   { return f.seq == f.msg.size-1 }
 
 // buffer is a FIFO of flits: either a virtual-channel buffer (bounded,
-// single-owner) or a host source queue (unbounded, multi-message).
+// single-owner) or a host source queue (unbounded, multi-message). All
+// buffers live in one arena and are referenced by dense ID.
 type buffer struct {
-	q     []flit
-	head  int // index of the logical head within q (amortized dequeue)
-	cap   int // 0 = unbounded (source queues)
-	owner *message
+	q    []flit
+	head int   // index of the logical head within q (amortized dequeue)
+	cap  int   // 0 = unbounded (source queues)
+	owner int32 // owning message for VC buffers, none when free
 
-	// Where the message at the head is routed: a downstream VC, or the
-	// ejection port when sink is true. Reset when the owning tail leaves.
-	route     *vc
+	// Where the message at the head is routed: a downstream VC buffer, or
+	// the ejection port when sink is true. Reset when the owning tail
+	// leaves.
+	route     int32
 	sink      bool
-	routedMsg *message // message the route belongs to
+	routedMsg int32 // message the route belongs to, none when unrouted
 
 	// Location of this buffer.
-	atSwitch int
-	// For VC buffers, the output port candidates are derived from the
-	// switch; for source queues, srcHost >= 0 identifies the injecting
-	// host.
-	srcHost int
+	atSwitch int32
+	// srcHost identifies the injecting host for source queues, -1 for VC
+	// buffers.
+	srcHost int32
+	// linkID is the directed link this buffer is the receiving VC of,
+	// none for source queues.
+	linkID int32
+	// idx is this buffer's position within inputs[atSwitch] — the
+	// rotating-arbitration rank base.
+	idx int32
+	// activePos is this buffer's position within active[atSwitch], -1
+	// while the buffer is empty.
+	activePos int32
 }
 
 func (b *buffer) len() int { return len(b.q) - b.head }
 
 func (b *buffer) full() bool { return b.cap > 0 && b.len() >= b.cap }
-
-func (b *buffer) headFlit() (flit, bool) {
-	if b.len() == 0 {
-		return flit{}, false
-	}
-	return b.q[b.head], true
-}
 
 func (b *buffer) push(f flit) { b.q = append(b.q, f) }
 
@@ -246,22 +273,16 @@ func (b *buffer) pop() flit {
 	return f
 }
 
-// vc is one virtual channel of a directed link: its buffer lives at the
-// link's destination switch.
-type vc struct {
-	buf  *buffer
-	link directedLink // the physical link this VC belongs to
-}
-
 type directedLink struct{ from, to int }
 
 // outPort is an arbitration domain: one directed physical link (one flit
-// per cycle across all its VCs) or one host ejection port.
+// per cycle across all its VCs) or one host ejection port. winner and
+// winnerRank are per-cycle scratch for the transfer pass.
 type outPort struct {
-	link     directedLink // valid when eject < 0
-	eject    int          // ejecting host, -1 for links
-	vcs      []*vc        // VCs of the link (nil for ejection)
-	rrOffset int          // round-robin pointer over requesting inputs
+	link       int32 // directed link ID, none for ejection ports
+	eject      int32 // ejecting host, -1 for links
+	winner     int32 // requesting buffer with the best rotating rank
+	winnerRank int32
 }
 
 // Simulator runs one network+mapping+load configuration.
@@ -272,30 +293,59 @@ type Simulator struct {
 	cfg     Config
 	rng     *rand.Rand
 
-	// inputs[s] = all buffers whose head flit is switched at s: incoming
-	// VC buffers and the source queues of s's hosts.
-	inputs [][]*buffer
-	// ports[s] = output ports at switch s: one per outgoing directed link
-	// plus one ejection port per host.
-	ports [][]*outPort
-	// linkVCs[from][to] = VCs of directed link from→to.
-	linkVCs map[directedLink][]*vc
-	// rrInput[s] = rotating start index for routing allocation at s.
-	rrInput []int
+	// bufs is the buffer arena; inputs[s] lists (by ID) all buffers whose
+	// head flit is switched at s: incoming VC buffers then the source
+	// queues of s's hosts, in construction order.
+	bufs   []buffer
+	inputs [][]int32
+	// active[s] lists the currently non-empty buffers of switch s
+	// (unordered; each buffer records its position for O(1) removal).
+	active [][]int32
+	// srcQueues lists every source-queue buffer in (switch, host) order —
+	// the injection scan order, which fixes the rng draw order.
+	srcQueues []int32
+	// srcQueueFlits is the running total source-queue occupancy, so the
+	// per-cycle queue sample is O(1).
+	srcQueueFlits int64
 
-	cycle     int64
-	nextMsgID int
+	// Dense directed-link state, indexed by link ID.
+	linkDir   []directedLink
+	linkUp    []bool // IsUp(from, to), precomputed
+	linkVCs   [][]int32
+	deadLink  []bool
+	linkFlits []int64 // flits crossing each link during the measurement window
 
-	// deadLinks marks directed links currently failed; events is the
-	// sorted failure/repair timeline consumed by processLinkEvents.
-	deadLinks map[directedLink]bool
-	events    []timedLinkEvent
-	eventIdx  int
+	// ports is the output-port arena; switchPorts[s] lists s's ports in
+	// construction order (one per outgoing directed link, then one
+	// ejection port per host). portOfLink and portOfHost invert the
+	// mapping for the transfer pass.
+	ports       []outPort
+	switchPorts [][]int32
+	portOfLink  []int32
+	portOfHost  []int32
 
-	// linkFlits counts flits crossing each directed link during the
-	// measurement window (the paper's observation about up*/down*
-	// overloading links near the root is visible here).
-	linkFlits map[directedLink]int64
+	// cand[phase][s*n+t] lists the admissible next-hop link IDs for a
+	// message at switch s destined to switch t in the given routing phase
+	// (0 = up, 1 = descending), in routing.NextHops order. Precomputed at
+	// New time so the allocation hot path never re-derives continuations.
+	cand [2][][]int32
+
+	// hostSwitch[h] caches net.HostSwitch(h).
+	hostSwitch []int32
+
+	// msgs is the message arena; freeMsgs holds recycled slots.
+	msgs     []message
+	freeMsgs []int32
+
+	cycle int64
+
+	// events is the sorted failure/repair timeline consumed by
+	// processLinkEvents.
+	events   []timedLinkEvent
+	eventIdx int
+
+	// reqPorts is per-cycle scratch: the ports that found a requester.
+	reqPorts []int32
 
 	metrics   Metrics
 	measuring bool
@@ -314,33 +364,130 @@ func New(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg
 	if err := cfg.validate(net.Hosts()); err != nil {
 		return nil, err
 	}
+	n := net.Switches()
 	s := &Simulator{
-		net:       net,
-		rt:        rt,
-		pattern:   pattern,
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		inputs:    make([][]*buffer, net.Switches()),
-		ports:     make([][]*outPort, net.Switches()),
-		linkVCs:   make(map[directedLink][]*vc),
-		rrInput:   make([]int, net.Switches()),
-		linkFlits: make(map[directedLink]int64),
-		deadLinks: make(map[directedLink]bool),
+		net:         net,
+		rt:          rt,
+		pattern:     pattern,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		inputs:      make([][]int32, n),
+		active:      make([][]int32, n),
+		switchPorts: make([][]int32, n),
 	}
-	for i, ev := range cfg.LinkEvents {
+	// Directed links get dense IDs in Links() order (A→B then B→A), and
+	// their VCs join the receiving switch's input list.
+	linkID := make(map[directedLink]int32, 2*net.NumLinks())
+	for _, l := range net.Links() {
+		for _, dl := range []directedLink{{l.A, l.B}, {l.B, l.A}} {
+			id := int32(len(s.linkDir))
+			linkID[dl] = id
+			s.linkDir = append(s.linkDir, dl)
+			s.linkUp = append(s.linkUp, rt.IsUp(dl.from, dl.to))
+			vcs := make([]int32, cfg.VirtualChannels)
+			for k := range vcs {
+				bid := s.addBuffer(buffer{cap: cfg.BufferFlits, atSwitch: int32(dl.to), srcHost: -1, linkID: id})
+				vcs[k] = bid
+			}
+			s.linkVCs = append(s.linkVCs, vcs)
+			pid := int32(len(s.ports))
+			s.ports = append(s.ports, outPort{link: id, eject: -1, winner: none})
+			s.switchPorts[dl.from] = append(s.switchPorts[dl.from], pid)
+			s.portOfLink = append(s.portOfLink, pid)
+		}
+	}
+	s.deadLink = make([]bool, len(s.linkDir))
+	s.linkFlits = make([]int64, len(s.linkDir))
+	// Host source queues and ejection ports.
+	s.portOfHost = make([]int32, net.Hosts())
+	s.hostSwitch = make([]int32, net.Hosts())
+	for h := range s.hostSwitch {
+		s.hostSwitch[h] = int32(net.HostSwitch(h))
+	}
+	for sw := 0; sw < n; sw++ {
+		for _, h := range net.SwitchHosts(sw) {
+			bid := s.addBuffer(buffer{cap: 0, atSwitch: int32(sw), srcHost: int32(h), linkID: none})
+			s.srcQueues = append(s.srcQueues, bid)
+			pid := int32(len(s.ports))
+			s.ports = append(s.ports, outPort{link: none, eject: int32(h), winner: none})
+			s.switchPorts[sw] = append(s.switchPorts[sw], pid)
+			s.portOfHost[h] = pid
+		}
+	}
+	s.buildCandidates()
+	if err := s.buildEvents(); err != nil {
+		return nil, err
+	}
+	if obs.Enabled() {
+		s.queueHist = obs.NewHistogram("simnet.queue_occupancy", obs.PowersOfTwoBounds(14))
+	}
+	return s, nil
+}
+
+// addBuffer appends a buffer to the arena and its switch's input list.
+func (s *Simulator) addBuffer(b buffer) int32 {
+	bid := int32(len(s.bufs))
+	b.owner, b.route, b.routedMsg = none, none, none
+	b.activePos = -1
+	b.idx = int32(len(s.inputs[b.atSwitch]))
+	s.bufs = append(s.bufs, b)
+	s.inputs[b.atSwitch] = append(s.inputs[b.atSwitch], bid)
+	return bid
+}
+
+// buildCandidates precomputes, for every (switch, destination, phase), the
+// admissible next-hop link IDs in routing.NextHops order. One backing
+// array per phase keeps the table to two allocations plus headers.
+func (s *Simulator) buildCandidates() {
+	n := s.net.Switches()
+	linkID := make(map[directedLink]int32, len(s.linkDir))
+	for id, dl := range s.linkDir {
+		linkID[dl] = int32(id)
+	}
+	for phase := 0; phase < 2; phase++ {
+		var backing []int32
+		offs := make([]int32, n*n+1)
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				offs[from*n+to] = int32(len(backing))
+				if from == to {
+					continue
+				}
+				for _, h := range s.rt.NextHops(from, to, phase == 1) {
+					backing = append(backing, linkID[directedLink{from, h.To}])
+				}
+			}
+		}
+		offs[n*n] = int32(len(backing))
+		tab := make([][]int32, n*n)
+		for i := range tab {
+			tab[i] = backing[offs[i]:offs[i+1]:offs[i+1]]
+		}
+		s.cand[phase] = tab
+	}
+}
+
+// buildEvents validates cfg.LinkEvents and compiles the sorted timeline.
+func (s *Simulator) buildEvents() error {
+	linkID := make(map[directedLink]int32, len(s.linkDir))
+	for id, dl := range s.linkDir {
+		linkID[dl] = int32(id)
+	}
+	for i, ev := range s.cfg.LinkEvents {
 		l := topology.NormalizeLink(ev.A, ev.B)
-		if l.A < 0 || l.B >= net.Switches() || !net.HasLink(l.A, l.B) {
-			return nil, fmt.Errorf("simnet: link event %d: link %d-%d does not exist in %s", i, ev.A, ev.B, net.Name())
+		if l.A < 0 || l.B >= s.net.Switches() || !s.net.HasLink(l.A, l.B) {
+			return fmt.Errorf("simnet: link event %d: link %d-%d does not exist in %s", i, ev.A, ev.B, s.net.Name())
 		}
 		if ev.At < 0 {
-			return nil, fmt.Errorf("simnet: link event %d: negative failure cycle %d", i, ev.At)
+			return fmt.Errorf("simnet: link event %d: negative failure cycle %d", i, ev.At)
 		}
 		if ev.RepairAt != 0 && ev.RepairAt <= ev.At {
-			return nil, fmt.Errorf("simnet: link event %d: repair cycle %d not after failure cycle %d", i, ev.RepairAt, ev.At)
+			return fmt.Errorf("simnet: link event %d: repair cycle %d not after failure cycle %d", i, ev.RepairAt, ev.At)
 		}
-		s.events = append(s.events, timedLinkEvent{cycle: ev.At, link: l, down: true})
+		d1, d2 := linkID[directedLink{l.A, l.B}], linkID[directedLink{l.B, l.A}]
+		s.events = append(s.events, timedLinkEvent{cycle: ev.At, d1: d1, d2: d2, down: true})
 		if ev.RepairAt > 0 {
-			s.events = append(s.events, timedLinkEvent{cycle: ev.RepairAt, link: l, down: false})
+			s.events = append(s.events, timedLinkEvent{cycle: ev.RepairAt, d1: d1, d2: d2, down: false})
 		}
 	}
 	sort.SliceStable(s.events, func(i, j int) bool {
@@ -349,32 +496,7 @@ func New(net *topology.Network, rt *routing.UpDown, pattern traffic.Pattern, cfg
 		}
 		return s.events[i].down && !s.events[j].down
 	})
-	// Directed links and their VCs.
-	for _, l := range net.Links() {
-		for _, dl := range []directedLink{{l.A, l.B}, {l.B, l.A}} {
-			vcs := make([]*vc, cfg.VirtualChannels)
-			for k := range vcs {
-				vcs[k] = &vc{
-					buf:  &buffer{cap: cfg.BufferFlits, atSwitch: dl.to, srcHost: -1},
-					link: dl,
-				}
-				s.inputs[dl.to] = append(s.inputs[dl.to], vcs[k].buf)
-			}
-			s.linkVCs[dl] = vcs
-			s.ports[dl.from] = append(s.ports[dl.from], &outPort{link: dl, eject: -1, vcs: vcs})
-		}
-	}
-	// Host source queues and ejection ports.
-	for sw := 0; sw < net.Switches(); sw++ {
-		for _, h := range net.SwitchHosts(sw) {
-			s.inputs[sw] = append(s.inputs[sw], &buffer{cap: 0, atSwitch: sw, srcHost: h})
-			s.ports[sw] = append(s.ports[sw], &outPort{eject: h})
-		}
-	}
-	if obs.Enabled() {
-		s.queueHist = obs.NewHistogram("simnet.queue_occupancy", obs.PowersOfTwoBounds(14))
-	}
-	return s, nil
+	return nil
 }
 
 // Run simulates warmup plus measurement and returns the metrics.
@@ -408,7 +530,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Metrics, error) {
 		}
 		s.step()
 	}
-	s.metrics.finalizeLinks(s.linkFlits, s.cfg)
+	s.metrics.finalizeLinks(s.linkFlits, s.linkDir, s.cfg)
 	s.metrics.finalize(s.cfg, s.net)
 	sp.End(
 		obs.F("generated_messages", s.metrics.GeneratedMessages),
@@ -427,6 +549,16 @@ func (s *Simulator) RunContext(ctx context.Context) (Metrics, error) {
 	return s.metrics, nil
 }
 
+// Advance runs the simulator forward by the given number of cycles without
+// starting or finalizing a measurement window — the hook steady-state
+// benchmarks and tests use to time (and count allocations of) the bare
+// simulation loop.
+func (s *Simulator) Advance(cycles int) {
+	for c := 0; c < cycles; c++ {
+		s.step()
+	}
+}
+
 // step advances the simulation one cycle.
 func (s *Simulator) step() {
 	s.processLinkEvents()
@@ -439,11 +571,12 @@ func (s *Simulator) step() {
 	s.cycle++
 }
 
-// timedLinkEvent is one entry of the failure/repair timeline.
+// timedLinkEvent is one entry of the failure/repair timeline, carrying the
+// dense IDs of the link's two directions.
 type timedLinkEvent struct {
-	cycle int64
-	link  topology.Link
-	down  bool
+	cycle  int64
+	d1, d2 int32
+	down   bool
 }
 
 // processLinkEvents applies all timeline entries due at the current cycle.
@@ -451,56 +584,61 @@ func (s *Simulator) processLinkEvents() {
 	for s.eventIdx < len(s.events) && s.events[s.eventIdx].cycle <= s.cycle {
 		ev := s.events[s.eventIdx]
 		s.eventIdx++
-		d1 := directedLink{ev.link.A, ev.link.B}
-		d2 := directedLink{ev.link.B, ev.link.A}
 		if !ev.down {
-			delete(s.deadLinks, d1)
-			delete(s.deadLinks, d2)
+			s.deadLink[ev.d1] = false
+			s.deadLink[ev.d2] = false
 			continue
 		}
-		s.deadLinks[d1] = true
-		s.deadLinks[d2] = true
+		s.deadLink[ev.d1] = true
+		s.deadLink[ev.d2] = true
 		// Worms holding a virtual channel of the dying link are lost.
-		for _, dl := range []directedLink{d1, d2} {
-			for _, c := range s.linkVCs[dl] {
-				if m := c.buf.owner; m != nil {
-					s.loseMessage(m)
+		for _, dl := range [2]int32{ev.d1, ev.d2} {
+			for _, bid := range s.linkVCs[dl] {
+				if mi := s.bufs[bid].owner; mi != none {
+					s.loseMessage(mi)
 				}
 			}
 		}
 	}
 }
 
-// loseMessage drops every flit of m from every buffer, releases the
-// virtual channels and routes it held, and accounts the loss.
-func (s *Simulator) loseMessage(m *message) {
+// loseMessage drops every flit of m from every buffer on its residency
+// trail, releases the virtual channels and routes it held, accounts the
+// loss, and recycles the arena slot.
+func (s *Simulator) loseMessage(mi int32) {
+	m := &s.msgs[mi]
 	if m.lost {
 		return
 	}
 	m.lost = true
-	for sw := range s.inputs {
-		for _, in := range s.inputs[sw] {
-			if in.routedMsg == m {
-				in.route, in.sink, in.routedMsg = nil, false, nil
-			}
-			if in.owner == m {
-				in.owner = nil
-			}
-			if in.len() == 0 {
+	for _, bid := range m.bufs {
+		in := &s.bufs[bid]
+		if in.routedMsg == mi {
+			in.route, in.sink, in.routedMsg = none, false, none
+		}
+		if in.owner == mi {
+			in.owner = none
+		}
+		if in.len() == 0 {
+			continue
+		}
+		w, removed := 0, 0
+		for r := in.head; r < len(in.q); r++ {
+			if in.q[r].msg == mi {
+				removed++
 				continue
 			}
-			kept := in.q[in.head:in.head:len(in.q)]
-			changed := false
-			for _, f := range in.q[in.head:] {
-				if f.msg == m {
-					changed = true
-					continue
-				}
-				kept = append(kept, f)
+			in.q[w] = in.q[r]
+			w++
+		}
+		if removed > 0 {
+			in.q = in.q[:w]
+			in.head = 0
+			if in.srcHost >= 0 {
+				s.srcQueueFlits -= int64(removed)
 			}
-			if changed {
-				in.q = append(in.q[:0], kept...)
-				in.head = 0
+			if w == 0 {
+				s.deactivate(bid)
 			}
 		}
 	}
@@ -508,24 +646,18 @@ func (s *Simulator) loseMessage(m *message) {
 		s.metrics.lostMessages++
 		s.metrics.lostFlits += int64(m.size - m.delivered)
 	}
+	s.freeMessage(mi)
 }
 
 // sampleQueues accumulates source-queue occupancy for the mean-queue
 // metric (an early saturation indicator: queues grow without bound past
-// the saturation point).
+// the saturation point). The occupancy total is maintained incrementally,
+// so the sample is O(1).
 func (s *Simulator) sampleQueues() {
-	total := int64(0)
-	for sw := range s.inputs {
-		for _, in := range s.inputs[sw] {
-			if in.srcHost >= 0 {
-				total += int64(in.len())
-			}
-		}
-	}
 	s.metrics.queueSamples++
-	s.metrics.queueFlitsSum += total
+	s.metrics.queueFlitsSum += s.srcQueueFlits
 	if s.queueHist != nil {
-		s.queueHist.Observe(float64(total))
+		s.queueHist.Observe(float64(s.srcQueueFlits))
 	}
 }
 
@@ -547,59 +679,113 @@ func (s *Simulator) drawMessageSize() int {
 	return s.cfg.MessageFlits
 }
 
-// generate draws new messages at every host.
+// allocMessage returns a fresh or recycled message arena slot.
+func (s *Simulator) allocMessage() int32 {
+	if n := len(s.freeMsgs); n > 0 {
+		mi := s.freeMsgs[n-1]
+		s.freeMsgs = s.freeMsgs[:n-1]
+		return mi
+	}
+	s.msgs = append(s.msgs, message{})
+	return int32(len(s.msgs) - 1)
+}
+
+// freeMessage recycles a slot whose message is fully delivered or purged:
+// no buffer references it anymore.
+func (s *Simulator) freeMessage(mi int32) {
+	s.freeMsgs = append(s.freeMsgs, mi)
+}
+
+// generate draws new messages at every host. The scan order over source
+// queues — and therefore the rng draw order (acceptance, destination,
+// size) — is part of the determinism contract.
 func (s *Simulator) generate() {
 	meanFlits := s.meanMessageFlits()
-	for sw := 0; sw < s.net.Switches(); sw++ {
-		for _, in := range s.inputs[sw] {
-			if in.srcHost < 0 {
-				continue
-			}
-			rate := s.cfg.InjectionRate
-			if s.cfg.RateScale != nil {
-				rate *= s.cfg.RateScale[in.srcHost]
-			}
-			p := rate / meanFlits // message generation probability
-			if p <= 0 || s.rng.Float64() >= p {
-				continue
-			}
-			dst := s.pattern.Destination(in.srcHost, s.rng)
-			m := &message{
-				id:        s.nextMsgID,
-				src:       in.srcHost,
-				dst:       dst,
-				dstSwitch: s.net.HostSwitch(dst),
-				size:      s.drawMessageSize(),
-				created:   s.cycle,
-				injected:  -1,
-			}
-			s.nextMsgID++
-			for seq := 0; seq < m.size; seq++ {
-				in.push(flit{msg: m, seq: seq})
-			}
-			if s.measuring {
-				s.metrics.generatedMessages++
-				s.metrics.offeredFlits += int64(m.size)
-			}
+	for _, bid := range s.srcQueues {
+		in := &s.bufs[bid]
+		rate := s.cfg.InjectionRate
+		if s.cfg.RateScale != nil {
+			rate *= s.cfg.RateScale[in.srcHost]
+		}
+		p := rate / meanFlits // message generation probability
+		if p <= 0 || s.rng.Float64() >= p {
+			continue
+		}
+		dst := s.pattern.Destination(int(in.srcHost), s.rng)
+		size := int32(s.drawMessageSize())
+		mi := s.allocMessage()
+		m := &s.msgs[mi]
+		m.src, m.dst = in.srcHost, int32(dst)
+		m.dstSwitch = s.hostSwitch[dst]
+		m.size = size
+		m.delivered = 0
+		m.created = s.cycle
+		m.injected = -1
+		m.descending = false
+		m.lost = false
+		m.bufs = append(m.bufs[:0], bid)
+		wasEmpty := in.len() == 0
+		for seq := int32(0); seq < size; seq++ {
+			in.push(flit{msg: mi, seq: seq})
+		}
+		s.srcQueueFlits += int64(size)
+		if wasEmpty {
+			s.activate(bid)
+		}
+		if s.measuring {
+			s.metrics.generatedMessages++
+			s.metrics.offeredFlits += int64(size)
 		}
 	}
 }
 
+// activate adds a buffer to its switch's worklist (idempotent).
+func (s *Simulator) activate(bid int32) {
+	b := &s.bufs[bid]
+	if b.activePos >= 0 {
+		return
+	}
+	lst := s.active[b.atSwitch]
+	b.activePos = int32(len(lst))
+	s.active[b.atSwitch] = append(lst, bid)
+}
+
+// deactivate removes a (now empty) buffer from its switch's worklist by
+// swap-removal.
+func (s *Simulator) deactivate(bid int32) {
+	b := &s.bufs[bid]
+	pos := b.activePos
+	if pos < 0 {
+		return
+	}
+	lst := s.active[b.atSwitch]
+	last := lst[len(lst)-1]
+	lst[pos] = last
+	s.bufs[last].activePos = pos
+	s.active[b.atSwitch] = lst[:len(lst)-1]
+	b.activePos = -1
+}
+
 // allocateRoutes lets unrouted header flits at buffer heads acquire an
 // output virtual channel (or the ejection port). Allocation order rotates
-// per switch to avoid structural starvation.
+// per switch to avoid structural starvation; switches with no pending work
+// are skipped entirely, and the rotating scan checks the worklist flag
+// before touching a buffer's queue.
 func (s *Simulator) allocateRoutes() {
-	for sw := 0; sw < s.net.Switches(); sw++ {
-		ins := s.inputs[sw]
-		if len(ins) == 0 {
+	for sw := 0; sw < len(s.inputs); sw++ {
+		if len(s.active[sw]) == 0 {
 			continue
 		}
-		start := s.rrInput[sw] % len(ins)
-		s.rrInput[sw]++
-		for k := 0; k < len(ins); k++ {
-			in := ins[(start+k)%len(ins)]
-			f, ok := in.headFlit()
-			if !ok || !f.isHeader() || in.routedMsg == f.msg {
+		ins := s.inputs[sw]
+		n := len(ins)
+		start := int(s.cycle % int64(n))
+		for k := 0; k < n; k++ {
+			in := &s.bufs[ins[(start+k)%n]]
+			if in.activePos < 0 {
+				continue // empty
+			}
+			f := in.q[in.head]
+			if f.seq != 0 || in.routedMsg == f.msg {
 				continue
 			}
 			s.routeHeader(sw, in, f.msg)
@@ -607,41 +793,35 @@ func (s *Simulator) allocateRoutes() {
 	}
 }
 
-// routeHeader tries to reserve the next channel for msg whose header sits
-// at the head of `in` at switch sw.
-func (s *Simulator) routeHeader(sw int, in *buffer, m *message) {
-	if sw == m.dstSwitch {
-		in.route, in.sink, in.routedMsg = nil, true, m
+// routeHeader tries to reserve the next channel for the message whose
+// header sits at the head of `in` at switch sw. The candidate continuation
+// links are precomputed per (switch, destination, phase).
+func (s *Simulator) routeHeader(sw int, in *buffer, mi int32) {
+	m := &s.msgs[mi]
+	if int32(sw) == m.dstSwitch {
+		in.route, in.sink, in.routedMsg = none, true, mi
 		return
 	}
-	hops := s.rt.NextHops(sw, m.dstSwitch, m.descending)
-	// admissible reports whether a candidate VC can be acquired: free, and
-	// under cut-through big enough to absorb the entire message.
-	admissible := func(cand *vc) bool {
-		if cand.buf.owner != nil {
-			return false
-		}
-		if s.cfg.CutThrough && cand.buf.cap > 0 && cand.buf.cap < m.size {
-			return false
-		}
-		return true
+	phase := 0
+	if m.descending {
+		phase = 1
 	}
+	cands := s.cand[phase][sw*s.net.Switches()+int(m.dstSwitch)]
 	if s.cfg.DeterministicRouting {
 		// Fixed path, fixed channel: wait for exactly one VC.
-		if len(hops) == 0 {
+		if len(cands) == 0 {
 			return
 		}
-		dl := directedLink{sw, hops[0].To}
-		if s.deadLinks[dl] {
+		lid := cands[0]
+		if s.deadLink[lid] {
 			// The only route crosses a failed link and the tables don't
 			// know yet: the worm is stranded and dropped.
-			s.loseMessage(m)
+			s.loseMessage(mi)
 			return
 		}
-		cand := s.linkVCs[dl][0]
-		if admissible(cand) {
-			cand.buf.owner = m
-			in.route, in.sink, in.routedMsg = cand, false, m
+		bid := s.linkVCs[lid][0]
+		if s.admissible(bid, m) {
+			s.acquire(in, bid, mi, m)
 		}
 		return
 	}
@@ -649,96 +829,160 @@ func (s *Simulator) routeHeader(sw int, in *buffer, m *message) {
 	// from a rotating offset so ties spread across channels.
 	off := int(s.cycle) // deterministic, varies per cycle
 	anyAlive := false
-	for hi := 0; hi < len(hops); hi++ {
-		h := hops[(hi+off)%len(hops)]
-		dl := directedLink{sw, h.To}
-		if s.deadLinks[dl] {
+	for hi := 0; hi < len(cands); hi++ {
+		lid := cands[(hi+off)%len(cands)]
+		if s.deadLink[lid] {
 			continue
 		}
 		anyAlive = true
-		vcs := s.linkVCs[dl]
+		vcs := s.linkVCs[lid]
 		for vi := 0; vi < len(vcs); vi++ {
-			cand := vcs[(vi+off)%len(vcs)]
-			if admissible(cand) {
-				cand.buf.owner = m
-				in.route, in.sink, in.routedMsg = cand, false, m
+			bid := vcs[(vi+off)%len(vcs)]
+			if s.admissible(bid, m) {
+				s.acquire(in, bid, mi, m)
 				// The descending state must change only when the flit
-				// actually moves; record the hop's phase on the route.
+				// actually moves; the phase commits in forward.
 				return
 			}
 		}
 	}
-	if len(hops) > 0 && !anyAlive {
+	if len(cands) > 0 && !anyAlive {
 		// Every admissible continuation crosses a failed link: stranded.
-		s.loseMessage(m)
+		s.loseMessage(mi)
 	}
 	// Blocked: try again next cycle.
 }
 
-// transferFlits moves at most one flit per output port.
+// admissible reports whether the candidate VC buffer can be acquired by m:
+// free, and under cut-through big enough to absorb the entire message.
+func (s *Simulator) admissible(bid int32, m *message) bool {
+	b := &s.bufs[bid]
+	if b.owner != none {
+		return false
+	}
+	if s.cfg.CutThrough && b.cap > 0 && int32(b.cap) < m.size {
+		return false
+	}
+	return true
+}
+
+// acquire reserves the downstream VC buffer for mi and records it on the
+// message's residency trail.
+func (s *Simulator) acquire(in *buffer, bid, mi int32, m *message) {
+	s.bufs[bid].owner = mi
+	in.route, in.sink, in.routedMsg = bid, false, mi
+	m.bufs = append(m.bufs, bid)
+}
+
+// transferFlits moves at most one flit per output port. For each switch it
+// makes one pass over the active buffers to find, per requested port, the
+// input with the best rotating-arbitration rank, then executes the moves.
+// This is equivalent to the per-port rotating scan because, within one
+// switch's pass, the request set is fixed: pushes into this switch come
+// only from lower-numbered switches (already processed), each buffer
+// requests exactly one port, and a served buffer either keeps requesting
+// the port it already used or stops requesting (tail departed).
 func (s *Simulator) transferFlits() {
-	for sw := 0; sw < s.net.Switches(); sw++ {
-		for _, port := range s.ports[sw] {
-			s.serve(sw, port)
+	for sw := 0; sw < len(s.inputs); sw++ {
+		act := s.active[sw]
+		if len(act) == 0 {
+			continue
 		}
+		n := int32(len(s.inputs[sw]))
+		start := int32(s.cycle % int64(n))
+		req := s.reqPorts[:0]
+		for _, bid := range act {
+			in := &s.bufs[bid]
+			f := in.q[in.head]
+			if in.routedMsg != f.msg {
+				continue
+			}
+			var pid int32
+			if in.sink {
+				pid = s.portOfHost[s.msgs[f.msg].dst]
+			} else if in.route != none {
+				rb := &s.bufs[in.route]
+				if rb.full() {
+					continue
+				}
+				pid = s.portOfLink[rb.linkID]
+			} else {
+				continue
+			}
+			rank := in.idx - start
+			if rank < 0 {
+				rank += n
+			}
+			p := &s.ports[pid]
+			if p.winner == none {
+				p.winner, p.winnerRank = bid, rank
+				req = append(req, pid)
+			} else if rank < p.winnerRank {
+				p.winner, p.winnerRank = bid, rank
+			}
+		}
+		for _, pid := range req {
+			p := &s.ports[pid]
+			bid := p.winner
+			p.winner = none
+			in := &s.bufs[bid]
+			f := in.q[in.head]
+			if p.eject >= 0 {
+				s.deliver(bid, in, f)
+			} else {
+				s.forward(bid, in, f)
+			}
+		}
+		s.reqPorts = req[:0]
 	}
 }
 
-// serve arbitrates one output port among the input buffers at sw routed to
-// it and moves one flit if possible.
-func (s *Simulator) serve(sw int, port *outPort) {
-	ins := s.inputs[sw]
-	n := len(ins)
-	start := port.rrOffset % n
-	port.rrOffset++
-	for k := 0; k < n; k++ {
-		in := ins[(start+k)%n]
-		f, ok := in.headFlit()
-		if !ok || in.routedMsg != f.msg {
-			continue
-		}
-		if port.eject >= 0 {
-			if !in.sink || f.msg.dst != port.eject {
-				continue
-			}
-			s.deliver(in, f)
-			return
-		}
-		if in.sink || in.route == nil || in.route.link != port.link || in.route.buf.full() {
-			continue
-		}
-		s.forward(in, f)
-		return
+// popHead removes the head flit of buffer bid, maintaining the queue
+// occupancy total and the worklist.
+func (s *Simulator) popHead(bid int32, in *buffer) {
+	in.pop()
+	if in.srcHost >= 0 {
+		s.srcQueueFlits--
+	}
+	if in.len() == 0 {
+		s.deactivate(bid)
 	}
 }
 
 // forward moves the head flit of `in` into its routed downstream VC.
-func (s *Simulator) forward(in *buffer, f flit) {
-	dst := in.route.buf
-	in.pop()
+func (s *Simulator) forward(bid int32, in *buffer, f flit) {
+	route := in.route
+	dst := &s.bufs[route]
+	s.popHead(bid, in)
+	wasEmpty := dst.len() == 0
 	dst.push(f)
-	if s.measuring {
-		s.linkFlits[in.route.link]++
+	if wasEmpty {
+		s.activate(route)
 	}
-	if f.isHeader() {
-		if f.msg.injected < 0 {
-			f.msg.injected = s.cycle
+	if s.measuring {
+		s.linkFlits[dst.linkID]++
+	}
+	m := &s.msgs[f.msg]
+	if f.seq == 0 {
+		if m.injected < 0 {
+			m.injected = s.cycle
 		}
 		// Crossing a down link commits the worm to its down phase.
-		if !s.rt.IsUp(in.route.link.from, in.route.link.to) {
-			f.msg.descending = true
+		if !s.linkUp[dst.linkID] {
+			m.descending = true
 		}
 	}
-	if f.isTail() {
+	if f.seq == m.size-1 {
 		s.releaseHead(in)
 	}
 }
 
 // deliver consumes the head flit of `in` at its destination host.
-func (s *Simulator) deliver(in *buffer, f flit) {
-	in.pop()
-	m := f.msg
-	if f.isHeader() && m.injected < 0 {
+func (s *Simulator) deliver(bid int32, in *buffer, f flit) {
+	s.popHead(bid, in)
+	mi := f.msg
+	m := &s.msgs[mi]
+	if f.seq == 0 && m.injected < 0 {
 		// Source and destination share a switch: the message never crossed
 		// a link; treat ejection start as injection.
 		m.injected = s.cycle
@@ -747,7 +991,7 @@ func (s *Simulator) deliver(in *buffer, f flit) {
 	if s.measuring {
 		s.metrics.deliveredFlits++
 	}
-	if f.isTail() {
+	if f.seq == m.size-1 {
 		s.releaseHead(in)
 		if s.measuring && m.created >= s.metrics.measureStart {
 			s.metrics.deliveredMessages++
@@ -758,6 +1002,7 @@ func (s *Simulator) deliver(in *buffer, f flit) {
 				s.metrics.addClusterSample(s.cfg.HostCluster[m.src], int64(m.size), s.cycle-m.injected)
 			}
 		}
+		s.freeMessage(mi)
 	}
 }
 
@@ -765,9 +1010,9 @@ func (s *Simulator) deliver(in *buffer, f flit) {
 // frees the VC ownership when `in` is a virtual-channel buffer.
 func (s *Simulator) releaseHead(in *buffer) {
 	if in.srcHost < 0 {
-		in.owner = nil
+		in.owner = none
 	}
-	in.route, in.sink, in.routedMsg = nil, false, nil
+	in.route, in.sink, in.routedMsg = none, false, none
 }
 
 // Drain stops injection and keeps switching until the network empties or
@@ -790,10 +1035,8 @@ func (s *Simulator) Drain(maxCycles int) bool {
 // inflight counts flits in every buffer.
 func (s *Simulator) inflight() int {
 	total := 0
-	for sw := range s.inputs {
-		for _, in := range s.inputs[sw] {
-			total += in.len()
-		}
+	for i := range s.bufs {
+		total += s.bufs[i].len()
 	}
 	return total
 }

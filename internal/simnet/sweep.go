@@ -2,12 +2,11 @@ package simnet
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"commsched/internal/obs"
+	"commsched/internal/par"
 	"commsched/internal/routing"
 	"commsched/internal/topology"
 	"commsched/internal/traffic"
@@ -47,58 +46,31 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 	}
 	sp := obs.StartSpan("simnet.sweep", obs.F("points", len(rates)), obs.F("max_rate", rates[len(rates)-1]))
 	points := make([]SweepPoint, len(rates))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(rates) {
-		workers = len(rates)
-	}
-	var (
-		wg     sync.WaitGroup
-		next   atomic.Int64
-		failed atomic.Pointer[error]
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					err := fmt.Errorf("simnet: sweep worker panic: %v", r)
-					failed.CompareAndSwap(nil, &err)
-				}
-			}()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(rates) || failed.Load() != nil {
-					return
-				}
-				c := cfg
-				c.InjectionRate = rates[i]
-				c.Seed = cfg.Seed*1000003 + int64(i)
-				sim, err := New(net, rt, pattern, c)
-				if err != nil {
-					failed.CompareAndSwap(nil, &err)
-					return
-				}
-				m, err := sim.RunContext(ctx)
-				if err != nil {
-					failed.CompareAndSwap(nil, &err)
-					return
-				}
-				points[i] = SweepPoint{Index: i + 1, Rate: rates[i], Metrics: m}
-				if obs.Enabled() {
-					obs.Event("simnet.sweep_point",
-						obs.F("point", i+1),
-						obs.F("rate", rates[i]),
-						obs.F("accepted_traffic", m.AcceptedTraffic),
-						obs.F("avg_latency", m.AvgLatency),
-						obs.F("saturated", m.Saturated()))
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if errp := failed.Load(); errp != nil {
-		return nil, *errp
+	err := par.ForEach(ctx, len(rates), func(ctx context.Context, i int) error {
+		c := cfg
+		c.InjectionRate = rates[i]
+		c.Seed = cfg.Seed*1000003 + int64(i)
+		sim, err := New(net, rt, pattern, c)
+		if err != nil {
+			return err
+		}
+		m, err := sim.RunContext(ctx)
+		if err != nil {
+			return err
+		}
+		points[i] = SweepPoint{Index: i + 1, Rate: rates[i], Metrics: m}
+		if obs.Enabled() {
+			obs.Event("simnet.sweep_point",
+				obs.F("point", i+1),
+				obs.F("rate", rates[i]),
+				obs.F("accepted_traffic", m.AcceptedTraffic),
+				obs.F("avg_latency", m.AvgLatency),
+				obs.F("saturated", m.Saturated()))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sp.End(obs.F("throughput", Throughput(points)))
 	return points, nil
@@ -138,10 +110,19 @@ func SaturationPoint(points []SweepPoint) int {
 	return -1
 }
 
+// ErrAlwaysSaturated reports that every FindSaturation probe down to the
+// bisection tolerance saturated: the network cannot sustain even the
+// lowest rate probed, so no non-saturated operating point was found.
+var ErrAlwaysSaturated = errors.New("simnet: network saturated at every probed rate")
+
 // FindSaturation locates the saturation injection rate by bisection in
 // (0, maxRate]: the largest per-host rate at which the network still
 // accepts (within the Saturated tolerance) everything offered. It returns
 // the bracketing rate and the metrics of the last non-saturated run.
+// When every probe down to the tolerance saturates, it returns rate 0,
+// the metrics of the lowest-rate (still saturated) probe — so the caller
+// can inspect Saturated() and the loss figures — and an error wrapping
+// ErrAlwaysSaturated.
 // Each probe is one full simulation, so tol trades precision for time; a
 // nil ctx means Background and cancellation aborts between (and inside)
 // probes.
@@ -182,6 +163,7 @@ func FindSaturation(ctx context.Context, net *topology.Network, rt *routing.UpDo
 	if !m.Saturated() {
 		return maxRate, m, nil // never saturates within the probe range
 	}
+	lastSaturated, found := m, false
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
 		m, err := probe(lo, hi, mid)
@@ -190,9 +172,15 @@ func FindSaturation(ctx context.Context, net *topology.Network, rt *routing.UpDo
 		}
 		if m.Saturated() {
 			hi = mid
+			lastSaturated = m
 		} else {
-			lo, best = mid, m
+			lo, best, found = mid, m, true
 		}
+	}
+	if !found {
+		// lo never advanced: even the lowest probe saturated. Surface the
+		// lowest-rate probe's metrics instead of a zero value.
+		return 0, lastSaturated, fmt.Errorf("simnet: no non-saturated rate above tolerance %v: %w", tol, ErrAlwaysSaturated)
 	}
 	return lo, best, nil
 }
