@@ -38,13 +38,25 @@ bench-perf:
 # regress beyond BENCH_THRESHOLD against the committed baseline. The
 # single-pass runs are noisy, so the default tolerance is generous; on a
 # failure the fresh report is left in bench_new.json for inspection.
+#
+# The tight gate is restricted to the repro-suite benchmarks (root
+# package, '^commsched\.'); the same fresh report is then diffed against
+# BENCH_obs.json, restricted to the observability-overhead probes
+# (internal/obs), so an emission-path regression fails the gate exactly
+# like a simulator regression. The obs probes are nanosecond-scale and a
+# 1x pass times a single iteration, so their ns/op tolerance is wider;
+# allocs/op (the real overhead signal — the disabled path must stay at
+# zero) is gated by the same number but is noise-free.
 BENCH_BASE ?= BENCH_perf.json
+BENCH_OBS_BASE ?= BENCH_obs.json
 BENCH_THRESHOLD ?= 0.5
+BENCH_OBS_THRESHOLD ?= 2.0
 bench-diff:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' . ./internal/obs > bench.out
 	$(GO) run ./cmd/benchjson -o bench_new.json bench.out
 	rm -f bench.out
-	$(GO) run ./cmd/benchjson compare -threshold $(BENCH_THRESHOLD) $(BENCH_BASE) bench_new.json
+	$(GO) run ./cmd/benchjson compare -threshold $(BENCH_THRESHOLD) -filter '^commsched\.' $(BENCH_BASE) bench_new.json
+	$(GO) run ./cmd/benchjson compare -threshold $(BENCH_OBS_THRESHOLD) -filter 'internal/obs' $(BENCH_OBS_BASE) bench_new.json
 	rm -f bench_new.json
 
 figs:

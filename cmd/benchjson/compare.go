@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"regexp"
 	"strings"
 )
 
@@ -14,20 +15,33 @@ import (
 // on. For both, higher is worse.
 var compareMetrics = []string{"ns/op", "allocs/op"}
 
-// runCompare implements `benchjson compare [-threshold f] old.json
-// new.json`. It returns the process exit code: 0 when no tracked metric
-// regressed beyond the threshold, 1 otherwise; errors (bad flags,
-// unreadable files) are returned instead.
+// runCompare implements `benchjson compare [-threshold f] [-filter re]
+// old.json new.json`. It returns the process exit code: 0 when no tracked
+// metric regressed beyond the threshold, 1 otherwise; errors (bad flags,
+// unreadable files) are returned instead. -filter restricts the gate to
+// benchmarks whose "pkg.Name" matches the regexp — how the CI gate diffs
+// the observability-overhead probes against their own baseline
+// (BENCH_obs.json) with the same machinery as the perf baseline.
 func runCompare(args []string, w io.Writer) (int, error) {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 0.10,
 		"fail when a tracked metric grows by more than this fraction")
+	filter := fs.String("filter", "",
+		"only compare benchmarks whose pkg.Name matches this regexp")
 	fs.SetOutput(os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
 	if fs.NArg() != 2 {
 		return 0, fmt.Errorf("compare needs exactly two files: old.json new.json")
+	}
+	var filterRe *regexp.Regexp
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			return 0, fmt.Errorf("bad -filter: %w", err)
+		}
+		filterRe = re
 	}
 	oldRep, err := loadReport(fs.Arg(0))
 	if err != nil {
@@ -48,6 +62,9 @@ func runCompare(args []string, w io.Writer) (int, error) {
 	matched := 0
 	fmt.Fprintf(w, "%-44s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
 	for _, nb := range newRep.Benchmarks {
+		if filterRe != nil && !filterRe.MatchString(nb.Pkg+"."+nb.Name) {
+			continue
+		}
 		ob, ok := oldBy[key(nb)]
 		if !ok {
 			fmt.Fprintf(w, "%-44s %-10s %14s %14s %9s\n", displayName(nb), "-", "-", "(new)", "-")

@@ -22,8 +22,8 @@ import (
 	"strings"
 
 	"commsched/internal/core"
-	"commsched/internal/obs"
 	"commsched/internal/search"
+	"commsched/internal/telemetry"
 	"commsched/internal/topology"
 )
 
@@ -51,17 +51,22 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write an observability trace (JSON lines) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		serve      = flag.String("serve", "", "serve live telemetry (/metrics /events /runs /healthz /debug/pprof) on this address while running, e.g. :8080 or :0")
+		trace      = flag.String("trace", "", "record a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
 
-	cleanup, err := obs.CLISetup(*metricsOut, *cpuprofile, *memprofile)
+	svc, err := telemetry.Start(telemetry.Options{
+		Serve: *serve, Trace: *trace, Metrics: *metricsOut,
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, Banner: os.Stderr,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "commsched:", err)
 		os.Exit(1)
 	}
 	runErr := run(*topo, *switches, *degree, *rings, *ringSize, *bridges, *rows, *cols, *dim, *in,
 		*topoSeed, *clusters, *weights, *seed, *heuristic, *metric, *randoms, *dumpTable)
-	if err := cleanup(); err != nil && runErr == nil {
+	if err := svc.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
 	if runErr != nil {

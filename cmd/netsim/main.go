@@ -17,10 +17,10 @@ import (
 	"commsched/internal/core"
 	"commsched/internal/experiments"
 	"commsched/internal/mapping"
-	"commsched/internal/obs"
 	"commsched/internal/plot"
 	"commsched/internal/simnet"
 	"commsched/internal/stats"
+	"commsched/internal/telemetry"
 	"commsched/internal/topology"
 )
 
@@ -46,16 +46,21 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		manifest   = flag.String("manifest", "", "write a run manifest (seeds, topology hash, timings) to this file")
+		serve      = flag.String("serve", "", "serve live telemetry (/metrics /events /runs /healthz /debug/pprof) on this address while running, e.g. :8080 or :0")
+		trace      = flag.String("trace", "", "record a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
-	cleanup, err := obs.CLISetup(*metrics, *cpuprofile, *memprofile)
+	svc, err := telemetry.Start(telemetry.Options{
+		Serve: *serve, Trace: *trace, Metrics: *metrics,
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, Banner: os.Stderr,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
 	}
 	runErr := run(*switches, *degree, *topoSeed, *useRings, *clusters, *mapKind, *mapSeed,
 		*points, *maxRate, *warmup, *cycles, *msgFlits, *vcs, *simSeed, *drawPlot, *manifest)
-	if err := cleanup(); err != nil && runErr == nil {
+	if err := svc.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
 	if runErr != nil {
@@ -88,6 +93,9 @@ func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapK
 	if err := man.AddTopology(net.Name(), net); err != nil {
 		return err
 	}
+	// Publish the manifest immediately so /runs identifies the run while
+	// it is still executing; the final Emit refreshes the duration.
+	man.Emit()
 	sys, err := core.NewSystem(net, core.Options{})
 	if err != nil {
 		return err

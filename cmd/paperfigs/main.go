@@ -23,8 +23,8 @@ import (
 	"path/filepath"
 
 	"commsched/internal/experiments"
-	"commsched/internal/obs"
 	"commsched/internal/plot"
+	"commsched/internal/telemetry"
 )
 
 func main() {
@@ -35,16 +35,22 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	manifest := flag.String("manifest", "", "write a run manifest (seeds, topology hashes, timings) to this file")
+	serve := flag.String("serve", "", "serve live telemetry (/metrics /events /runs /healthz /debug/pprof) on this address while running, e.g. :8080 or :0")
+	trace := flag.String("trace", "", "record a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
 	flag.Parse()
 
-	if err := mainErr(*fig, *quick, *csvDir, *metrics, *cpuprofile, *memprofile, *manifest); err != nil {
+	opts := telemetry.Options{
+		Serve: *serve, Trace: *trace, Metrics: *metrics,
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, Banner: os.Stderr,
+	}
+	if err := mainErr(*fig, *quick, *csvDir, opts, *manifest); err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)
 	}
 }
 
-func mainErr(fig string, quick bool, csvDir, metrics, cpuprofile, memprofile, manifestPath string) error {
-	cleanup, err := obs.CLISetup(metrics, cpuprofile, memprofile)
+func mainErr(fig string, quick bool, csvDir string, opts telemetry.Options, manifestPath string) error {
+	svc, err := telemetry.Start(opts)
 	if err != nil {
 		return err
 	}
@@ -61,6 +67,9 @@ func mainErr(fig string, quick bool, csvDir, metrics, cpuprofile, memprofile, ma
 	if net, err := experiments.Network24Rings(); err == nil {
 		man.AddTopology("rings24", net)
 	}
+	// Publish the manifest immediately so /runs identifies the run while
+	// it is still executing; the final Emit refreshes the duration.
+	man.Emit()
 
 	runErr := func() error {
 		if csvDir != "" {
@@ -81,7 +90,7 @@ func mainErr(fig string, quick bool, csvDir, metrics, cpuprofile, memprofile, ma
 			runErr = err
 		}
 	}
-	if err := cleanup(); err != nil && runErr == nil {
+	if err := svc.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
 	return runErr

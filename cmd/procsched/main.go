@@ -20,6 +20,7 @@ import (
 	"commsched/internal/procsched"
 	"commsched/internal/routing"
 	"commsched/internal/simnet"
+	"commsched/internal/telemetry"
 	"commsched/internal/topology"
 	"commsched/internal/traffic"
 )
@@ -33,10 +34,28 @@ func main() {
 		slots    = flag.Int("slots", 2, "process slots per workstation")
 		seed     = flag.Int64("seed", 1, "search seed")
 		simulate = flag.Bool("simulate", false, "also simulate scheduled vs random placement")
+
+		metrics    = flag.String("metrics", "", "write an observability trace (JSON lines) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		serve      = flag.String("serve", "", "serve live telemetry (/metrics /events /runs /healthz /debug/pprof) on this address while running, e.g. :8080 or :0")
+		trace      = flag.String("trace", "", "record a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
-	if err := run(*switches, *degree, *topoSeed, *clusters, *slots, *seed, *simulate); err != nil {
+	svc, err := telemetry.Start(telemetry.Options{
+		Serve: *serve, Trace: *trace, Metrics: *metrics,
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, Banner: os.Stderr,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "procsched:", err)
+		os.Exit(1)
+	}
+	runErr := run(*switches, *degree, *topoSeed, *clusters, *slots, *seed, *simulate)
+	if err := svc.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "procsched:", runErr)
 		os.Exit(1)
 	}
 }

@@ -98,6 +98,19 @@ func Event(name string, fields ...Field) {
 	b.s.Emit(Record{Time: time.Now(), Kind: "event", Name: name, Fields: fields})
 }
 
+// Progress emits a standardized progress event for a long-running task:
+// done items out of total. Sinks that aggregate (the telemetry registry)
+// turn these into live progress/ETA gauges keyed by task; the JSONL sink
+// records them like any other event. No-op when observability is off.
+func Progress(task string, done, total int64) {
+	b := global.Load()
+	if b == nil {
+		return
+	}
+	b.s.Emit(Record{Time: time.Now(), Kind: "event", Name: "progress",
+		Fields: []Field{F("task", task), F("done", done), F("total", total)}})
+}
+
 // Span is a timed region. StartSpan returns nil when observability is
 // off, and a nil *Span is safe to End — call sites stay branchless:
 //

@@ -23,6 +23,19 @@ type Nop struct{}
 // Emit implements Sink.
 func (Nop) Emit(Record) {}
 
+// Fanout tees every record to each member sink in order — how a command
+// runs a JSONL trace, the live telemetry registry/SSE hub, and a Chrome
+// trace recorder off one emission stream. Members must individually be
+// safe for concurrent use; Fanout adds no locking of its own.
+type Fanout []Sink
+
+// Emit implements Sink.
+func (f Fanout) Emit(r Record) {
+	for _, s := range f {
+		s.Emit(r)
+	}
+}
+
 // Memory collects records in memory — the test and inspection sink.
 type Memory struct {
 	mu      sync.Mutex
@@ -103,8 +116,10 @@ func OpenJSONL(path string) (*JSONL, error) {
 	return NewJSONL(f), nil
 }
 
-// Emit implements Sink.
-func (j *JSONL) Emit(r Record) {
+// RecordObject flattens a record into the wire object shared by the JSONL
+// sink and the telemetry SSE stream: reserved keys "ts", "kind", "name",
+// and "dur_ms", with the record's fields merged into the same map.
+func RecordObject(r Record) map[string]any {
 	obj := make(map[string]any, len(r.Fields)+4)
 	obj["ts"] = r.Time.UTC().Format("2006-01-02T15:04:05.000000Z07:00")
 	obj["kind"] = r.Kind
@@ -115,7 +130,12 @@ func (j *JSONL) Emit(r Record) {
 	for _, f := range r.Fields {
 		obj[f.Key] = f.Value
 	}
-	line, err := json.Marshal(obj)
+	return obj
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(r Record) {
+	line, err := json.Marshal(RecordObject(r))
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err != nil {
@@ -130,6 +150,14 @@ func (j *JSONL) Emit(r Record) {
 	if _, err := j.w.Write(append(line, '\n')); err != nil {
 		j.err = err
 	}
+}
+
+// Err returns the first encoding or write error seen so far without
+// flushing — a cheap mid-run health check for long-running services.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
 }
 
 // Flush drains the buffer and reports the first write error.

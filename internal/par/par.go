@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"commsched/internal/obs"
 )
 
 // ForEach runs fn(ctx, i) for every i in [0, n) across at most
@@ -34,11 +36,12 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 	var (
 		wg     sync.WaitGroup
 		next   atomic.Int64
+		done   atomic.Int64
 		failed atomic.Pointer[error]
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -56,12 +59,27 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 					failed.CompareAndSwap(nil, &err)
 					return
 				}
+				if obs.Enabled() {
+					// Items are coarse (a full simulation run, a search
+					// restart), so a per-item span is cheap relative to the
+					// work; the worker field maps the item onto its worker's
+					// thread lane in the Chrome trace view.
+					sp := obs.StartSpan("par.item", obs.F("worker", worker), obs.F("index", i))
+					err := fn(ctx, i)
+					sp.End(obs.F("err", err != nil))
+					obs.Progress("par.foreach", done.Add(1), int64(n))
+					if err != nil {
+						failed.CompareAndSwap(nil, &err)
+						return
+					}
+					continue
+				}
 				if err := fn(ctx, i); err != nil {
 					failed.CompareAndSwap(nil, &err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if errp := failed.Load(); errp != nil {

@@ -101,6 +101,7 @@ func (a *Anneal) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rn
 				obs.F("final", cur),
 				obs.F("final_temp", temp),
 				obs.F("best", res.BestIntraSum))
+			obs.Progress("search.anneal", int64(restart+1), int64(a.Restarts))
 		}
 	}
 	res = finishResult(e, res)

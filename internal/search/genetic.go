@@ -88,6 +88,7 @@ func (g *Genetic) Search(ctx context.Context, e *quality.Evaluator, spec Spec, r
 				obs.F("best", pop[0].val),
 				obs.F("worst", pop[len(pop)-1].val),
 				obs.F("evaluations", res.Evaluations))
+			obs.Progress("search.genetic", int64(gen+1), int64(g.Generations))
 		}
 		pop = next
 		res.Iterations++

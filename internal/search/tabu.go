@@ -172,6 +172,7 @@ func (t *Tabu) searchObjective(ctx context.Context, obj Objective, spec Spec, rn
 			return nil, err
 		}
 		mergeResult(merged, sub)
+		obs.Progress("search.tabu", int64(restart+1), int64(len(seeds)))
 	}
 	return merged, nil
 }
@@ -318,7 +319,7 @@ func (t *Tabu) searchParallel(ctx context.Context, obj Objective, spec Spec, rng
 		workers = t.Restarts
 	}
 	var wg sync.WaitGroup
-	var next atomic.Int64
+	var next, finished atomic.Int64
 	var panicked atomic.Pointer[error]
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -337,6 +338,7 @@ func (t *Tabu) searchParallel(ctx context.Context, obj Objective, spec Spec, rng
 				}
 				iter := 0
 				results[i], errs[i] = t.runSeededRestart(ctx, obj, spec, seeds[i], i, &iter, nil)
+				obs.Progress("search.tabu", finished.Add(1), int64(t.Restarts))
 			}
 		}()
 	}

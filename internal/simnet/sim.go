@@ -649,15 +649,30 @@ func (s *Simulator) loseMessage(mi int32) {
 	s.freeMessage(mi)
 }
 
+// samplePeriod is how often (in measured cycles) a live "simnet.sample"
+// event is emitted when a sink is installed — coarse enough to stay off
+// the critical path, fine enough to draw queue-occupancy and active-worm
+// counter tracks in the Chrome trace / SSE views.
+const samplePeriod = 256
+
 // sampleQueues accumulates source-queue occupancy for the mean-queue
 // metric (an early saturation indicator: queues grow without bound past
 // the saturation point). The occupancy total is maintained incrementally,
-// so the sample is O(1).
+// so the sample is O(1). When observability is on (queueHist was created
+// at New time), every samplePeriod-th cycle additionally emits a live
+// sample with the current occupancy and in-flight worm count.
 func (s *Simulator) sampleQueues() {
 	s.metrics.queueSamples++
 	s.metrics.queueFlitsSum += s.srcQueueFlits
 	if s.queueHist != nil {
 		s.queueHist.Observe(float64(s.srcQueueFlits))
+		if s.metrics.queueSamples%samplePeriod == 1 {
+			obs.Event("simnet.sample",
+				obs.F("cycle", s.cycle),
+				obs.F("rate", s.cfg.InjectionRate),
+				obs.F("queue_flits", s.srcQueueFlits),
+				obs.F("active_worms", int64(len(s.msgs)-len(s.freeMsgs))))
+		}
 	}
 }
 

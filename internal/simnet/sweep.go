@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"commsched/internal/obs"
 	"commsched/internal/par"
@@ -46,6 +48,7 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 	}
 	sp := obs.StartSpan("simnet.sweep", obs.F("points", len(rates)), obs.F("max_rate", rates[len(rates)-1]))
 	points := make([]SweepPoint, len(rates))
+	var done atomic.Int64
 	err := par.ForEach(ctx, len(rates), func(ctx context.Context, i int) error {
 		c := cfg
 		c.InjectionRate = rates[i]
@@ -66,6 +69,7 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 				obs.F("accepted_traffic", m.AcceptedTraffic),
 				obs.F("avg_latency", m.AvgLatency),
 				obs.F("saturated", m.Saturated()))
+			obs.Progress("simnet.sweep", done.Add(1), int64(len(rates)))
 		}
 		return nil
 	})
@@ -136,6 +140,10 @@ func FindSaturation(ctx context.Context, net *topology.Network, rt *routing.UpDo
 	if tol <= 0 {
 		tol = maxRate / 64
 	}
+	// Bisection halves (hi-lo) every probe, so the probe budget is known
+	// up front — which makes the search a progress-trackable task.
+	totalProbes := int64(1 + math.Ceil(math.Log2(maxRate/tol)))
+	var probes int64
 	probe := func(lo, hi, rate float64) (Metrics, error) {
 		c := cfg
 		c.InjectionRate = rate
@@ -145,12 +153,14 @@ func FindSaturation(ctx context.Context, net *topology.Network, rt *routing.UpDo
 		}
 		m, err := sim.RunContext(ctx)
 		if err == nil && obs.Enabled() {
+			probes++
 			obs.Event("simnet.saturation_probe",
 				obs.F("rate", rate),
 				obs.F("lo", lo),
 				obs.F("hi", hi),
 				obs.F("accepted_traffic", m.AcceptedTraffic),
 				obs.F("saturated", m.Saturated()))
+			obs.Progress("simnet.saturation", probes, totalProbes)
 		}
 		return m, err
 	}

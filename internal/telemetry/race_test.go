@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"commsched/internal/obs"
+)
+
+// TestRegistryConcurrentHistFlush hammers the registry with concurrent
+// histogram flushes, span/progress records, and exposition renders. Run
+// under -race (the CI race job includes this package) it proves ingestion
+// and scraping can overlap — the property /metrics depends on mid-run.
+func TestRegistryConcurrentHistFlush(t *testing.T) {
+	g := NewRegistry()
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Histograms are single-owner by contract; each goroutine flushes
+			// its own into the shared registry.
+			h := obs.NewHistogram("simnet.queue_occupancy", obs.PowersOfTwoBounds(4))
+			for i := 0; i < iters; i++ {
+				h.Observe(float64(i % 7))
+				g.Emit(h.Record())
+				g.Emit(obs.Record{Kind: "span", Name: "simnet.run"})
+				g.Emit(obs.Record{Kind: "event", Name: "progress",
+					Fields: []obs.Field{obs.F("task", "sweep"), obs.F("done", int64(i)), obs.F("total", int64(iters))}})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := g.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if _, err := g.RunsJSON(); err != nil {
+				t.Errorf("RunsJSON: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestHubConcurrentSubscribe overlaps emitters with subscribers that
+// join, drain, and leave continuously — the /events connect/disconnect
+// pattern under load.
+func TestHubConcurrentSubscribe(t *testing.T) {
+	h := NewHub()
+	const emitters, subscribers, iters = 4, 4, 300
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h.Emit(obs.Record{Kind: "event", Name: "e",
+					Fields: []obs.Field{obs.F("i", int64(i))}})
+			}
+		}()
+	}
+	for s := 0; s < subscribers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters/10; i++ {
+				sub := h.Subscribe(2)
+				// Drain whatever is immediately available, then leave.
+				for drained := true; drained; {
+					select {
+					case <-sub.C():
+					default:
+						drained = false
+					}
+				}
+				sub.Dropped()
+				sub.Close()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			h.Stats()
+		}
+	}()
+	wg.Wait()
+
+	if subs, emitted, _ := h.Stats(); subs != 0 || emitted != emitters*iters {
+		t.Errorf("final Stats = (%d, %d, _), want (0, %d)", subs, emitted, emitters*iters)
+	}
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the embeddable telemetry endpoint of a long-running command:
+//
+//	/metrics   Prometheus text exposition of the registry (+ SSE stats)
+//	/events    Server-Sent-Events stream of live obs records
+//	/runs      run manifest + live progress/ETA, as JSON
+//	/healthz   liveness probe
+//	/debug/pprof/...  the standard pprof handlers
+//
+// Start binds a listener (addr ":0" picks a free port) and serves in a
+// background goroutine; Close shuts the listener down.
+type Server struct {
+	// Registry aggregates the record stream for /metrics and /runs.
+	Registry *Registry
+	// Hub fans records out to /events subscribers.
+	Hub *Hub
+
+	srv     *http.Server
+	ln      net.Listener
+	started time.Time
+}
+
+// NewServer wires a server around an existing registry and hub.
+func NewServer(reg *Registry, hub *Hub) *Server {
+	s := &Server{Registry: reg, Hub: hub, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	return s
+}
+
+// Start listens on addr and serves until Close. It returns the bound
+// address (useful with ":0").
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	s.ln = ln
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Handler exposes the mux (for tests and embedding into a larger server).
+func (s *Server) Handler() http.Handler { return s.srv.Handler }
+
+// Close stops the listener. In-flight SSE streams end when their clients
+// observe the closed connection.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.Registry.WritePrometheus(w); err != nil {
+		return
+	}
+	subs, emitted, dropped := s.Hub.Stats()
+	fmt.Fprintf(w, "# HELP commsched_sse_subscribers Currently connected /events clients.\n")
+	fmt.Fprintf(w, "# TYPE commsched_sse_subscribers gauge\n")
+	fmt.Fprintf(w, "commsched_sse_subscribers %d\n", subs)
+	fmt.Fprintf(w, "# HELP commsched_sse_records_total Records offered to the SSE hub.\n")
+	fmt.Fprintf(w, "# TYPE commsched_sse_records_total counter\n")
+	fmt.Fprintf(w, "commsched_sse_records_total %d\n", emitted)
+	fmt.Fprintf(w, "# HELP commsched_sse_dropped_total Records dropped across slow /events clients.\n")
+	fmt.Fprintf(w, "# TYPE commsched_sse_dropped_total counter\n")
+	fmt.Fprintf(w, "commsched_sse_dropped_total %d\n", dropped)
+}
+
+// sseBuffer is the per-client record buffer; past it, records are dropped
+// for that client rather than ever blocking the emitting hot path.
+const sseBuffer = 1024
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	sub := s.Hub.Subscribe(sseBuffer)
+	defer sub.Close()
+	fmt.Fprintf(w, ": commsched live record stream\n\n")
+	flusher.Flush()
+	var reported int64
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case data := <-sub.C():
+			fmt.Fprintf(w, "event: record\ndata: %s\n\n", data)
+			// Surface slow-client drops in-band, so a consumer knows its
+			// view has gaps.
+			if d := sub.Dropped(); d > reported {
+				reported = d
+				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped_total\":%d}\n\n", d)
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			fmt.Fprintf(w, ": heartbeat\n\n")
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Registry.RunsJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f}\n", time.Since(s.started).Seconds())
+}

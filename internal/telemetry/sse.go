@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"commsched/internal/obs"
+)
+
+// Hub fans the record stream out to live SSE subscribers. It is an
+// obs.Sink: each record is JSON-encoded once (the same flattened object
+// the JSONL sink writes) and offered to every subscriber's bounded
+// buffer. A subscriber that cannot keep up never blocks the emitting hot
+// path — the record is dropped for that subscriber and counted, and the
+// drop total is reported both per subscription and hub-wide.
+type Hub struct {
+	mu      sync.Mutex
+	subs    map[*Subscription]struct{}
+	dropped atomic.Int64
+	emitted atomic.Int64
+}
+
+// Subscription is one client's bounded view of the stream.
+type Subscription struct {
+	hub     *Hub
+	ch      chan []byte
+	dropped atomic.Int64
+	once    sync.Once
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[*Subscription]struct{})}
+}
+
+// Emit implements obs.Sink.
+func (h *Hub) Emit(r obs.Record) {
+	h.emitted.Add(1)
+	h.mu.Lock()
+	if len(h.subs) == 0 {
+		h.mu.Unlock()
+		return
+	}
+	// Encode under the lock only when someone is listening; records are
+	// small and subscriber counts are tiny (humans and scrapers).
+	data, err := json.Marshal(obs.RecordObject(r))
+	if err != nil {
+		h.mu.Unlock()
+		return
+	}
+	for s := range h.subs {
+		select {
+		case s.ch <- data:
+		default:
+			s.dropped.Add(1)
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe registers a new client with the given buffer capacity
+// (minimum 1). The caller must Close the subscription when done.
+func (h *Hub) Subscribe(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Subscription{hub: h, ch: make(chan []byte, buffer)}
+	h.mu.Lock()
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	return s
+}
+
+// C is the subscription's record channel; each element is one
+// JSON-encoded record. The channel is never closed by the hub — readers
+// select against their own cancellation signal.
+func (s *Subscription) C() <-chan []byte { return s.ch }
+
+// Dropped reports how many records this subscription missed because its
+// buffer was full.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Close unregisters the subscription; safe to call more than once.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.hub.mu.Lock()
+		delete(s.hub.subs, s)
+		s.hub.mu.Unlock()
+	})
+}
+
+// Stats reports the current subscriber count, records offered to the hub,
+// and records dropped across all (past and present) subscribers.
+func (h *Hub) Stats() (subscribers int, emitted, dropped int64) {
+	h.mu.Lock()
+	subscribers = len(h.subs)
+	h.mu.Unlock()
+	return subscribers, h.emitted.Load(), h.dropped.Load()
+}

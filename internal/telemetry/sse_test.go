@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"commsched/internal/obs"
+)
+
+func TestHubDeliversRecords(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(4)
+	defer sub.Close()
+
+	h.Emit(obs.Record{Kind: "event", Name: "simnet.sweep_point",
+		Fields: []obs.Field{obs.F("rate", 0.25)}})
+
+	select {
+	case data := <-sub.C():
+		var obj map[string]any
+		if err := json.Unmarshal(data, &obj); err != nil {
+			t.Fatalf("delivered record is not JSON: %v\n%s", err, data)
+		}
+		if obj["name"] != "simnet.sweep_point" || obj["rate"] != 0.25 {
+			t.Errorf("record = %v, want name=simnet.sweep_point rate=0.25", obj)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no record delivered")
+	}
+}
+
+// TestHubSlowClientDrops pins the bounded-buffer contract: a subscriber
+// that stops draining loses records (counted per-sub and hub-wide) but
+// never blocks Emit.
+func TestHubSlowClientDrops(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(1)
+	defer sub.Close()
+
+	for i := 0; i < 5; i++ {
+		h.Emit(obs.Record{Kind: "event", Name: "e"})
+	}
+	if got := sub.Dropped(); got != 4 {
+		t.Errorf("sub.Dropped() = %d, want 4 (buffer of 1, 5 emits)", got)
+	}
+	subs, emitted, dropped := h.Stats()
+	if subs != 1 || emitted != 5 || dropped != 4 {
+		t.Errorf("Stats() = (%d, %d, %d), want (1, 5, 4)", subs, emitted, dropped)
+	}
+	// The buffered record is still readable.
+	select {
+	case <-sub.C():
+	default:
+		t.Error("buffered record lost")
+	}
+}
+
+func TestHubUnsubscribe(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(1)
+	sub.Close()
+	sub.Close() // idempotent
+	h.Emit(obs.Record{Kind: "event", Name: "e"})
+	subs, emitted, dropped := h.Stats()
+	if subs != 0 {
+		t.Errorf("subscribers = %d after Close, want 0", subs)
+	}
+	if emitted != 1 || dropped != 0 {
+		t.Errorf("emitted/dropped = %d/%d, want 1/0 (no one listening, nothing dropped)", emitted, dropped)
+	}
+	select {
+	case <-sub.C():
+		t.Error("record delivered to a closed subscription")
+	default:
+	}
+}

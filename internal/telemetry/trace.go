@@ -1,0 +1,320 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"commsched/internal/obs"
+)
+
+// Trace records the obs stream as Chrome trace-event JSON ("trace event
+// format"), loadable in Perfetto or chrome://tracing. It is an obs.Sink.
+//
+// Spans become matched B/E duration pairs. A span carrying a "worker"
+// field (the par.ForEach item spans) lands on that worker's thread lane,
+// so the fan-out of a parallel sweep reads as a swimlane diagram; all
+// other spans are packed onto synthetic lanes such that every lane's
+// spans nest properly — a requirement of the B/E stack semantics that
+// concurrent goroutines sharing one lane would violate. Periodic
+// "simnet.sample" events become counter tracks (source-queue flits and
+// active worms per injection rate), "hist" flushes become one summary
+// counter sample, and any other event becomes an instant event.
+//
+// Records are buffered in memory and written, sorted by timestamp, on
+// Close — runs are finite and the volume is a few records per simulation
+// plus coarse periodic samples.
+type Trace struct {
+	mu     sync.Mutex
+	w      io.Writer
+	c      io.Closer
+	spans  []traceSpan
+	points []traceEvent // instant + counter events with absolute ts in Ts
+	times  []time.Time  // absolute time of each points[i]
+	closed bool
+}
+
+// traceSpan is a completed span waiting for lane assignment.
+type traceSpan struct {
+	name       string
+	start, end time.Time
+	worker     int // -1 when the record carried no worker field
+	args       map[string]any
+}
+
+// traceEvent is one JSON object of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tracePid is the single process ID used for all events.
+const tracePid = 1
+
+// maxTime is far enough in the future to close any open span.
+var maxTime = time.Unix(1<<62-1, 0)
+
+// autoLaneBase is the first tid of the synthetic (non-worker) lanes;
+// worker lanes are 1+worker, so the bases must not collide for any
+// plausible worker count.
+const autoLaneBase = 1000
+
+// NewTrace wraps a writer; Close must be called to write the file.
+func NewTrace(w io.Writer) *Trace {
+	t := &Trace{w: w}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// OpenTrace creates (truncates) a trace file at path.
+func OpenTrace(path string) (*Trace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: opening trace %s: %w", path, err)
+	}
+	return NewTrace(f), nil
+}
+
+// Emit implements obs.Sink.
+func (t *Trace) Emit(r obs.Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	switch r.Kind {
+	case "span":
+		s := traceSpan{name: r.Name, start: r.Time, end: r.Time.Add(r.Dur), worker: -1}
+		s.args = make(map[string]any, len(r.Fields))
+		for _, f := range r.Fields {
+			if f.Key == "worker" {
+				if w, ok := toFloat(f.Value); ok && w >= 0 {
+					s.worker = int(w)
+				}
+			}
+			s.args[f.Key] = f.Value
+		}
+		t.spans = append(t.spans, s)
+	case "hist":
+		mean, _ := fieldFloat(r, "mean")
+		count, _ := fieldFloat(r, "count")
+		t.addPoint(r.Time, traceEvent{
+			Name: r.Name, Ph: "C", Pid: tracePid,
+			Args: map[string]any{"mean": mean, "count": count},
+		})
+	default:
+		if r.Name == "simnet.sample" {
+			t.addSimSample(r)
+			return
+		}
+		args := make(map[string]any, len(r.Fields))
+		for _, f := range r.Fields {
+			args[f.Key] = f.Value
+		}
+		t.addPoint(r.Time, traceEvent{Name: r.Name, Ph: "i", Pid: tracePid, S: "p", Args: args})
+	}
+}
+
+// addSimSample turns one periodic simulator sample into two counter-track
+// samples. Parallel sweep points run concurrently, so the injection rate
+// is folded into the counter name to keep each operating point on its own
+// track.
+func (t *Trace) addSimSample(r obs.Record) {
+	suffix := ""
+	if rate, ok := fieldFloat(r, "rate"); ok {
+		suffix = fmt.Sprintf(" rate=%.4g", rate)
+	}
+	if q, ok := fieldFloat(r, "queue_flits"); ok {
+		t.addPoint(r.Time, traceEvent{
+			Name: "simnet.queue_flits" + suffix, Ph: "C", Pid: tracePid,
+			Args: map[string]any{"flits": q},
+		})
+	}
+	if worms, ok := fieldFloat(r, "active_worms"); ok {
+		t.addPoint(r.Time, traceEvent{
+			Name: "simnet.active_worms" + suffix, Ph: "C", Pid: tracePid,
+			Args: map[string]any{"worms": worms},
+		})
+	}
+}
+
+func (t *Trace) addPoint(at time.Time, ev traceEvent) {
+	t.points = append(t.points, ev)
+	t.times = append(t.times, at)
+}
+
+// Close lays the buffered records out as trace events and writes the
+// file; it reports the first encoding, write, or close error.
+func (t *Trace) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	events := t.layout()
+	bw := bufio.NewWriter(t.w)
+	var firstErr error
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		firstErr = err
+	}
+	for i, ev := range events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: encoding trace event %q: %w", ev.Name, err)
+			}
+			continue
+		}
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		if _, err := bw.Write(line); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := bw.Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// lane is one thread track during layout: a stack of currently open
+// spans plus the B/E events generated for it so far.
+type lane struct {
+	tid    int
+	label  string
+	open   []openSpan // outermost first
+	events []traceEvent
+	times  []time.Time
+}
+
+type openSpan struct {
+	name string
+	end  time.Time
+}
+
+// close emits E events, innermost first, for every open span that ends
+// at or before upTo.
+func (l *lane) close(upTo time.Time) {
+	for len(l.open) > 0 && !l.open[len(l.open)-1].end.After(upTo) {
+		top := l.open[len(l.open)-1]
+		l.open = l.open[:len(l.open)-1]
+		l.events = append(l.events, traceEvent{Name: top.name, Ph: "E", Pid: tracePid, Tid: l.tid})
+		l.times = append(l.times, top.end)
+	}
+}
+
+// fits closes everything that ended before s starts and reports whether s
+// nests properly under the lane's innermost still-open span. The closes
+// are kept even when s is then placed elsewhere — they are due on this
+// lane regardless.
+func (l *lane) fits(s traceSpan) bool {
+	l.close(s.start)
+	return len(l.open) == 0 || !l.open[len(l.open)-1].end.Before(s.end)
+}
+
+// openSpan emits s's B event and pushes it on the open stack; the caller
+// must have checked fits first.
+func (l *lane) openSpanEv(s traceSpan) {
+	l.events = append(l.events, traceEvent{Name: s.name, Ph: "B", Pid: tracePid, Tid: l.tid, Args: s.args})
+	l.times = append(l.times, s.start)
+	l.open = append(l.open, openSpan{name: s.name, end: s.end})
+}
+
+// layout assigns spans to lanes, generates ordered B/E pairs per lane,
+// merges the point events, and returns everything sorted by timestamp
+// (with metadata events first).
+func (t *Trace) layout() []traceEvent {
+	spans := append([]traceSpan(nil), t.spans...)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].start.Equal(spans[j].start) {
+			return spans[i].start.Before(spans[j].start)
+		}
+		return spans[i].end.After(spans[j].end) // longer first: outer before inner
+	})
+
+	workerLanes := map[int]*lane{}
+	var autoLanes []*lane
+	var laneOrder []*lane
+	for _, s := range spans {
+		if s.worker >= 0 {
+			l := workerLanes[s.worker]
+			if l == nil {
+				l = &lane{tid: 1 + s.worker, label: fmt.Sprintf("par worker %d", s.worker)}
+				workerLanes[s.worker] = l
+				laneOrder = append(laneOrder, l)
+			}
+			if l.fits(s) {
+				l.openSpanEv(s)
+				continue
+			}
+		}
+		placed := false
+		for _, l := range autoLanes {
+			if l.fits(s) {
+				l.openSpanEv(s)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			l := &lane{tid: autoLaneBase + len(autoLanes), label: fmt.Sprintf("lane %d", len(autoLanes))}
+			autoLanes = append(autoLanes, l)
+			laneOrder = append(laneOrder, l)
+			l.openSpanEv(s)
+		}
+	}
+
+	var all []traceEvent
+	var times []time.Time
+	base := time.Time{}
+	for _, l := range laneOrder {
+		l.close(maxTime) // flush the spans still open at the end
+		all = append(all, l.events...)
+		times = append(times, l.times...)
+	}
+	all = append(all, t.points...)
+	times = append(times, t.times...)
+	for _, at := range times {
+		if base.IsZero() || at.Before(base) {
+			base = at
+		}
+	}
+	for i := range all {
+		all[i].Ts = float64(times[i].Sub(base).Nanoseconds()) / 1e3
+	}
+	// Stable sort keeps each lane's generation order at equal timestamps,
+	// which is what makes B/E pairs stack-consistent.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Ts < all[j].Ts })
+
+	// Thread-name metadata first (ts 0 ≤ every event by construction).
+	var out []traceEvent
+	for _, l := range laneOrder {
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: l.tid,
+			Args: map[string]any{"name": l.label},
+		})
+	}
+	return append(out, all...)
+}
