@@ -22,6 +22,8 @@ import (
 	"strings"
 
 	"commsched/internal/core"
+	"commsched/internal/experiments"
+	"commsched/internal/runctl"
 	"commsched/internal/search"
 	"commsched/internal/telemetry"
 	"commsched/internal/topology"
@@ -54,6 +56,7 @@ func main() {
 		serve      = flag.String("serve", "", "serve live telemetry (/metrics /events /runs /healthz /debug/pprof) on this address while running, e.g. :8080 or :0")
 		trace      = flag.String("trace", "", "record a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
 	)
+	durable := runctl.Flags(false)
 	flag.Parse()
 
 	svc, err := telemetry.Start(telemetry.Options{
@@ -65,7 +68,7 @@ func main() {
 		os.Exit(1)
 	}
 	runErr := run(*topo, *switches, *degree, *rings, *ringSize, *bridges, *rows, *cols, *dim, *in,
-		*topoSeed, *clusters, *weights, *seed, *heuristic, *metric, *randoms, *dumpTable)
+		*topoSeed, *clusters, *weights, *seed, *heuristic, *metric, *randoms, *dumpTable, *durable)
 	if err := svc.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -76,12 +79,31 @@ func main() {
 }
 
 func run(topo string, switches, degree, rings, ringSize, bridges, rows, cols, dim int, in string,
-	topoSeed int64, clusters int, weights string, seed int64, heuristic, metric string, randoms int, dumpTable bool) error {
+	topoSeed int64, clusters int, weights string, seed int64, heuristic, metric string, randoms int, dumpTable bool,
+	durable runctl.Config) (retErr error) {
 
 	net, err := buildTopology(topo, switches, degree, rings, ringSize, bridges, rows, cols, dim, in, topoSeed)
 	if err != nil {
 		return err
 	}
+	man := experiments.NewManifest("commsched", experiments.Scale{})
+	man.Seeds = map[string]int64{"topology": topoSeed, "search": seed}
+	if err := man.AddTopology(net.Name(), net); err != nil {
+		return err
+	}
+	id, err := man.RunstateIdentity()
+	if err != nil {
+		return err
+	}
+	finish, err := runctl.Activate(durable, id, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+	}()
 	opts := core.Options{}
 	switch metric {
 	case "resistance":

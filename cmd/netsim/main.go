@@ -18,6 +18,7 @@ import (
 	"commsched/internal/experiments"
 	"commsched/internal/mapping"
 	"commsched/internal/plot"
+	"commsched/internal/runctl"
 	"commsched/internal/simnet"
 	"commsched/internal/stats"
 	"commsched/internal/telemetry"
@@ -49,6 +50,7 @@ func main() {
 		serve      = flag.String("serve", "", "serve live telemetry (/metrics /events /runs /healthz /debug/pprof) on this address while running, e.g. :8080 or :0")
 		trace      = flag.String("trace", "", "record a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
 	)
+	durable := runctl.Flags(true)
 	flag.Parse()
 	svc, err := telemetry.Start(telemetry.Options{
 		Serve: *serve, Trace: *trace, Metrics: *metrics,
@@ -59,7 +61,7 @@ func main() {
 		os.Exit(1)
 	}
 	runErr := run(*switches, *degree, *topoSeed, *useRings, *clusters, *mapKind, *mapSeed,
-		*points, *maxRate, *warmup, *cycles, *msgFlits, *vcs, *simSeed, *drawPlot, *manifest)
+		*points, *maxRate, *warmup, *cycles, *msgFlits, *vcs, *simSeed, *drawPlot, *manifest, *durable)
 	if err := svc.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -71,7 +73,7 @@ func main() {
 
 func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapKind string, mapSeed int64,
 	points int, maxRate float64, warmup, cycles, msgFlits, vcs int, simSeed int64, drawPlot bool,
-	manifestPath string) error {
+	manifestPath string, durable runctl.Config) (retErr error) {
 
 	man := experiments.NewManifest("netsim", experiments.Scale{
 		WarmupCycles: warmup, MeasureCycles: cycles, SweepPoints: points, MaxRate: maxRate,
@@ -96,6 +98,21 @@ func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapK
 	// Publish the manifest immediately so /runs identifies the run while
 	// it is still executing; the final Emit refreshes the duration.
 	man.Emit()
+
+	id, err := man.RunstateIdentity()
+	if err != nil {
+		return err
+	}
+	finish, err := runctl.Activate(durable, id, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+	}()
+
 	sys, err := core.NewSystem(net, core.Options{})
 	if err != nil {
 		return err

@@ -24,6 +24,7 @@ import (
 
 	"commsched/internal/experiments"
 	"commsched/internal/plot"
+	"commsched/internal/runctl"
 	"commsched/internal/telemetry"
 )
 
@@ -37,19 +38,20 @@ func main() {
 	manifest := flag.String("manifest", "", "write a run manifest (seeds, topology hashes, timings) to this file")
 	serve := flag.String("serve", "", "serve live telemetry (/metrics /events /runs /healthz /debug/pprof) on this address while running, e.g. :8080 or :0")
 	trace := flag.String("trace", "", "record a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
+	durable := runctl.Flags(true)
 	flag.Parse()
 
 	opts := telemetry.Options{
 		Serve: *serve, Trace: *trace, Metrics: *metrics,
 		CPUProfile: *cpuprofile, MemProfile: *memprofile, Banner: os.Stderr,
 	}
-	if err := mainErr(*fig, *quick, *csvDir, opts, *manifest); err != nil {
+	if err := mainErr(*fig, *quick, *csvDir, opts, *manifest, *durable); err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)
 	}
 }
 
-func mainErr(fig string, quick bool, csvDir string, opts telemetry.Options, manifestPath string) error {
+func mainErr(fig string, quick bool, csvDir string, opts telemetry.Options, manifestPath string, durable runctl.Config) error {
 	svc, err := telemetry.Start(opts)
 	if err != nil {
 		return err
@@ -71,6 +73,17 @@ func mainErr(fig string, quick bool, csvDir string, opts telemetry.Options, mani
 	// it is still executing; the final Emit refreshes the duration.
 	man.Emit()
 
+	id, err := man.RunstateIdentity()
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	finish, err := runctl.Activate(durable, id, os.Stderr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+
 	runErr := func() error {
 		if csvDir != "" {
 			if err := writeCSVs(csvDir, sc); err != nil {
@@ -79,6 +92,10 @@ func mainErr(fig string, quick bool, csvDir string, opts telemetry.Options, mani
 		}
 		return run(fig, sc)
 	}()
+
+	if err := finish(); err != nil && runErr == nil {
+		runErr = err
+	}
 
 	man.Finish()
 	man.Emit()

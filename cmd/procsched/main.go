@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -17,8 +18,11 @@ import (
 	"strings"
 
 	"commsched/internal/distance"
+	"commsched/internal/experiments"
 	"commsched/internal/procsched"
 	"commsched/internal/routing"
+	"commsched/internal/runctl"
+	"commsched/internal/runstate"
 	"commsched/internal/simnet"
 	"commsched/internal/telemetry"
 	"commsched/internal/topology"
@@ -41,6 +45,7 @@ func main() {
 		serve      = flag.String("serve", "", "serve live telemetry (/metrics /events /runs /healthz /debug/pprof) on this address while running, e.g. :8080 or :0")
 		trace      = flag.String("trace", "", "record a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
 	)
+	durable := runctl.Flags(false)
 	flag.Parse()
 	svc, err := telemetry.Start(telemetry.Options{
 		Serve: *serve, Trace: *trace, Metrics: *metrics,
@@ -50,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "procsched:", err)
 		os.Exit(1)
 	}
-	runErr := run(*switches, *degree, *topoSeed, *clusters, *slots, *seed, *simulate)
+	runErr := run(*switches, *degree, *topoSeed, *clusters, *slots, *seed, *simulate, *durable)
 	if err := svc.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -60,7 +65,8 @@ func main() {
 	}
 }
 
-func run(switches, degree int, topoSeed int64, clusters string, slots int, seed int64, simulate bool) error {
+func run(switches, degree int, topoSeed int64, clusters string, slots int, seed int64, simulate bool,
+	durable runctl.Config) (retErr error) {
 	sizes, err := parseSizes(clusters)
 	if err != nil {
 		return err
@@ -69,6 +75,24 @@ func run(switches, degree int, topoSeed int64, clusters string, slots int, seed 
 	if err != nil {
 		return err
 	}
+	man := experiments.NewManifest("procsched", experiments.Scale{})
+	man.Seeds = map[string]int64{"topology": topoSeed, "search": seed}
+	if err := man.AddTopology(net.Name(), net); err != nil {
+		return err
+	}
+	id, err := man.RunstateIdentity()
+	if err != nil {
+		return err
+	}
+	finish, err := runctl.Activate(durable, id, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+	}()
 	rt, err := routing.NewUpDown(net, -1)
 	if err != nil {
 		return err
@@ -90,7 +114,10 @@ func run(switches, degree int, topoSeed int64, clusters string, slots int, seed 
 	fmt.Printf("network %s: %d hosts × %d slots; %d processes in %d applications %v\n",
 		net.Name(), net.Hosts(), slots, pr.Processes(), pr.Clusters(), sizes)
 
-	res := procsched.Tabu(pr, procsched.TabuOptions{}, rand.New(rand.NewSource(seed)))
+	res, err := tabuUnit(pr, sizes, slots, seed)
+	if err != nil {
+		return err
+	}
 	random := pr.RandomAssignment(rand.New(rand.NewSource(seed + 1)))
 	fmt.Printf("scheduled objective: %.2f   random: %.2f (%.1fx better)\n",
 		res.BestCost, pr.Cost(random), pr.Cost(random)/res.BestCost)
@@ -111,28 +138,70 @@ func run(switches, degree int, topoSeed int64, clusters string, slots int, seed 
 	}
 	cfg := simnet.Config{WarmupCycles: 1500, MeasureCycles: 6000, Seed: 3}
 	rates := simnet.LinearRates(5, 0.4)
-	tp := func(hostOf []int) (float64, error) {
+	tp := func(label string, hostOf []int) (float64, error) {
 		pat, err := traffic.NewProcessIntra(net.Hosts(), hostOf, clusterOf)
 		if err != nil {
 			return 0, err
 		}
-		points, err := simnet.Sweep(nil, net, rt, pat, cfg, rates)
+		// Scope sweep units by placement so scheduled and random curves
+		// never share checkpoint entries in a -resume directory.
+		ctx := runstate.WithScope(context.Background(),
+			fmt.Sprintf("procsched/%s/map=%s", label, runstate.KeyHash(hostOf)))
+		points, err := simnet.Sweep(ctx, net, rt, pat, cfg, rates)
 		if err != nil {
 			return 0, err
 		}
 		return simnet.Throughput(points), nil
 	}
-	ts, err := tp(res.Best.HostOf)
+	ts, err := tp("scheduled", res.Best.HostOf)
 	if err != nil {
 		return err
 	}
-	tr, err := tp(random.HostOf)
+	tr, err := tp("random", random.HostOf)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("simulated throughput: scheduled %.4f vs random %.4f flits/switch/cycle (%.2fx)\n",
 		ts, tr, ts/tr)
 	return nil
+}
+
+// tabuPayload is the durable form of a completed process-level search:
+// everything needed to rebuild the Result without recomputing it.
+type tabuPayload struct {
+	HostOf      []int   `json:"host_of"`
+	BestCost    float64 `json:"best_cost"`
+	Evaluations int     `json:"evaluations"`
+	Iterations  int     `json:"iterations"`
+}
+
+// tabuUnit runs the Tabu search as one checkpoint unit: with a -resume
+// store installed, a completed search replays from disk instead of
+// recomputing. The store identity already pins the topology, so the key
+// only needs the problem shape and seed.
+func tabuUnit(pr *procsched.Problem, sizes []int, slots int, seed int64) (*procsched.Result, error) {
+	key := fmt.Sprintf("proctabu/%s", runstate.KeyHash(struct {
+		Sizes []int `json:"sizes"`
+		Slots int   `json:"slots"`
+		Seed  int64 `json:"seed"`
+	}{sizes, slots, seed}))
+	var pl tabuPayload
+	if runstate.Lookup(key, &pl) {
+		if best, err := pr.NewAssignment(pl.HostOf); err == nil {
+			return &procsched.Result{
+				Best: best, BestCost: pl.BestCost,
+				Evaluations: pl.Evaluations, Iterations: pl.Iterations,
+			}, nil
+		}
+	}
+	res := procsched.Tabu(pr, procsched.TabuOptions{}, rand.New(rand.NewSource(seed)))
+	if runstate.Enabled() {
+		runstate.Record(key, tabuPayload{
+			HostOf: res.Best.HostOf, BestCost: res.BestCost,
+			Evaluations: res.Evaluations, Iterations: res.Iterations,
+		})
+	}
+	return res, nil
 }
 
 func parseSizes(s string) ([]int, error) {

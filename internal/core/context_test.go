@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"commsched/internal/fault"
+	"commsched/internal/mapping"
+	"commsched/internal/simnet"
+	"commsched/internal/topology"
+)
+
+// Every long-running entry point of the façade must surface a cancelled
+// context as an error wrapping context.Canceled — never a bare sentinel
+// or a silent partial result — so callers (and the durable runner) can
+// distinguish "stop requested" from "computation failed".
+func TestFacadeHonorsCancelledContext(t *testing.T) {
+	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(2000)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.RandomMapping(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simnet.Config{
+		VirtualChannels: 2, MessageFlits: 16,
+		WarmupCycles: 2000, MeasureCycles: 10000, Seed: 7, InjectionRate: 0.1,
+	}
+	plan, err := fault.RandomPlan(net, fault.PlanSpec{LinkFailures: 1}, rand.New(rand.NewSource(500)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sys.Degrade(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"Schedule", func() error {
+			_, err := sys.Schedule(ctx, ScheduleOptions{Clusters: 4, Seed: 42})
+			return err
+		}},
+		{"ScheduleWeighted", func() error {
+			_, err := sys.ScheduleWeighted(ctx, []int{8, 8}, []float64{1, 2}, 42)
+			return err
+		}},
+		{"SimulateSweep", func() error {
+			_, err := sys.SimulateSweep(ctx, p, cfg, simnet.LinearRates(3, 0.3))
+			return err
+		}},
+		{"SimulateSweepMany", func() error {
+			_, err := sys.SimulateSweepMany(ctx, []*mapping.Partition{p}, cfg, simnet.LinearRates(3, 0.3))
+			return err
+		}},
+		{"Repair", func() error {
+			_, err := ds.Repair(ctx, p, 42)
+			return err
+		}},
+		{"Degraded.Schedule", func() error {
+			_, err := ds.Schedule(ctx, ScheduleOptions{Clusters: 4, Seed: 42})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if err == nil {
+				t.Fatal("cancelled context returned nil error")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want errors.Is(err, context.Canceled)", err)
+			}
+		})
+	}
+}

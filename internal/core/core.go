@@ -13,8 +13,10 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"commsched/internal/distance"
 	"commsched/internal/mapping"
@@ -22,6 +24,7 @@ import (
 	"commsched/internal/par"
 	"commsched/internal/quality"
 	"commsched/internal/routing"
+	"commsched/internal/runstate"
 	"commsched/internal/search"
 	"commsched/internal/simnet"
 	"commsched/internal/topology"
@@ -55,6 +58,29 @@ type System struct {
 	tab    *distance.Table
 	eval   *quality.Evaluator
 	metric Metric
+
+	fpOnce sync.Once
+	fp     string
+}
+
+// fingerprint identifies the characterized system (topology + routing
+// root + distance metric) for durable unit keys: two systems with equal
+// fingerprints produce interchangeable checkpoint units.
+func (s *System) fingerprint() string {
+	s.fpOnce.Do(func() {
+		data, err := s.net.MarshalJSON()
+		if err != nil {
+			// An unserializable network disables checkpointing for this
+			// system rather than risking a key collision.
+			s.fp = ""
+			return
+		}
+		h := sha256.New()
+		h.Write(data)
+		fmt.Fprintf(h, "|root=%d|metric=%d", s.rt.Root(), s.metric)
+		s.fp = fmt.Sprintf("%x", h.Sum(nil)[:8])
+	})
+	return s.fp
 }
 
 // NewSystem characterizes a network: builds up*/down* routing and computes
@@ -187,6 +213,21 @@ func (s *System) Schedule(ctx context.Context, opts ScheduleOptions) (*Schedule,
 		tb.RecordTrace = opts.RecordTrace
 		searcher = tb
 	}
+	// A whole scheduling run (10 Tabu restarts) is one durable unit: the
+	// key pins the system, the cluster spec, the searcher's type and
+	// configuration, and the seed — everything its result depends on.
+	key := ""
+	if runstate.Enabled() && s.fingerprint() != "" {
+		key = fmt.Sprintf("schedule/sys=%s/%s", s.fingerprint(), runstate.KeyHash(struct {
+			Sizes    []int
+			Searcher string
+			Seed     int64
+		}{spec.Sizes, fmt.Sprintf("%T%+v", searcher, searcher), opts.Seed}))
+		if sched, ok := s.lookupSchedule(key); ok {
+			sp.End(obs.F("cc", sched.Quality.Cc), obs.F("replayed", true))
+			return sched, nil
+		}
+	}
 	res, err := searcher.Search(ctx, s.eval, spec, rand.New(rand.NewSource(opts.Seed)))
 	if err != nil {
 		return nil, err
@@ -195,12 +236,66 @@ func (s *System) Schedule(ctx context.Context, opts ScheduleOptions) (*Schedule,
 	if err != nil {
 		return nil, err
 	}
+	if key != "" {
+		runstate.Record(key, scheduleUnit{
+			Assign:       res.Best.Assign(),
+			M:            res.Best.M(),
+			BestIntraSum: res.BestIntraSum,
+			BestF:        res.BestF,
+			Trace:        res.Trace,
+			Evaluations:  res.Evaluations,
+			Iterations:   res.Iterations,
+		})
+	}
 	sp.End(obs.F("cc", q.Cc), obs.F("fg", q.FG), obs.F("evaluations", res.Evaluations))
 	return &Schedule{
 		Partition: res.Best,
 		Quality:   q,
 		Search:    res,
 	}, nil
+}
+
+// scheduleUnit is the durable form of a search.Result: the winning
+// assignment plus every numeric field a caller can observe, so a
+// replayed Schedule is indistinguishable from a recomputed one.
+type scheduleUnit struct {
+	Assign       []int               `json:"assign"`
+	M            int                 `json:"m"`
+	BestIntraSum float64             `json:"best_intra_sum"`
+	BestF        float64             `json:"best_f"`
+	Trace        []search.TracePoint `json:"trace,omitempty"`
+	Evaluations  int                 `json:"evaluations"`
+	Iterations   int                 `json:"iterations"`
+}
+
+// lookupSchedule replays a checkpointed scheduling run. Any decoding or
+// validation failure reads as a miss: the run is recomputed (and the
+// stale unit overwritten), never trusted blindly.
+func (s *System) lookupSchedule(key string) (*Schedule, bool) {
+	var u scheduleUnit
+	if !runstate.Lookup(key, &u) {
+		return nil, false
+	}
+	p, err := mapping.New(u.Assign, u.M)
+	if err != nil {
+		return nil, false
+	}
+	q, err := s.Evaluate(p)
+	if err != nil {
+		return nil, false
+	}
+	return &Schedule{
+		Partition: p,
+		Quality:   q,
+		Search: &search.Result{
+			Best:         p,
+			BestIntraSum: u.BestIntraSum,
+			BestF:        u.BestF,
+			Trace:        u.Trace,
+			Evaluations:  u.Evaluations,
+			Iterations:   u.Iterations,
+		},
+	}, true
 }
 
 // validateSizes checks an explicit cluster-size vector against the
@@ -312,6 +407,12 @@ func (s *System) SimulateSweep(ctx context.Context, p *mapping.Partition, cfg si
 	pattern, err := s.IntraClusterPattern(p)
 	if err != nil {
 		return nil, err
+	}
+	if runstate.Enabled() && s.fingerprint() != "" {
+		// Scope every sweep point to this exact (system, mapping) pair so
+		// checkpointed points can never leak across figures or mappings.
+		ctx = runstate.WithScope(ctx,
+			fmt.Sprintf("sys=%s/map=%s", s.fingerprint(), runstate.KeyHash(p.Assign())))
 	}
 	return simnet.Sweep(ctx, s.net, s.rt, pattern, cfg, rates)
 }

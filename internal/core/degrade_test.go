@@ -294,3 +294,63 @@ func TestFacadeNeverPanics(t *testing.T) {
 		t.Fatal("weights/sizes length mismatch accepted")
 	}
 }
+
+// Degrade→Repair must round-trip at the maximum survivable failure
+// count: push RandomPlan to the largest k it accepts on the paper's
+// 16-switch instance, then verify the repaired schedule is a valid
+// balanced partition of the survivors that never worsens the projected
+// pre-failure mapping.
+func TestDegradeRepairAtMaxSurvivableFailures(t *testing.T) {
+	net, err := topology.RandomIrregular(16, 3, rand.New(rand.NewSource(2000)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := sys.Schedule(nil, ScheduleOptions{Clusters: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the maximum k RandomPlan can absorb (deterministic per seed).
+	maxK, lastPlan := 0, fault.Plan{}
+	for k := 1; k <= len(net.Links()); k++ {
+		plan, err := fault.RandomPlan(net, fault.PlanSpec{LinkFailures: k}, rand.New(rand.NewSource(500)))
+		if err != nil {
+			break
+		}
+		maxK, lastPlan = k, plan
+	}
+	if maxK < 2 {
+		t.Fatalf("expected the 16-switch instance to survive >= 2 link failures, got %d", maxK)
+	}
+
+	ds, err := sys.Degrade(lastPlan)
+	if err != nil {
+		t.Fatalf("max survivable plan (k=%d) must degrade cleanly: %v", maxK, err)
+	}
+	rep, err := ds.Repair(nil, sched.Partition, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedule.Partition.N() != ds.Network().Switches() {
+		t.Fatalf("repair covers %d switches, degraded network has %d",
+			rep.Schedule.Partition.N(), ds.Network().Switches())
+	}
+	// Cluster sizes survive the round-trip: repair preserves the
+	// projected partition's shape.
+	for c := 0; c < rep.From.M(); c++ {
+		if rep.From.Size(c) != rep.Schedule.Partition.Size(c) {
+			t.Fatalf("cluster %d resized %d -> %d across repair",
+				c, rep.From.Size(c), rep.Schedule.Partition.Size(c))
+		}
+	}
+	if rep.Schedule.Quality.Cc < rep.FromQuality.Cc-1e-9 {
+		t.Fatalf("repair worsened Cc: %.4f < %.4f", rep.Schedule.Quality.Cc, rep.FromQuality.Cc)
+	}
+	if rep.Moved < 0 || rep.Moved > ds.Network().Switches() {
+		t.Fatalf("moved = %d out of range", rep.Moved)
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"commsched/internal/runstate"
+	"commsched/internal/simnet"
+	"commsched/internal/topology"
+)
+
+func runstateSystem(t *testing.T) *System {
+	t.Helper()
+	net, err := topology.RandomIrregular(8, 3, rand.New(rand.NewSource(1)), topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func tinyCfg() simnet.Config {
+	return simnet.Config{
+		VirtualChannels: 2, MessageFlits: 8,
+		WarmupCycles: 100, MeasureCycles: 400, Seed: 7,
+	}
+}
+
+func openTestStore(t *testing.T, dir string) *runstate.Store {
+	t.Helper()
+	s, err := runstate.Open(dir, runstate.Identity{Command: "core-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// sweepJSON canonicalizes a sweep for bit-identity comparison. Metrics
+// keeps unexported accumulators that are meaningless after finalization
+// and are deliberately not persisted; every observable output (CSV
+// columns, Saturated(), plots) reads only the exported fields, which is
+// exactly what the JSON encoding captures.
+func sweepJSON(t *testing.T, pts []simnet.SweepPoint) string {
+	t.Helper()
+	data, err := json.Marshal(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// A resumed sweep must be bit-identical to an uninterrupted one: the
+// checkpointed points come back from disk with the exact float64 values
+// that were computed.
+func TestSimulateSweepResumeBitIdentical(t *testing.T) {
+	sys := runstateSystem(t)
+	p, err := sys.RandomMapping(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := simnet.LinearRates(4, 0.3)
+
+	// Reference: no store installed.
+	want, err := sys.SimulateSweep(nil, p, tinyCfg(), rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First durable run records every point.
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	runstate.SetStore(st)
+	got1, err := sys.SimulateSweep(nil, p, tinyCfg(), rates)
+	runstate.SetStore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweepJSON(t, got1) != sweepJSON(t, want) {
+		t.Fatal("recording run differs from plain run")
+	}
+	if st.Stats().Recorded != int64(len(rates)) {
+		t.Fatalf("recorded = %d, want %d", st.Stats().Recorded, len(rates))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed run replays every point from disk — no simulation at all —
+	// and must still be bit-identical.
+	st2 := openTestStore(t, dir)
+	runstate.SetStore(st2)
+	got2, err := sys.SimulateSweep(nil, p, tinyCfg(), rates)
+	runstate.SetStore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweepJSON(t, got2) != sweepJSON(t, want) {
+		t.Fatal("resumed run differs from uninterrupted run")
+	}
+	stats := st2.Stats()
+	if stats.Replayed != int64(len(rates)) || stats.Hits != int64(len(rates)) {
+		t.Fatalf("replayed=%d hits=%d, want %d each", stats.Replayed, stats.Hits, len(rates))
+	}
+	st2.Close()
+}
+
+// Distinct mappings on the same system must never share sweep units.
+func TestSweepUnitsScopedPerMapping(t *testing.T) {
+	sys := runstateSystem(t)
+	p1, err := sys.RandomMapping(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sys.RandomMapping(4, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := simnet.LinearRates(2, 0.2)
+
+	st := openTestStore(t, t.TempDir())
+	runstate.SetStore(st)
+	defer runstate.SetStore(nil)
+	defer st.Close()
+
+	s1, err := sys.SimulateSweep(nil, p1, tinyCfg(), rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sys.SimulateSweep(nil, p2, tinyCfg(), rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Hits != 0 {
+		t.Fatalf("hits = %d; second mapping must not reuse the first mapping's units", st.Stats().Hits)
+	}
+	if sweepJSON(t, s1) == sweepJSON(t, s2) {
+		t.Fatal("different mappings produced identical sweeps — scoping is vacuous")
+	}
+}
+
+// A checkpointed Schedule must replay to an observably identical result:
+// same partition, same quality, same search counters and trace.
+func TestScheduleResumeIdentical(t *testing.T) {
+	sys := runstateSystem(t)
+	opts := ScheduleOptions{Clusters: 4, Seed: 42, RecordTrace: true}
+
+	want, err := sys.Schedule(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	runstate.SetStore(st)
+	got1, err := sys.Schedule(nil, opts)
+	if err != nil {
+		runstate.SetStore(nil)
+		t.Fatal(err)
+	}
+	if st.Stats().Recorded != 1 {
+		runstate.SetStore(nil)
+		t.Fatalf("recorded = %d, want 1", st.Stats().Recorded)
+	}
+	// Same process, same store: replay from memory.
+	got2, err := sys.Schedule(nil, opts)
+	runstate.SetStore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Fresh store instance: replay from disk.
+	st2 := openTestStore(t, dir)
+	runstate.SetStore(st2)
+	got3, err := sys.Schedule(nil, opts)
+	runstate.SetStore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Stats().Hits != 1 {
+		t.Fatalf("disk hits = %d, want 1", st2.Stats().Hits)
+	}
+	st2.Close()
+
+	for i, got := range []*Schedule{got1, got2, got3} {
+		if !got.Partition.Equal(want.Partition) {
+			t.Fatalf("run %d: partition differs", i)
+		}
+		if got.Quality != want.Quality {
+			t.Fatalf("run %d: quality %+v, want %+v", i, got.Quality, want.Quality)
+		}
+		if got.Search.BestIntraSum != want.Search.BestIntraSum ||
+			got.Search.BestF != want.Search.BestF ||
+			got.Search.Evaluations != want.Search.Evaluations ||
+			got.Search.Iterations != want.Search.Iterations {
+			t.Fatalf("run %d: search counters differ: %+v vs %+v", i, got.Search, want.Search)
+		}
+		if !reflect.DeepEqual(got.Search.Trace, want.Search.Trace) {
+			t.Fatalf("run %d: trace differs", i)
+		}
+	}
+}
+
+// Different seeds (and different searcher configs) must map to different
+// schedule units.
+func TestScheduleUnitsKeyedBySeed(t *testing.T) {
+	sys := runstateSystem(t)
+	st := openTestStore(t, t.TempDir())
+	runstate.SetStore(st)
+	defer runstate.SetStore(nil)
+	defer st.Close()
+
+	a, err := sys.Schedule(nil, ScheduleOptions{Clusters: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Schedule(nil, ScheduleOptions{Clusters: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Hits != 0 {
+		t.Fatalf("hits = %d; distinct seeds must not share units", st.Stats().Hits)
+	}
+	_, _ = a, b
+}
+
+// The durable layer depends on encoding/json round-tripping float64
+// exactly (shortest round-trip representation): a Metrics value pushed
+// through Marshal/Unmarshal must compare equal field-for-field on every
+// exported field, or resumed CSVs could drift in the last ulp.
+func TestMetricsJSONRoundTripExact(t *testing.T) {
+	sys := runstateSystem(t)
+	p, err := sys.RandomMapping(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCfg()
+	cfg.InjectionRate = 0.17 // not representable exactly in binary — the interesting case
+	m, err := sys.Simulate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back simnet.Metrics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Encoding the decoded value must reproduce the original bytes: Go's
+	// shortest-round-trip float64 formatting guarantees this, and the
+	// whole durable layer leans on it.
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatalf("metrics JSON not stable across round-trip:\n got %s\nwant %s", again, data)
+	}
+	// Spot-check the awkward floats with exact comparison.
+	if back.AcceptedTraffic != m.AcceptedTraffic || back.AvgLatency != m.AvgLatency ||
+		back.AvgSourceQueueFlits != m.AvgSourceQueueFlits {
+		t.Fatal("derived float fields drifted across round-trip")
+	}
+	if back.Saturated() != m.Saturated() {
+		t.Fatal("Saturated() differs after round-trip")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"commsched/internal/obs"
+	"commsched/internal/runstate"
 	"commsched/internal/topology"
 )
 
@@ -56,10 +57,10 @@ func NewManifest(command string, sc Scale) *Manifest {
 		GoVersion: runtime.Version(),
 		Scale:     sc,
 		Seeds: map[string]int64{
-			"topology16":         TopologySeed16,
-			"schedule":           ScheduleSeed,
+			"topology16":          TopologySeed16,
+			"schedule":            ScheduleSeed,
 			"random_mapping_base": RandomMappingSeedBase,
-			"sim":                SimSeed,
+			"sim":                 SimSeed,
 		},
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
@@ -87,6 +88,23 @@ func (m *Manifest) AddTopology(name string, net *topology.Network) error {
 	}
 	m.Topologies[name] = hex.EncodeToString(sum[:])
 	return nil
+}
+
+// RunstateIdentity derives the durable-run identity from the manifest's
+// stable fields: command, scale, seeds, and topology hashes — but not
+// timings, arguments, or toolchain, which legitimately differ between a
+// run and its resume.
+func (m *Manifest) RunstateIdentity() (runstate.Identity, error) {
+	scale, err := json.Marshal(m.Scale)
+	if err != nil {
+		return runstate.Identity{}, fmt.Errorf("experiments: encoding scale: %w", err)
+	}
+	return runstate.Identity{
+		Command:    m.Command,
+		Scale:      scale,
+		Seeds:      m.Seeds,
+		Topologies: m.Topologies,
+	}, nil
 }
 
 // Finish stamps the run duration. Safe to call more than once (the last

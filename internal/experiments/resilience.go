@@ -9,6 +9,7 @@ import (
 	"commsched/internal/core"
 	"commsched/internal/fault"
 	"commsched/internal/mapping"
+	"commsched/internal/runstate"
 	"commsched/internal/simnet"
 	"commsched/internal/stats"
 	"commsched/internal/topology"
@@ -105,6 +106,19 @@ func resilienceOnNetwork(ctx context.Context, name string, sys *core.System, sch
 		if k <= 0 {
 			return nil, fmt.Errorf("non-positive failure count %d", k)
 		}
+		// One (network, failure count) row is one durable unit: it is a
+		// pure function of the network, the plan seed, and the scale, so a
+		// resumed study replays completed rows and recomputes the rest.
+		rowKey := ""
+		if runstate.Enabled() {
+			rowKey = fmt.Sprintf("resilience/%s/k=%d/seed=%d/%s",
+				name, k, FaultSeedBase+int64(i), runstate.KeyHash(sc))
+			var row ResilienceRow
+			if runstate.Lookup(rowKey, &row) {
+				rows = append(rows, row)
+				continue
+			}
+		}
 		rng := rand.New(rand.NewSource(FaultSeedBase + int64(i)))
 		plan, err := fault.RandomPlan(sys.Network(), fault.PlanSpec{LinkFailures: k, At: failAt}, rng)
 		if err != nil {
@@ -167,7 +181,7 @@ func resilienceOnNetwork(ctx context.Context, name string, sys *core.System, sch
 			return nil, err
 		}
 
-		rows = append(rows, ResilienceRow{
+		row := ResilienceRow{
 			Network:           name,
 			LinkFailures:      k,
 			DeliveredFraction: midM.DeliveredFraction,
@@ -180,7 +194,11 @@ func resilienceOnNetwork(ctx context.Context, name string, sys *core.System, sch
 			AccRepaired:       accRep,
 			AccRescheduled:    accScr,
 			ProbeRate:         probe,
-		})
+		}
+		if rowKey != "" {
+			runstate.Record(rowKey, row)
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -3,8 +3,11 @@ package experiments
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
+
+	"commsched/internal/runstate"
 )
 
 func TestResilienceQuick(t *testing.T) {
@@ -66,5 +69,51 @@ func TestResilienceCancellable(t *testing.T) {
 	cancel()
 	if _, err := Resilience(ctx, []int{1}, QuickScale()); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A resumed resilience study must reproduce its rows exactly: each
+// (network, failure count) row is one durable unit.
+func TestResilienceResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sc := QuickScale()
+	dir := t.TempDir()
+	id := runstate.Identity{Command: "resilience-test"}
+
+	st, err := runstate.Open(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runstate.SetStore(st)
+	first, err := Resilience(nil, []int{1}, sc)
+	runstate.SetStore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Recorded; got < 2 { // one row per network
+		t.Fatalf("recorded = %d, want >= 2", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := runstate.Open(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runstate.SetStore(st2)
+	second, err := Resilience(nil, []int{1}, sc)
+	runstate.SetStore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Stats().Hits < 2 {
+		t.Fatalf("hits = %d, want >= 2 (rows must replay)", st2.Stats().Hits)
+	}
+	if !reflect.DeepEqual(first.Rows, second.Rows) {
+		t.Fatalf("resumed rows differ:\n got %+v\nwant %+v", second.Rows, first.Rows)
 	}
 }

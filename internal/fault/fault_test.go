@@ -174,7 +174,7 @@ func TestFlakyLinkWithRepairIsTransient(t *testing.T) {
 func TestPlanLinks(t *testing.T) {
 	p := Plan{Events: []Event{
 		{Kind: LinkDown, Link: topology.Link{A: 0, B: 1}},
-		{Kind: LinkDown, Link: topology.Link{A: 0, B: 1}}, // duplicate
+		{Kind: LinkDown, Link: topology.Link{A: 0, B: 1}},                      // duplicate
 		{Kind: FlakyLink, Link: topology.Link{A: 1, B: 2}, At: 1, RepairAt: 2}, // heals
 		{Kind: SwitchDown, Switch: 3},
 	}}
@@ -233,5 +233,85 @@ func TestRandomPlanSwitchFailures(t *testing.T) {
 	}
 	if !d.Net.Connected() {
 		t.Fatal("survivors disconnected")
+	}
+}
+
+// twoSwitch builds the minimal network: two switches, one link.
+func twoSwitch(t *testing.T) *topology.Network {
+	t.Helper()
+	net, err := topology.New("pair", 2, []topology.Link{{A: 0, B: 1}}, topology.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestRandomPlanTwoSwitchLinkAlwaysRejected(t *testing.T) {
+	// The only link of a 2-switch network is a bridge: no rng draw can
+	// produce a connectivity-preserving link failure, for any seed.
+	net := twoSwitch(t)
+	for seed := int64(0); seed < 20; seed++ {
+		_, err := RandomPlan(net, PlanSpec{LinkFailures: 1}, rand.New(rand.NewSource(seed)))
+		if err == nil {
+			t.Fatalf("seed %d: link failure on a 2-switch network must be rejected", seed)
+		}
+		if !strings.Contains(err.Error(), "cannot fail 1 links") {
+			t.Fatalf("seed %d: unexpected error %v", seed, err)
+		}
+	}
+}
+
+func TestRandomPlanTwoSwitchSwitchFailure(t *testing.T) {
+	// Failing one of two switches leaves a single connected switch — the
+	// smallest survivable degradation.
+	net := twoSwitch(t)
+	plan, err := RandomPlan(net, PlanSpec{SwitchFailures: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Apply(net, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Net.Switches() != 1 || len(d.DeadSwitches) != 1 {
+		t.Fatalf("degraded = %d switches, %d dead", d.Net.Switches(), len(d.DeadSwitches))
+	}
+	// Both switches dead is never survivable.
+	if _, err := RandomPlan(net, PlanSpec{SwitchFailures: 2}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("failing both switches must be rejected")
+	}
+}
+
+func TestRandomPlanDisconnectionRejectedDeterministically(t *testing.T) {
+	// Every link of a path graph is a bridge; the rejection must be
+	// deterministic (same error for every seed), not a lucky draw.
+	net := path(t, 5)
+	var first string
+	for seed := int64(0); seed < 20; seed++ {
+		_, err := RandomPlan(net, PlanSpec{LinkFailures: 1}, rand.New(rand.NewSource(seed)))
+		if err == nil {
+			t.Fatalf("seed %d: bridge failure slipped through", seed)
+		}
+		if first == "" {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Fatalf("rejection not deterministic: %q vs %q", err.Error(), first)
+		}
+	}
+}
+
+func TestRandomPlanMaxSurvivableLinkFailures(t *testing.T) {
+	// A ring of n switches survives exactly one link failure: after it the
+	// ring is a path and every remaining link is a bridge.
+	net := ring(t, 6)
+	plan, err := RandomPlan(net, PlanSpec{LinkFailures: 1}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := Apply(net, plan); err != nil || d.Net.Switches() != 6 {
+		t.Fatalf("single link failure must apply cleanly: %v", err)
+	}
+	if _, err := RandomPlan(net, PlanSpec{LinkFailures: 2}, rand.New(rand.NewSource(7))); err == nil {
+		t.Fatal("two link failures on a ring must be rejected (second is always a bridge)")
 	}
 }

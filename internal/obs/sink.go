@@ -2,11 +2,13 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // Sink receives every emitted record. Implementations must be safe for
@@ -91,11 +93,19 @@ func (m *Memory) Reset() {
 // instrumentation must avoid those names. Keys are emitted sorted
 // (encoding/json map order), making traces diff-friendly.
 type JSONL struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	c   io.Closer
-	err error
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	f      *os.File // non-nil for file-backed sinks; enables fsync on Close
+	err    error
+	closed bool
+	stop   chan struct{} // closes the ticker-flush goroutine, nil when none
+	done   chan struct{}
 }
+
+// FlushInterval is how often a file-backed JSONL sink drains its buffer
+// to the OS, bounding how much trace a crash can lose to buffering.
+const FlushInterval = time.Second
 
 // NewJSONL wraps a writer. Close (or Flush) must be called to drain the
 // internal buffer.
@@ -107,13 +117,37 @@ func NewJSONL(w io.Writer) *JSONL {
 	return j
 }
 
-// OpenJSONL creates (truncates) a trace file at path.
+// OpenJSONL creates (truncates) a trace file at path. File-backed sinks
+// are crash-safe: the buffer is flushed every FlushInterval by a
+// background ticker, and Close fsyncs before closing, so an interrupted
+// run loses at most the final second of trace (plus, possibly, one torn
+// trailing line — which every reader in this module tolerates, see
+// ScanJSONLines).
 func OpenJSONL(path string) (*JSONL, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: opening trace %s: %w", path, err)
 	}
-	return NewJSONL(f), nil
+	j := NewJSONL(f)
+	j.f = f
+	j.stop = make(chan struct{})
+	j.done = make(chan struct{})
+	go j.flushLoop()
+	return j, nil
+}
+
+func (j *JSONL) flushLoop() {
+	defer close(j.done)
+	t := time.NewTicker(FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			j.Flush()
+		case <-j.stop:
+			return
+		}
+	}
 }
 
 // RecordObject flattens a record into the wire object shared by the JSONL
@@ -170,13 +204,62 @@ func (j *JSONL) Flush() error {
 	return j.err
 }
 
-// Close flushes and closes the underlying file when there is one.
+// Close stops the ticker flusher, flushes, fsyncs file-backed sinks, and
+// closes the underlying file when there is one. It is idempotent.
 func (j *JSONL) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		err := j.err
+		j.mu.Unlock()
+		return err
+	}
+	j.closed = true
+	j.mu.Unlock()
+	if j.stop != nil {
+		close(j.stop)
+		<-j.done
+		j.stop = nil
+	}
 	err := j.Flush()
+	if j.f != nil {
+		if serr := j.f.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	if j.c != nil {
 		if cerr := j.c.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}
 	return err
+}
+
+// ScanJSONLines feeds each newline-terminated line of r to fn, skipping
+// blank lines. A final line without a trailing newline — the torn append
+// of a crashed writer — is passed to fn only if it parses as a complete
+// JSON value; otherwise it is counted in the skipped return, never an
+// error. This is the shared crash-tolerance contract for every JSONL
+// reader in the module (obs traces, runstate journals).
+func ScanJSONLines(r io.Reader, fn func(line []byte) error) (skipped int, err error) {
+	br := bufio.NewReader(r)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		complete := rerr == nil
+		line = bytes.TrimSpace(line)
+		if len(line) > 0 {
+			if complete || json.Valid(line) {
+				if ferr := fn(line); ferr != nil {
+					return skipped, ferr
+				}
+			} else {
+				skipped++
+			}
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				return skipped, nil
+			}
+			return skipped, rerr
+		}
+	}
 }

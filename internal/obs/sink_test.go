@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOpenJSONLTickerFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	j, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.Emit(Record{Kind: "event", Name: "tick", Time: time.Unix(0, 0)})
+	// Without an explicit Flush, the background ticker must drain the
+	// buffer to the file within a couple of intervals.
+	deadline := time.Now().Add(5 * FlushInterval)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil && strings.Contains(string(data), `"tick"`) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("record not flushed by ticker within %v (file: %q)", 5*FlushInterval, data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestJSONLCloseFsyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	j, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Emit(Record{Kind: "event", Name: "final", Time: time.Unix(0, 0)})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"final"`) {
+		t.Fatalf("record missing after Close: %q", data)
+	}
+	// Close must be idempotent enough not to deadlock on the stopped
+	// ticker goroutine.
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestScanJSONLinesTolerant(t *testing.T) {
+	input := `{"a":1}
+{"b":2}
+
+{"c":3}
+{"torn":tru`
+	var seen []string
+	skipped, err := ScanJSONLines(strings.NewReader(input), func(line []byte) error {
+		seen = append(seen, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 (the torn trailing line)", skipped)
+	}
+	want := []string{`{"a":1}`, `{"b":2}`, `{"c":3}`}
+	if len(seen) != len(want) {
+		t.Fatalf("seen = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("seen[%d] = %q, want %q", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestScanJSONLinesCompleteFinalLine(t *testing.T) {
+	// A final line without a newline that IS valid JSON (clean shutdown
+	// without a trailing newline) must be delivered, not skipped.
+	var seen int
+	skipped, err := ScanJSONLines(strings.NewReader(`{"a":1}`), func([]byte) error {
+		seen++
+		return nil
+	})
+	if err != nil || skipped != 0 || seen != 1 {
+		t.Fatalf("valid unterminated line: seen=%d skipped=%d err=%v", seen, skipped, err)
+	}
+}
+
+func TestScanJSONLinesPropagatesCallbackError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := ScanJSONLines(strings.NewReader("{\"a\":1}\n{\"b\":2}\n"), func(line []byte) error {
+		if strings.Contains(string(line), "b") {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestJSONLTraceRemainsParsableAfterCrashStyleStop(t *testing.T) {
+	// Emit a burst, flush, then append a torn fragment by hand — the
+	// reading side must recover every whole record.
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	j, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		j.Emit(Record{Kind: "event", Name: "e", Time: time.Unix(int64(i), 0)})
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"ts":"2026-01-01T00:00:0`)
+	f.Close()
+
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	var whole int
+	skipped, err := ScanJSONLines(in, func(line []byte) error {
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			return err
+		}
+		whole++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole != 10 || skipped != 1 {
+		t.Fatalf("whole=%d skipped=%d, want 10/1", whole, skipped)
+	}
+	j.Close()
+}

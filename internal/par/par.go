@@ -22,7 +22,23 @@ import (
 // surfaced as the (wrapped) context error. A panicking fn is recovered
 // into an error instead of crashing the process. fn must write its result
 // into caller-owned storage at index i; distinct indices never race.
+//
+// When a process-wide Policy is installed (SetPolicy), each item runs
+// under it: a per-attempt deadline and bounded retries with backoff.
+// The error budget is the domain of ForEachPartial; here any
+// permanently-failed item still aborts the loop.
 func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if CurrentPolicy().Active() {
+		inner := fn
+		fn = func(ctx context.Context, i int) error {
+			return RunUnit(ctx, "par.foreach", i, func(ctx context.Context) error { return inner(ctx, i) })
+		}
+	}
+	return forEach(ctx, n, fn)
+}
+
+// forEach is the raw bounded-worker loop, with no unit policy applied.
+func forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}

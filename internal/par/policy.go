@@ -1,0 +1,241 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commsched/internal/obs"
+)
+
+// Policy is the per-unit robustness policy applied by RunUnit (and
+// therefore by ForEach/ForEachPartial): a deadline for each attempt,
+// a bounded number of retries with exponential backoff + jitter for
+// units that fail, panic, or time out, and an error budget after which
+// ForEachPartial stops retrying and salvages what it has. The zero
+// Policy disables all of it — exactly the historical behavior.
+type Policy struct {
+	// Timeout bounds each attempt via context.WithTimeout. Enforcement
+	// is cooperative: the unit must honor its context (all simulation
+	// and search loops in this module do). Zero means no deadline.
+	Timeout time.Duration
+	// Retries is how many additional attempts a failed unit gets.
+	Retries int
+	// Backoff is the base delay before the first retry; attempt k waits
+	// Backoff * 2^k scaled by a jitter factor in [0.5, 1.5). Zero with
+	// Retries > 0 retries immediately.
+	Backoff time.Duration
+	// ErrorBudget is the number of units ForEachPartial lets fail (after
+	// their retries) before it aborts the remainder of the loop. Zero
+	// means no budget: any failed unit aborts, like ForEach.
+	ErrorBudget int
+}
+
+// Active reports whether the policy changes anything over the zero value.
+func (p Policy) Active() bool {
+	return p.Timeout > 0 || p.Retries > 0 || p.ErrorBudget > 0
+}
+
+var policy atomic.Pointer[Policy]
+
+// SetPolicy installs the process-wide unit policy (commands plumb their
+// -timeout/-retries/-errorbudget flags here). A nil pointer — or the
+// zero Policy — restores the default fail-fast behavior.
+func SetPolicy(p Policy) {
+	if !p.Active() {
+		policy.Store(nil)
+		return
+	}
+	policy.Store(&p)
+}
+
+// CurrentPolicy returns the installed policy (zero when none).
+func CurrentPolicy() Policy {
+	if p := policy.Load(); p != nil {
+		return *p
+	}
+	return Policy{}
+}
+
+// retried and salvaged are process-lifetime counters for the commands'
+// end-of-run warning lines ("N units salvaged as incomplete").
+var (
+	retriedCount  atomic.Int64
+	salvagedCount atomic.Int64
+)
+
+// Retried returns how many unit attempts were retried so far.
+func Retried() int64 { return retriedCount.Load() }
+
+// Salvaged returns how many units exhausted their retries and were
+// dropped under an error budget (their results are tagged incomplete).
+func Salvaged() int64 { return salvagedCount.Load() }
+
+// ResetCounters zeroes the retry/salvage counters (tests only).
+func ResetCounters() {
+	retriedCount.Store(0)
+	salvagedCount.Store(0)
+}
+
+// RunUnit executes one unit of work under the installed policy: each
+// attempt gets its own deadline, a panic is recovered into an error, and
+// failures are retried with exponential backoff + jitter until the
+// retry budget runs out. Cancellation of the outer ctx is never retried
+// — a cancelled run must stop, not thrash.
+func RunUnit(ctx context.Context, name string, i int, fn func(ctx context.Context) error) error {
+	p := CurrentPolicy()
+	if !p.Active() {
+		return runAttempt(ctx, fn)
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if p.Timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.Timeout)
+		}
+		err = runAttempt(actx, fn)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		// An outer cancellation is a command to stop; only unit-local
+		// failures (panics, timeouts, real errors) are retryable.
+		if ctx.Err() != nil {
+			return err
+		}
+		if attempt >= p.Retries {
+			return fmt.Errorf("par: unit %s[%d] failed after %d attempt(s): %w", name, i, attempt+1, err)
+		}
+		retriedCount.Add(1)
+		if obs.Enabled() {
+			obs.Event("par.retry",
+				obs.F("value", retriedCount.Load()),
+				obs.F("unit", fmt.Sprintf("%s[%d]", name, i)),
+				obs.F("attempt", attempt+1),
+				obs.F("err", err.Error()))
+		}
+		if p.Backoff > 0 {
+			if serr := sleepBackoff(ctx, p.Backoff, attempt, int64(i)); serr != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runAttempt invokes fn with panic recovery.
+func runAttempt(ctx context.Context, fn func(ctx context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: unit panic: %v", r)
+		}
+	}()
+	return fn(ctx)
+}
+
+// sleepBackoff waits base * 2^attempt scaled by jitter in [0.5, 1.5),
+// returning early (with the ctx error) when the run is cancelled. The
+// jitter source is seeded per unit — it perturbs only timing, never
+// results, so determinism of the science is untouched.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int, seed int64) error {
+	d := base << uint(attempt)
+	const maxBackoff = 30 * time.Second
+	if d <= 0 || d > maxBackoff {
+		d = maxBackoff
+	}
+	jitter := 0.5 + rand.New(rand.NewSource(seed^int64(attempt)<<17)).Float64()
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// UnitError describes one unit that failed permanently (all retries
+// exhausted) but was salvaged under the error budget.
+type UnitError struct {
+	Index int
+	Err   error
+}
+
+func (u UnitError) Error() string { return fmt.Sprintf("unit %d: %v", u.Index, u.Err) }
+
+// ErrBudgetExhausted is wrapped into the error ForEachPartial returns
+// when more units failed than the policy's ErrorBudget allows.
+var ErrBudgetExhausted = errors.New("par: error budget exhausted")
+
+// ForEachPartial is ForEach with graceful degradation: units run under
+// the installed Policy (deadline + retries), and a unit that still fails
+// is recorded — not fatal — until more than Policy.ErrorBudget units
+// have failed. It returns the salvaged units' errors (sorted by index)
+// alongside the loop error: (nil, nil) is a complete run, (errs, nil) a
+// partial-but-acceptable one whose failed indices hold no result, and
+// (errs, err) an aborted run. Cancellation is never salvaged: a
+// cancelled run always returns the cancellation error.
+func ForEachPartial(ctx context.Context, name string, n int, fn func(ctx context.Context, i int) error) ([]UnitError, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	budget := CurrentPolicy().ErrorBudget
+	var (
+		mu     sync.Mutex
+		failed []UnitError
+	)
+	err := forEach(ctx, n, func(ctx context.Context, i int) error {
+		uerr := RunUnit(ctx, name, i, func(ctx context.Context) error { return fn(ctx, i) })
+		if uerr == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			// Cancellation is a stop order, not a salvageable failure.
+			return uerr
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		failed = append(failed, UnitError{Index: i, Err: uerr})
+		nFailed := len(failed)
+		if budget > 0 && nFailed <= budget {
+			salvagedCount.Add(1)
+			if obs.Enabled() {
+				obs.Event("par.salvaged",
+					obs.F("value", salvagedCount.Load()),
+					obs.F("unit", fmt.Sprintf("%s[%d]", name, i)),
+					obs.F("err", uerr.Error()))
+			}
+			return nil // degrade gracefully: skip this unit, keep the loop alive
+		}
+		if budget > 0 {
+			return fmt.Errorf("%w: %d unit(s) of %s failed (budget %d), last: %v",
+				ErrBudgetExhausted, nFailed, name, budget, uerr)
+		}
+		return uerr
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
+	if err != nil {
+		return failed, err
+	}
+	return failed, nil
+}
+
+// FormatUnitErrors renders salvaged-unit errors for a warning line.
+func FormatUnitErrors(errs []UnitError) string {
+	parts := make([]string, 0, len(errs))
+	for _, e := range errs {
+		parts = append(parts, e.Error())
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,238 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestZeroPolicyIsTransparent(t *testing.T) {
+	SetPolicy(Policy{})
+	if CurrentPolicy().Active() {
+		t.Fatal("zero policy must be inactive")
+	}
+	boom := errors.New("boom")
+	err := RunUnit(context.Background(), "u", 0, func(context.Context) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("zero policy must not retry or rewrap terminally: %v", err)
+	}
+}
+
+func TestRetrySucceedsWithinBudget(t *testing.T) {
+	SetPolicy(Policy{Retries: 3})
+	defer SetPolicy(Policy{})
+	ResetCounters()
+	var calls atomic.Int64
+	err := RunUnit(context.Background(), "u", 0, func(context.Context) error {
+		if calls.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("unit should succeed on 3rd attempt: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+	if Retried() != 2 {
+		t.Fatalf("retried = %d, want 2", Retried())
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	SetPolicy(Policy{Retries: 2})
+	defer SetPolicy(Policy{})
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := RunUnit(context.Background(), "u", 7, func(context.Context) error {
+		calls.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("exhausted retry must wrap the last error: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+func TestPanicIsRetried(t *testing.T) {
+	SetPolicy(Policy{Retries: 1})
+	defer SetPolicy(Policy{})
+	var calls atomic.Int64
+	err := RunUnit(context.Background(), "u", 0, func(context.Context) error {
+		if calls.Add(1) == 1 {
+			panic("first attempt explodes")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("panic should be recovered and retried: %v", err)
+	}
+}
+
+func TestTimeoutPerAttempt(t *testing.T) {
+	SetPolicy(Policy{Timeout: 10 * time.Millisecond, Retries: 1})
+	defer SetPolicy(Policy{})
+	var calls atomic.Int64
+	err := RunUnit(context.Background(), "u", 0, func(ctx context.Context) error {
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // cooperative unit notices its deadline
+			return fmt.Errorf("unit timed out: %w", ctx.Err())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("timed-out attempt should be retried with a fresh deadline: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestOuterCancellationNotRetried(t *testing.T) {
+	SetPolicy(Policy{Retries: 5})
+	defer SetPolicy(Policy{})
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	err := RunUnit(ctx, "u", 0, func(ctx context.Context) error {
+		calls.Add(1)
+		cancel()
+		return fmt.Errorf("wrapped: %w", ctx.Err())
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("cancelled unit retried %d times; must not retry", calls.Load()-1)
+	}
+}
+
+func TestForEachAppliesPolicy(t *testing.T) {
+	SetPolicy(Policy{Retries: 2})
+	defer SetPolicy(Policy{})
+	var firstTry atomic.Int64
+	results := make([]int, 8)
+	err := ForEach(context.Background(), 8, func(_ context.Context, i int) error {
+		if i == 3 && firstTry.Add(1) == 1 {
+			return errors.New("flaky item")
+		}
+		results[i] = i + 1
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("flaky item should have been retried: %v", err)
+	}
+	for i, r := range results {
+		if r != i+1 {
+			t.Fatalf("results[%d] = %d, want %d", i, r, i+1)
+		}
+	}
+}
+
+func TestForEachPartialSalvage(t *testing.T) {
+	SetPolicy(Policy{ErrorBudget: 2})
+	defer SetPolicy(Policy{})
+	ResetCounters()
+	boom := errors.New("dead unit")
+	results := make([]int, 10)
+	errs, err := ForEachPartial(context.Background(), "sweep", 10, func(_ context.Context, i int) error {
+		if i == 2 || i == 5 {
+			return boom
+		}
+		results[i] = 1
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("2 failures within budget 2 must not abort: %v", err)
+	}
+	if len(errs) != 2 || errs[0].Index != 2 || errs[1].Index != 5 {
+		t.Fatalf("salvaged units = %+v, want indices 2 and 5", errs)
+	}
+	for _, e := range errs {
+		if !errors.Is(e.Err, boom) {
+			t.Fatalf("unit error must wrap the cause: %v", e.Err)
+		}
+	}
+	for i, r := range results {
+		want := 1
+		if i == 2 || i == 5 {
+			want = 0
+		}
+		if r != want {
+			t.Fatalf("results[%d] = %d, want %d", i, r, want)
+		}
+	}
+	if Salvaged() != 2 {
+		t.Fatalf("salvaged = %d, want 2", Salvaged())
+	}
+}
+
+func TestForEachPartialBudgetExhausted(t *testing.T) {
+	SetPolicy(Policy{ErrorBudget: 1})
+	defer SetPolicy(Policy{})
+	_, err := ForEachPartial(context.Background(), "sweep", 50, func(_ context.Context, i int) error {
+		return errors.New("everything is broken")
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestForEachPartialNoBudgetFailsFast(t *testing.T) {
+	SetPolicy(Policy{})
+	boom := errors.New("boom")
+	errs, err := ForEachPartial(context.Background(), "sweep", 4, func(_ context.Context, i int) error {
+		if i == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("without a budget any failure must abort: %v", err)
+	}
+	if len(errs) != 1 {
+		t.Fatalf("errs = %+v", errs)
+	}
+}
+
+func TestForEachPartialCancellationNotSalvaged(t *testing.T) {
+	SetPolicy(Policy{ErrorBudget: 100})
+	defer SetPolicy(Policy{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ForEachPartial(ctx, "sweep", 10, func(ctx context.Context, i int) error {
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run must surface cancellation, got %v", err)
+	}
+}
+
+func TestBackoffHonorsCancellation(t *testing.T) {
+	SetPolicy(Policy{Retries: 10, Backoff: time.Hour})
+	defer SetPolicy(Policy{})
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunUnit(ctx, "u", 0, func(context.Context) error { return errors.New("always fails") })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("unit cannot have succeeded")
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("backoff did not honor cancellation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunUnit stuck in backoff after cancellation")
+	}
+}

@@ -1,6 +1,8 @@
 package procsched
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -349,5 +351,31 @@ func TestProcessMapAlignment(t *testing.T) {
 	ev := quality.NewEvaluator(tab)
 	if math.Abs(pr.Cost(a)-16*ev.IntraSum(part)) > 1e-6 {
 		t.Fatalf("process cost %v != 16 × switch IntraSum %v", pr.Cost(a), 16*ev.IntraSum(part))
+	}
+}
+
+func TestTabuContextCancelled(t *testing.T) {
+	pr := fixture(t, 8, balancedClusters(16, 4), 4, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := TabuContext(ctx, pr, TabuOptions{}, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled search must still return the best-so-far result")
+	}
+}
+
+func TestTabuContextMatchesTabu(t *testing.T) {
+	pr := fixture(t, 8, balancedClusters(16, 4), 4, 1)
+	plain := Tabu(pr, TabuOptions{}, rand.New(rand.NewSource(3)))
+	withCtx, err := TabuContext(context.Background(), pr, TabuOptions{}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BestCost != withCtx.BestCost || plain.Evaluations != withCtx.Evaluations ||
+		plain.Iterations != withCtx.Iterations {
+		t.Fatalf("TabuContext diverged from Tabu: %+v vs %+v", withCtx, plain)
 	}
 }

@@ -1,6 +1,8 @@
 package procsched
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -50,8 +52,21 @@ const epsilon = 1e-9
 // Tabu runs the paper's Tabu procedure over the process-level move space:
 // the best swap of two processes or relocation of one process to a free
 // slot; least-bad uphill move with tabu tenure at local minima; random
-// restarts.
+// restarts. It is TabuContext without cancellation.
 func Tabu(pr *Problem, opts TabuOptions, rng *rand.Rand) *Result {
+	res, _ := TabuContext(context.Background(), pr, opts, rng)
+	return res
+}
+
+// TabuContext is Tabu with cooperative cancellation: the context is
+// checked every iteration, and a cancelled search returns the best
+// placement found so far alongside an error wrapping ctx.Err() —
+// matching the cancellation contract of every switch-level searcher.
+// A nil ctx means context.Background.
+func TabuContext(ctx context.Context, pr *Problem, opts TabuOptions, rng *rand.Rand) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	res := &Result{}
 	for restart := 0; restart < opts.Restarts; restart++ {
@@ -63,6 +78,9 @@ func Tabu(pr *Problem, opts TabuOptions, rng *rand.Rand) *Result {
 		var localMinima []float64
 
 		for iter := 0; iter < opts.MaxIterations; iter++ {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("procsched: tabu cancelled at restart %d iteration %d: %w", restart, iter, err)
+			}
 			mv, delta, evals, found := bestMove(pr, a, tabu, iter, cur, res.BestCost)
 			res.Evaluations += evals
 			if !found {
@@ -87,7 +105,7 @@ func Tabu(pr *Problem, opts TabuOptions, rng *rand.Rand) *Result {
 			consider(res, a, cur)
 		}
 	}
-	return res
+	return res, nil
 }
 
 func consider(res *Result, a *Assignment, cost float64) {

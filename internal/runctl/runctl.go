@@ -1,0 +1,93 @@
+// Package runctl wires the durable-execution layer into the command-line
+// entry points: the -resume checkpoint directory and the
+// -timeout/-retries/-errorbudget unit policy share identical semantics
+// across paperfigs, netsim, commsched, and procsched, so the plumbing
+// lives here once.
+package runctl
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"commsched/internal/par"
+	"commsched/internal/runstate"
+)
+
+// Config carries the durable-run command-line options.
+type Config struct {
+	// ResumeDir is the checkpoint directory ("" = durable execution off).
+	// A fresh directory starts a recorded run; an existing one resumes it,
+	// replaying completed units and re-executing only the rest.
+	ResumeDir string
+	// Timeout is the per-unit deadline (0 = none).
+	Timeout time.Duration
+	// Retries is the per-unit retry budget.
+	Retries int
+	// ErrorBudget is how many units may fail permanently before the run
+	// aborts; failed units within the budget are salvaged as incomplete.
+	ErrorBudget int
+}
+
+// Flags registers the durable-run flags on the default FlagSet and
+// returns the destination Config. full controls whether the unit-policy
+// flags are included (paperfigs/netsim) or just -resume
+// (commsched/procsched, whose runs are single short units).
+func Flags(full bool) *Config {
+	cfg := &Config{}
+	flag.StringVar(&cfg.ResumeDir, "resume", "",
+		"checkpoint directory for durable runs: record completed units there and, when the directory already holds a compatible run, resume it instead of recomputing")
+	if full {
+		flag.DurationVar(&cfg.Timeout, "timeout", 10*time.Minute,
+			"per-unit deadline (one sweep point, one search); 0 disables")
+		flag.IntVar(&cfg.Retries, "retries", 1,
+			"retry budget per unit for panics, timeouts, and transient errors")
+		flag.IntVar(&cfg.ErrorBudget, "errorbudget", 0,
+			"units allowed to fail permanently before the run aborts; failed units are salvaged as incomplete (0 = fail fast)")
+	}
+	return cfg
+}
+
+// Activate installs the unit policy and, when a resume directory is set,
+// opens the checkpoint store under the given run identity. It returns a
+// finish function that uninstalls everything, prints the salvage warning
+// and checkpoint summary to warn, and surfaces the store's first error.
+func Activate(cfg Config, id runstate.Identity, warn io.Writer) (func() error, error) {
+	par.SetPolicy(par.Policy{
+		Timeout:     cfg.Timeout,
+		Retries:     cfg.Retries,
+		Backoff:     100 * time.Millisecond,
+		ErrorBudget: cfg.ErrorBudget,
+	})
+	var st *runstate.Store
+	if cfg.ResumeDir != "" {
+		var err error
+		st, err = runstate.Open(cfg.ResumeDir, id)
+		if err != nil {
+			par.SetPolicy(par.Policy{})
+			return nil, err
+		}
+		runstate.SetStore(st)
+		if n := st.Stats().Replayed; n > 0 && warn != nil {
+			fmt.Fprintf(warn, "runstate: resuming from %s: %d completed unit(s) will be replayed, not recomputed\n",
+				cfg.ResumeDir, n)
+		}
+	}
+	return func() error {
+		par.SetPolicy(par.Policy{})
+		if n := par.Salvaged(); n > 0 && warn != nil {
+			fmt.Fprintf(warn, "warning: %d unit(s) failed permanently and were salvaged as incomplete; results are partial\n", n)
+		}
+		if st == nil {
+			return nil
+		}
+		runstate.SetStore(nil)
+		stats := st.Stats()
+		if warn != nil {
+			fmt.Fprintf(warn, "runstate: checkpoint %s: %d unit(s) recorded this run, %d replayed, %d on disk\n",
+				cfg.ResumeDir, stats.Recorded, stats.Replayed, st.Units())
+		}
+		return st.Close()
+	}, nil
+}

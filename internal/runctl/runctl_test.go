@@ -1,0 +1,99 @@
+package runctl
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"commsched/internal/par"
+	"commsched/internal/runstate"
+)
+
+func testIdentity() runstate.Identity {
+	return runstate.Identity{
+		Command: "runctl-test",
+		Seeds:   map[string]int64{"search": 42},
+	}
+}
+
+func TestActivateInstallsPolicyOnly(t *testing.T) {
+	var buf bytes.Buffer
+	finish, err := Activate(Config{Timeout: time.Minute, Retries: 2}, testIdentity(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.CurrentPolicy().Active() {
+		t.Fatal("unit policy not installed")
+	}
+	if runstate.Enabled() {
+		t.Fatal("checkpoint store installed without -resume")
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if par.CurrentPolicy().Active() {
+		t.Fatal("unit policy not uninstalled by finish")
+	}
+}
+
+func TestActivateResumeRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	id := testIdentity()
+
+	var first bytes.Buffer
+	finish, err := Activate(Config{ResumeDir: dir}, id, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runstate.Enabled() {
+		t.Fatal("checkpoint store not installed")
+	}
+	runstate.Record("unit/a", map[string]int{"x": 7})
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if runstate.Enabled() {
+		t.Fatal("store still installed after finish")
+	}
+	if !strings.Contains(first.String(), "recorded") {
+		t.Fatalf("first run summary missing: %q", first.String())
+	}
+
+	var second bytes.Buffer
+	finish, err = Activate(Config{ResumeDir: dir}, id, &second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int
+	if !runstate.Lookup("unit/a", &got) || got["x"] != 7 {
+		t.Fatalf("recorded unit not replayed on resume: %v", got)
+	}
+	if !strings.Contains(second.String(), "resuming from") {
+		t.Fatalf("resume banner missing: %q", second.String())
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActivateRefusesForeignRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	finish, err := Activate(Config{ResumeDir: dir}, testIdentity(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := testIdentity()
+	other.Seeds = map[string]int64{"search": 7}
+	if _, err := Activate(Config{ResumeDir: dir}, other, nil); err == nil {
+		t.Fatal("resume under a different identity accepted")
+	}
+	if par.CurrentPolicy().Active() {
+		t.Fatal("failed Activate left the unit policy installed")
+	}
+}

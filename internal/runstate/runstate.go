@@ -1,0 +1,495 @@
+// Package runstate is the durable-execution layer: it makes the long
+// pipelines of the reproduction (figure sweeps, search restarts,
+// resilience trials) crash-safe and resumable. Every completed unit of
+// work — one sweep point, one scheduling run, one resilience row — is
+// recorded in a write-ahead journal as soon as it finishes; a run
+// restarted with the same checkpoint directory replays the journal and
+// re-executes only the missing units. Because every unit in this module
+// is a pure function of its key (seeds, topology hash, configuration),
+// a resumed run is bit-identical to an uninterrupted one.
+//
+// On-disk layout of a checkpoint directory:
+//
+//	identity.json  — schema version + run identity (command, scale,
+//	                 seeds, topology SHA-256 hashes), written once via
+//	                 atomic rename; a resume against a directory whose
+//	                 identity differs is refused with ErrIdentityMismatch.
+//	journal.jsonl  — the write-ahead log: one JSON object per completed
+//	                 unit, appended and fsync'd per record. A torn final
+//	                 line (crash mid-write) is tolerated: it is skipped
+//	                 and counted, never fatal.
+//	snapshot.json  — a compaction of the journal, written via
+//	                 tmp-file + fsync + atomic rename on Close; after a
+//	                 successful snapshot the journal is truncated.
+//
+// Like obs, the package has a process-wide install point (SetStore) with
+// a one-atomic-load disabled path, so instrumented loops cost nothing
+// when no -resume flag is given.
+package runstate
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"commsched/internal/obs"
+)
+
+// SchemaVersion is bumped whenever the journal or snapshot format
+// changes incompatibly; directories written by another schema are
+// refused instead of being misread.
+const SchemaVersion = 1
+
+// ErrIdentityMismatch reports a resume attempt against a checkpoint
+// directory produced by a run with different identity (other command,
+// scale, seeds, or topologies). Results of the two runs are not
+// interchangeable, so the resume is refused.
+var ErrIdentityMismatch = errors.New("runstate: checkpoint identity mismatch")
+
+// Identity pins a checkpoint directory to one reproducible run: two runs
+// may share a directory exactly when their identities are equal. Commands
+// build it from their run manifest (seeds, topology hashes) plus the
+// effort scale.
+type Identity struct {
+	// Schema is filled by Open; callers leave it zero.
+	Schema int `json:"schema"`
+	// Command is the producing binary ("paperfigs", "netsim", ...).
+	Command string `json:"command"`
+	// Scale is the JSON encoding of the run's simulation scale/effort.
+	Scale json.RawMessage `json:"scale,omitempty"`
+	// Seeds are the run's canonical seeds.
+	Seeds map[string]int64 `json:"seeds,omitempty"`
+	// Topologies maps instance names to SHA-256 hashes of their
+	// canonical serialization.
+	Topologies map[string]string `json:"topologies,omitempty"`
+}
+
+// canonical returns the comparison form of an identity: its JSON
+// encoding with the schema pinned (Go marshals maps with sorted keys, so
+// equal identities encode to equal bytes).
+func (id Identity) canonical() ([]byte, error) {
+	id.Schema = SchemaVersion
+	return json.Marshal(id)
+}
+
+// Stats are the store's lifetime counters.
+type Stats struct {
+	// Replayed counts units loaded from disk at Open — work a resumed
+	// run does not repeat.
+	Replayed int64 `json:"replayed"`
+	// Recorded counts units journaled by this process.
+	Recorded int64 `json:"recorded"`
+	// Hits counts lookups answered from the store.
+	Hits int64 `json:"hits"`
+	// SkippedPartial counts torn or corrupt journal lines tolerated at
+	// Open (at most the crash-interrupted final append on a healthy
+	// filesystem).
+	SkippedPartial int64 `json:"skipped_partial"`
+}
+
+// Store is one open checkpoint directory. All methods are safe for
+// concurrent use; sweep workers record units in parallel.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	units   map[string]json.RawMessage
+	journal *os.File
+	err     error // first write error, surfaced at Close
+
+	replayed       atomic.Int64
+	recorded       atomic.Int64
+	hits           atomic.Int64
+	skippedPartial atomic.Int64
+}
+
+type journalLine struct {
+	V       int             `json:"v"`
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+type snapshotFile struct {
+	Schema int                        `json:"schema"`
+	Units  map[string]json.RawMessage `json:"units"`
+}
+
+// Open creates (or resumes) a checkpoint directory. On a fresh directory
+// it writes the identity atomically and starts an empty journal; on an
+// existing one it verifies the identity, loads the snapshot, replays the
+// journal — tolerating a torn trailing line — and reopens the journal
+// for appends. Counters are mirrored into the obs stream so /metrics
+// reports checkpoint replay and write activity.
+func Open(dir string, id Identity) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runstate: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstate: creating %s: %w", dir, err)
+	}
+	want, err := id.canonical()
+	if err != nil {
+		return nil, fmt.Errorf("runstate: encoding identity: %w", err)
+	}
+	idPath := filepath.Join(dir, "identity.json")
+	if data, err := os.ReadFile(idPath); err == nil {
+		var have Identity
+		if err := json.Unmarshal(data, &have); err != nil {
+			return nil, fmt.Errorf("runstate: %s is not a checkpoint identity: %w", idPath, err)
+		}
+		got, err := have.canonical()
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(got, want) {
+			return nil, fmt.Errorf("%w: %s holds %s, this run is %s",
+				ErrIdentityMismatch, dir, summarize(got), summarize(want))
+		}
+	} else if os.IsNotExist(err) {
+		if err := writeFileAtomic(idPath, append(append([]byte{}, want...), '\n')); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("runstate: reading %s: %w", idPath, err)
+	}
+
+	s := &Store{dir: dir, units: make(map[string]json.RawMessage)}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayJournal(); err != nil {
+		return nil, err
+	}
+	j, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstate: opening journal: %w", err)
+	}
+	s.journal = j
+	s.replayed.Store(int64(len(s.units)))
+
+	if obs.Enabled() {
+		obs.Event("runstate.replayed", obs.F("value", s.replayed.Load()), obs.F("dir", dir))
+		obs.Event("runstate.skipped_partial", obs.F("value", s.skippedPartial.Load()))
+		s.emitStatus()
+	}
+	return s, nil
+}
+
+// summarize shortens a canonical identity for error messages.
+func summarize(canon []byte) string {
+	sum := sha256.Sum256(canon)
+	if len(canon) > 96 {
+		return fmt.Sprintf("%s… (sha256 %x)", canon[:96], sum[:6])
+	}
+	return fmt.Sprintf("%s (sha256 %x)", canon, sum[:6])
+}
+
+func (s *Store) journalPath() string  { return filepath.Join(s.dir, "journal.jsonl") }
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.json") }
+
+// Dir returns the checkpoint directory path.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) loadSnapshot() error {
+	data, err := os.ReadFile(s.snapshotPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runstate: reading snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("runstate: snapshot corrupt (delete %s to restart): %w", s.snapshotPath(), err)
+	}
+	if snap.Schema != SchemaVersion {
+		return fmt.Errorf("runstate: snapshot schema %d, this binary speaks %d", snap.Schema, SchemaVersion)
+	}
+	for k, v := range snap.Units {
+		s.units[k] = v
+	}
+	return nil
+}
+
+// replayJournal loads every well-formed journal line. Lines that do not
+// parse — the torn final append of a killed process — are skipped and
+// counted, matching the crash-tolerance contract of all JSONL readers in
+// this module.
+func (s *Store) replayJournal() error {
+	f, err := os.Open(s.journalPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runstate: opening journal: %w", err)
+	}
+	defer f.Close()
+	skipped, err := obs.ScanJSONLines(f, func(line []byte) error {
+		var jl journalLine
+		if err := json.Unmarshal(line, &jl); err != nil || jl.Key == "" || jl.V != SchemaVersion {
+			s.skippedPartial.Add(1)
+			return nil
+		}
+		s.units[jl.Key] = jl.Payload
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("runstate: replaying journal: %w", err)
+	}
+	s.skippedPartial.Add(int64(skipped))
+	return nil
+}
+
+// Lookup fetches a completed unit into out (a pointer). It returns false
+// when the unit has not been recorded; decoding failure of a recorded
+// unit is treated as absence (the unit is recomputed and re-recorded).
+func (s *Store) Lookup(key string, out any) bool {
+	s.mu.Lock()
+	payload, ok := s.units[key]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// Record journals one completed unit: the line is appended and fsync'd
+// before Record returns, so a SIGKILL immediately after never loses the
+// unit. Write failures are remembered (first error wins), reported once
+// through obs, and surfaced at Close — the run itself keeps going; a
+// broken checkpoint disk must not fail otherwise-healthy science.
+func (s *Store) Record(key string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		s.fail(fmt.Errorf("runstate: encoding unit %q: %w", key, err))
+		return
+	}
+	line, err := json.Marshal(journalLine{V: SchemaVersion, Key: key, Payload: data})
+	if err != nil {
+		s.fail(fmt.Errorf("runstate: encoding journal line %q: %w", key, err))
+		return
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	if s.err == nil && s.journal != nil {
+		if _, werr := s.journal.Write(line); werr != nil {
+			s.failLocked(fmt.Errorf("runstate: journal append: %w", werr))
+		} else if serr := s.journal.Sync(); serr != nil {
+			s.failLocked(fmt.Errorf("runstate: journal fsync: %w", serr))
+		} else {
+			s.units[key] = data
+		}
+	}
+	s.mu.Unlock()
+	n := s.recorded.Add(1)
+	if obs.Enabled() {
+		obs.Event("runstate.recorded", obs.F("value", n), obs.F("key", key))
+		s.emitStatus()
+	}
+}
+
+func (s *Store) fail(err error) {
+	s.mu.Lock()
+	s.failLocked(err)
+	s.mu.Unlock()
+}
+
+// failLocked records the first store error; callers hold s.mu.
+func (s *Store) failLocked(err error) {
+	if s.err == nil {
+		s.err = err
+		obs.Event("runstate.error", obs.F("err", err.Error()))
+	}
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Replayed:       s.replayed.Load(),
+		Recorded:       s.recorded.Load(),
+		Hits:           s.hits.Load(),
+		SkippedPartial: s.skippedPartial.Load(),
+	}
+}
+
+// Units returns the number of completed units currently known.
+func (s *Store) Units() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.units)
+}
+
+// emitStatus mirrors the resumable state into the obs stream; the
+// telemetry registry retains the latest one for /runs.
+func (s *Store) emitStatus() {
+	s.mu.Lock()
+	units := len(s.units)
+	s.mu.Unlock()
+	obs.Event("runstate.status",
+		obs.F("dir", s.dir),
+		obs.F("units", units),
+		obs.F("replayed", s.replayed.Load()),
+		obs.F("recorded", s.recorded.Load()),
+		obs.F("skipped_partial", s.skippedPartial.Load()))
+}
+
+// Snapshot compacts the store: all known units are written to
+// snapshot.json via tmp-file + fsync + atomic rename, and on success the
+// journal is truncated (its content is now redundant). Crash-safe at
+// every point: until the rename lands, the old snapshot + journal pair
+// is intact.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := snapshotFile{Schema: SchemaVersion, Units: s.units}
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("runstate: encoding snapshot: %w", err)
+	}
+	if err := writeFileAtomic(s.snapshotPath(), append(data, '\n')); err != nil {
+		return err
+	}
+	if s.journal != nil {
+		if err := s.journal.Truncate(0); err != nil {
+			return fmt.Errorf("runstate: truncating journal after snapshot: %w", err)
+		}
+		if _, err := s.journal.Seek(0, 0); err != nil {
+			return fmt.Errorf("runstate: rewinding journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close snapshots, releases the journal, emits a final status, and
+// returns the first error the store swallowed while running.
+func (s *Store) Close() error {
+	err := s.Snapshot()
+	s.mu.Lock()
+	if s.journal != nil {
+		if cerr := s.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.journal = nil
+	}
+	if s.err != nil && err == nil {
+		err = s.err
+	}
+	s.mu.Unlock()
+	if obs.Enabled() {
+		s.emitStatus()
+	}
+	return err
+}
+
+// writeFileAtomic writes data to path via tmp file + fsync + rename, so
+// readers (and crashes) only ever observe the old or the new content.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runstate: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runstate: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runstate: fsync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runstate: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("runstate: publishing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ---- process-wide install point (mirrors obs.SetSink) ----
+
+var global atomic.Pointer[Store]
+
+// SetStore installs (or, with nil, uninstalls) the process-wide store.
+func SetStore(s *Store) {
+	if s == nil {
+		global.Store(nil)
+		return
+	}
+	global.Store(s)
+}
+
+// Current returns the installed store, or nil when durable execution is
+// off.
+func Current() *Store { return global.Load() }
+
+// Enabled reports whether a store is installed; the disabled path is one
+// atomic load.
+func Enabled() bool { return global.Load() != nil }
+
+// Lookup consults the installed store; false (cheaply) when none is.
+func Lookup(key string, out any) bool {
+	s := global.Load()
+	if s == nil {
+		return false
+	}
+	return s.Lookup(key, out)
+}
+
+// Record journals a unit on the installed store; no-op when none is.
+func Record(key string, payload any) {
+	if s := global.Load(); s != nil {
+		s.Record(key, payload)
+	}
+}
+
+// KeyHash renders any JSON-encodable value as a short stable hash — the
+// building block of unit keys ("the sweep config, whatever its fields").
+func KeyHash(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// An unencodable key component falls back to a constant that can
+		// never collide with a real hash, disabling caching for the unit.
+		return "unhashable"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// ---- unit scope through context ----
+
+type scopeKey struct{}
+
+// WithScope attaches a unit-key scope (e.g. the system + mapping
+// fingerprint of a sweep) to the context, so deep loops can build
+// self-describing keys without new parameters on every call path.
+func WithScope(ctx context.Context, scope string) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, scopeKey{}, scope)
+}
+
+// ScopeFrom returns the attached scope, or "" when none (in which case
+// checkpointing of scope-keyed units is skipped — an unidentifiable unit
+// must never be cached).
+func ScopeFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	if s, ok := ctx.Value(scopeKey{}).(string); ok {
+		return s
+	}
+	return ""
+}

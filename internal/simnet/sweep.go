@@ -10,6 +10,7 @@ import (
 	"commsched/internal/obs"
 	"commsched/internal/par"
 	"commsched/internal/routing"
+	"commsched/internal/runstate"
 	"commsched/internal/topology"
 	"commsched/internal/traffic"
 )
@@ -23,6 +24,10 @@ type SweepPoint struct {
 	Rate float64
 	// Metrics is the run's measurement.
 	Metrics Metrics
+	// Incomplete marks a point whose run failed permanently but was
+	// salvaged under the par error budget: Metrics is zero and must not
+	// be interpreted. Complete runs never set it.
+	Incomplete bool
 }
 
 // Sweep simulates the network at each injection rate and returns one
@@ -47,12 +52,34 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 		return nil, fmt.Errorf("simnet: empty rate list")
 	}
 	sp := obs.StartSpan("simnet.sweep", obs.F("points", len(rates)), obs.F("max_rate", rates[len(rates)-1]))
+	// Checkpointing needs a scope identifying the (system, mapping) this
+	// sweep belongs to; without one a point cannot be named durably and
+	// the sweep runs un-checkpointed.
+	scope := ""
+	if runstate.Enabled() {
+		scope = runstate.ScopeFrom(ctx)
+	}
 	points := make([]SweepPoint, len(rates))
 	var done atomic.Int64
-	err := par.ForEach(ctx, len(rates), func(ctx context.Context, i int) error {
+	unitErrs, err := par.ForEachPartial(ctx, "simnet.sweep", len(rates), func(ctx context.Context, i int) error {
 		c := cfg
 		c.InjectionRate = rates[i]
 		c.Seed = cfg.Seed*1000003 + int64(i)
+		key := ""
+		if scope != "" {
+			// The key embeds the full per-point config (rate, seed, and
+			// every simulation knob), so a changed configuration can never
+			// resurrect a stale point.
+			key = fmt.Sprintf("sweep/%s/p%d/%s", scope, i, runstate.KeyHash(c))
+			var m Metrics
+			if runstate.Lookup(key, &m) {
+				points[i] = SweepPoint{Index: i + 1, Rate: rates[i], Metrics: m}
+				if obs.Enabled() {
+					obs.Progress("simnet.sweep", done.Add(1), int64(len(rates)))
+				}
+				return nil
+			}
+		}
 		sim, err := New(net, rt, pattern, c)
 		if err != nil {
 			return err
@@ -62,6 +89,9 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 			return err
 		}
 		points[i] = SweepPoint{Index: i + 1, Rate: rates[i], Metrics: m}
+		if key != "" {
+			runstate.Record(key, m)
+		}
 		if obs.Enabled() {
 			obs.Event("simnet.sweep_point",
 				obs.F("point", i+1),
@@ -76,7 +106,12 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 	if err != nil {
 		return nil, err
 	}
-	sp.End(obs.F("throughput", Throughput(points)))
+	// Units that failed permanently but stayed within the error budget
+	// come back as tagged-incomplete points instead of failing the sweep.
+	for _, ue := range unitErrs {
+		points[ue.Index] = SweepPoint{Index: ue.Index + 1, Rate: rates[ue.Index], Incomplete: true}
+	}
+	sp.End(obs.F("throughput", Throughput(points)), obs.F("incomplete", len(unitErrs)))
 	return points, nil
 }
 
@@ -143,15 +178,32 @@ func FindSaturation(ctx context.Context, net *topology.Network, rt *routing.UpDo
 	// Bisection halves (hi-lo) every probe, so the probe budget is known
 	// up front — which makes the search a progress-trackable task.
 	totalProbes := int64(1 + math.Ceil(math.Log2(maxRate/tol)))
+	scope := ""
+	if runstate.Enabled() {
+		scope = runstate.ScopeFrom(ctx)
+	}
 	var probes int64
 	probe := func(lo, hi, rate float64) (Metrics, error) {
 		c := cfg
 		c.InjectionRate = rate
+		key := ""
+		if scope != "" {
+			// Bisection is deterministic, so a resumed search probes the
+			// exact same rate sequence and replays from the store.
+			key = fmt.Sprintf("sat/%s/%s", scope, runstate.KeyHash(c))
+			var m Metrics
+			if runstate.Lookup(key, &m) {
+				return m, nil
+			}
+		}
 		sim, err := New(net, rt, pattern, c)
 		if err != nil {
 			return Metrics{}, err
 		}
 		m, err := sim.RunContext(ctx)
+		if err == nil && key != "" {
+			runstate.Record(key, m)
+		}
 		if err == nil && obs.Enabled() {
 			probes++
 			obs.Event("simnet.saturation_probe",

@@ -36,6 +36,9 @@ import (
 //   - "hist" records snapshot commsched_hist_{bucket,sum,count}{name}
 //   - "progress" events update commsched_progress_*{task} and the ETA
 //   - "run.manifest" events are retained verbatim for /runs
+//   - "runstate.status" events (the durable checkpoint store's state) are
+//     retained verbatim for /runs, so an operator can see whether a run
+//     is resumable and how many units it has replayed
 type Registry struct {
 	// now is the clock, swappable in tests for a deterministic ETA.
 	now func() time.Time
@@ -48,6 +51,7 @@ type Registry struct {
 	hists    map[string]*histSnapshot
 	progress map[string]*ProgressState
 	manifest map[string]any
+	runstate map[string]any
 }
 
 type spanStats struct {
@@ -95,6 +99,7 @@ func (g *Registry) reset() {
 	g.hists = make(map[string]*histSnapshot)
 	g.progress = make(map[string]*ProgressState)
 	g.manifest = nil
+	g.runstate = nil
 }
 
 // Emit implements obs.Sink.
@@ -119,6 +124,8 @@ func (g *Registry) Emit(r obs.Record) {
 		g.ingestProgress(r)
 	case "run.manifest":
 		g.manifest = obs.RecordObject(r)
+	case "runstate.status":
+		g.runstate = obs.RecordObject(r)
 	default:
 		if v, ok := fieldFloat(r, "value"); ok {
 			g.values[r.Name] = v
@@ -210,13 +217,31 @@ func (g *Registry) Manifest() map[string]any {
 	return out
 }
 
-// RunsJSON renders the /runs payload: the run manifest (when seen) plus
-// the live progress table.
+// Runstate returns the last ingested runstate.status record — the
+// durable checkpoint store's counters — or nil when the run is not
+// checkpointed.
+func (g *Registry) Runstate() map[string]any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.runstate == nil {
+		return nil
+	}
+	out := make(map[string]any, len(g.runstate))
+	for k, v := range g.runstate {
+		out[k] = v
+	}
+	return out
+}
+
+// RunsJSON renders the /runs payload: the run manifest (when seen), the
+// durable-run checkpoint state (when the run is resumable), plus the
+// live progress table.
 func (g *Registry) RunsJSON() ([]byte, error) {
 	payload := struct {
 		Manifest map[string]any  `json:"manifest,omitempty"`
+		Runstate map[string]any  `json:"runstate,omitempty"`
 		Progress []ProgressState `json:"progress"`
-	}{Manifest: g.Manifest(), Progress: g.Progress()}
+	}{Manifest: g.Manifest(), Runstate: g.Runstate(), Progress: g.Progress()}
 	if payload.Progress == nil {
 		payload.Progress = []ProgressState{}
 	}

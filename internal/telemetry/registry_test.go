@@ -42,7 +42,7 @@ func feedRegistry(g *Registry) {
 			obs.F("counts", []int64{5, 3, 2, 1, 1}),
 			obs.F("count", int64(12)),
 			obs.F("sum", 19.0),
-			obs.F("mean", 19.0 / 12),
+			obs.F("mean", 19.0/12),
 		}})
 	for done := int64(1); done <= 3; done++ {
 		g.Emit(obs.Record{Time: base, Kind: "event", Name: "progress",
@@ -177,5 +177,38 @@ func TestRegistryIgnoresMalformedHist(t *testing.T) {
 	}
 	if bytes.Contains(buf.Bytes(), []byte("commsched_hist_bucket")) {
 		t.Error("malformed hist flush leaked into the exposition")
+	}
+}
+
+func TestRegistryRunstateStatus(t *testing.T) {
+	g := NewRegistry()
+	if g.Runstate() != nil {
+		t.Fatal("runstate must start nil")
+	}
+	g.Emit(obs.Record{Kind: "event", Name: "runstate.status", Time: time.Unix(0, 0), Fields: []obs.Field{
+		obs.F("dir", "/tmp/ckpt"),
+		obs.F("units", 12),
+		obs.F("replayed", int64(5)),
+		obs.F("recorded", int64(7)),
+		obs.F("skipped_partial", int64(0)),
+	}})
+	rs := g.Runstate()
+	if rs == nil || rs["dir"] != "/tmp/ckpt" {
+		t.Fatalf("runstate = %v", rs)
+	}
+	data, err := g.RunsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatal(err)
+	}
+	inner, ok := payload["runstate"].(map[string]any)
+	if !ok {
+		t.Fatalf("/runs payload missing runstate: %s", data)
+	}
+	if inner["replayed"] != float64(5) {
+		t.Fatalf("replayed = %v", inner["replayed"])
 	}
 }
