@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -67,8 +68,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "commsched:", err)
 		os.Exit(1)
 	}
-	runErr := run(*topo, *switches, *degree, *rings, *ringSize, *bridges, *rows, *cols, *dim, *in,
+	// Ctrl-C / SIGTERM cancels the search between units so the deferred
+	// finish/Close paths still flush checkpoints and telemetry sinks.
+	ctx, stop := runctl.Signals(context.Background(), os.Stderr)
+	runErr := run(ctx, *topo, *switches, *degree, *rings, *ringSize, *bridges, *rows, *cols, *dim, *in,
 		*topoSeed, *clusters, *weights, *seed, *heuristic, *metric, *randoms, *dumpTable, *durable)
+	stop()
 	if err := svc.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -78,7 +83,7 @@ func main() {
 	}
 }
 
-func run(topo string, switches, degree, rings, ringSize, bridges, rows, cols, dim int, in string,
+func run(ctx context.Context, topo string, switches, degree, rings, ringSize, bridges, rows, cols, dim int, in string,
 	topoSeed int64, clusters int, weights string, seed int64, heuristic, metric string, randoms int, dumpTable bool,
 	durable runctl.Config) (retErr error) {
 
@@ -144,12 +149,12 @@ func run(topo string, switches, degree, rings, ringSize, bridges, rows, cols, di
 		}
 		clusters = len(ws)
 		label = "weighted-tabu"
-		sched, err = sys.ScheduleWeighted(nil, sizes, ws, seed)
+		sched, err = sys.ScheduleWeighted(ctx, sizes, ws, seed)
 		if err != nil {
 			return err
 		}
 	} else {
-		sched, err = sys.Schedule(nil, core.ScheduleOptions{Clusters: clusters, Searcher: searcher, Seed: seed})
+		sched, err = sys.Schedule(ctx, core.ScheduleOptions{Clusters: clusters, Searcher: searcher, Seed: seed})
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -60,8 +61,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
 	}
-	runErr := run(*switches, *degree, *topoSeed, *useRings, *clusters, *mapKind, *mapSeed,
+	// Ctrl-C / SIGTERM cancels the sweep between units so the deferred
+	// finish/Close paths still flush checkpoints and telemetry sinks.
+	ctx, stop := runctl.Signals(context.Background(), os.Stderr)
+	runErr := run(ctx, *switches, *degree, *topoSeed, *useRings, *clusters, *mapKind, *mapSeed,
 		*points, *maxRate, *warmup, *cycles, *msgFlits, *vcs, *simSeed, *drawPlot, *manifest, *durable)
+	stop()
 	if err := svc.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -71,7 +76,7 @@ func main() {
 	}
 }
 
-func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapKind string, mapSeed int64,
+func run(ctx context.Context, switches, degree int, topoSeed int64, useRings bool, clusters int, mapKind string, mapSeed int64,
 	points int, maxRate float64, warmup, cycles, msgFlits, vcs int, simSeed int64, drawPlot bool,
 	manifestPath string, durable runctl.Config) (retErr error) {
 
@@ -122,7 +127,7 @@ func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapK
 	label := "OP"
 	switch mapKind {
 	case "scheduled":
-		sched, err := sys.Schedule(nil, core.ScheduleOptions{Clusters: clusters, Seed: 42})
+		sched, err := sys.Schedule(ctx, core.ScheduleOptions{Clusters: clusters, Seed: 42})
 		if err != nil {
 			return err
 		}
@@ -147,7 +152,7 @@ func run(switches, degree int, topoSeed int64, useRings bool, clusters int, mapK
 		VirtualChannels: vcs, MessageFlits: msgFlits,
 		WarmupCycles: warmup, MeasureCycles: cycles, Seed: simSeed,
 	}
-	sweep, err := sys.SimulateSweep(nil, p, cfg, simnet.LinearRates(points, maxRate))
+	sweep, err := sys.SimulateSweep(ctx, p, cfg, simnet.LinearRates(points, maxRate))
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"commsched/internal/runctl"
+	"context"
 
 	"os"
 	"strings"
@@ -39,7 +40,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestRunScheduledMapping(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(12, 3, 1, false, 4, "scheduled", 100, 3, 0.3, 200, 800, 16, 2, 7, false, "", runctl.Config{})
+		return run(context.Background(), 12, 3, 1, false, 4, "scheduled", 100, 3, 0.3, 200, 800, 16, 2, 7, false, "", runctl.Config{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +54,7 @@ func TestRunScheduledMapping(t *testing.T) {
 
 func TestRunRandomMappingOnRings(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(0, 0, 0, true, 4, "random", 5, 2, 0.2, 100, 500, 16, 2, 7, false, "", runctl.Config{})
+		return run(context.Background(), 0, 0, 0, true, 4, "random", 5, 2, 0.2, 100, 500, 16, 2, 7, false, "", runctl.Config{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -65,17 +66,17 @@ func TestRunRandomMappingOnRings(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run(12, 3, 1, false, 4, "bogus", 100, 3, 0.3, 100, 500, 16, 2, 7, false, "", runctl.Config{})
+		return run(context.Background(), 12, 3, 1, false, 4, "bogus", 100, 3, 0.3, 100, 500, 16, 2, 7, false, "", runctl.Config{})
 	}); err == nil {
 		t.Fatal("unknown mapping kind accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(10, 3, 1, false, 4, "scheduled", 100, 3, 0.3, 100, 500, 16, 2, 7, false, "", runctl.Config{})
+		return run(context.Background(), 10, 3, 1, false, 4, "scheduled", 100, 3, 0.3, 100, 500, 16, 2, 7, false, "", runctl.Config{})
 	}); err == nil {
 		t.Fatal("indivisible cluster split accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(12, 3, 1, false, 4, "scheduled", 100, 3, 1.7, 100, 500, 16, 2, 7, false, "", runctl.Config{})
+		return run(context.Background(), 12, 3, 1, false, 4, "scheduled", 100, 3, 1.7, 100, 500, 16, 2, 7, false, "", runctl.Config{})
 	}); err == nil {
 		t.Fatal("out-of-range injection rate accepted")
 	}
@@ -83,7 +84,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunWithPlot(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(12, 3, 1, false, 4, "scheduled", 100, 3, 0.3, 200, 800, 16, 2, 7, true, "", runctl.Config{})
+		return run(context.Background(), 12, 3, 1, false, 4, "scheduled", 100, 3, 0.3, 200, 800, 16, 2, 7, true, "", runctl.Config{})
 	})
 	if err != nil {
 		t.Fatal(err)

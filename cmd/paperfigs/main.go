@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -84,6 +85,10 @@ func mainErr(fig string, quick bool, csvDir string, opts telemetry.Options, mani
 		return err
 	}
 
+	// Ctrl-C / SIGTERM stops the experiment loops between units (via the
+	// par root context — the experiment helpers pass nil contexts) so the
+	// finish/Close paths below still flush checkpoints and sinks.
+	_, stop := runctl.Signals(context.Background(), os.Stderr)
 	runErr := func() error {
 		if csvDir != "" {
 			if err := writeCSVs(csvDir, sc); err != nil {
@@ -92,6 +97,7 @@ func mainErr(fig string, quick bool, csvDir string, opts telemetry.Options, mani
 		}
 		return run(fig, sc)
 	}()
+	stop()
 
 	if err := finish(); err != nil && runErr == nil {
 		runErr = err

@@ -55,7 +55,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "procsched:", err)
 		os.Exit(1)
 	}
-	runErr := run(*switches, *degree, *topoSeed, *clusters, *slots, *seed, *simulate, *durable)
+	// Ctrl-C / SIGTERM cancels the run between units so the deferred
+	// finish/Close paths still flush checkpoints and telemetry sinks.
+	ctx, stop := runctl.Signals(context.Background(), os.Stderr)
+	runErr := run(ctx, *switches, *degree, *topoSeed, *clusters, *slots, *seed, *simulate, *durable)
+	stop()
 	if err := svc.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -65,7 +69,7 @@ func main() {
 	}
 }
 
-func run(switches, degree int, topoSeed int64, clusters string, slots int, seed int64, simulate bool,
+func run(ctx context.Context, switches, degree int, topoSeed int64, clusters string, slots int, seed int64, simulate bool,
 	durable runctl.Config) (retErr error) {
 	sizes, err := parseSizes(clusters)
 	if err != nil {
@@ -145,7 +149,7 @@ func run(switches, degree int, topoSeed int64, clusters string, slots int, seed 
 		}
 		// Scope sweep units by placement so scheduled and random curves
 		// never share checkpoint entries in a -resume directory.
-		ctx := runstate.WithScope(context.Background(),
+		ctx := runstate.WithScope(ctx,
 			fmt.Sprintf("procsched/%s/map=%s", label, runstate.KeyHash(hostOf)))
 		points, err := simnet.Sweep(ctx, net, rt, pat, cfg, rates)
 		if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"commsched/internal/runctl"
+	"context"
 
 	"os"
 	"strings"
@@ -54,7 +55,7 @@ func TestParseSizes(t *testing.T) {
 
 func TestRunSchedulesProcesses(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(8, 3, 77, "6,10", 2, 1, false, runctl.Config{})
+		return run(context.Background(), 8, 3, 77, "6,10", 2, 1, false, runctl.Config{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +69,7 @@ func TestRunSchedulesProcesses(t *testing.T) {
 
 func TestRunWithSimulation(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run(8, 3, 77, "8,8", 1, 1, true, runctl.Config{})
+		return run(context.Background(), 8, 3, 77, "8,8", 1, 1, true, runctl.Config{})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -80,17 +81,17 @@ func TestRunWithSimulation(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run(8, 3, 77, "bogus", 2, 1, false, runctl.Config{})
+		return run(context.Background(), 8, 3, 77, "bogus", 2, 1, false, runctl.Config{})
 	}); err == nil {
 		t.Fatal("bad cluster list accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(8, 3, 77, "100,100", 1, 1, false, runctl.Config{}) // over capacity
+		return run(context.Background(), 8, 3, 77, "100,100", 1, 1, false, runctl.Config{}) // over capacity
 	}); err == nil {
 		t.Fatal("over-capacity process count accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run(8, 3, 77, "4,4", 0, 1, false, runctl.Config{}) // zero slots
+		return run(context.Background(), 8, 3, 77, "4,4", 0, 1, false, runctl.Config{}) // zero slots
 	}); err == nil {
 		t.Fatal("zero slots accepted")
 	}

@@ -1,0 +1,330 @@
+// Command schedload is the load-test harness for commschedd: it fires a
+// seeded, multi-tenant mix of job submissions at a running daemon with
+// bounded concurrency, honors the daemon's backpressure (429 +
+// Retry-After), waits for every accepted job to reach a terminal state,
+// and asserts the robustness contract:
+//
+//   - zero lost jobs: every accepted submission is retrievable and
+//     reaches done/failed (nothing vanishes, nothing is duplicated);
+//   - bounded admission latency: the p99 POST /jobs round trip stays
+//     under -p99 even while the queue is pushing back;
+//   - backpressure over collapse: at the queue watermark the daemon
+//     answers 429, not timeouts.
+//
+// It prints a JSON summary to stdout and exits nonzero when any
+// assertion fails, so CI can gate on it directly:
+//
+//	schedload -base http://localhost:8844 -n 1000 -c 32 -tenants 8 -seed 1
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"commsched/internal/service"
+)
+
+func main() {
+	var (
+		base     = flag.String("base", "http://localhost:8844", "daemon base URL")
+		n        = flag.Int("n", 1000, "total submissions")
+		c        = flag.Int("c", 32, "concurrent submitters")
+		tenants  = flag.Int("tenants", 8, "distinct tenants in the mix")
+		seed     = flag.Int64("seed", 1, "mix seed (same seed = same submission stream)")
+		p99Limit = flag.Duration("p99", 2*time.Second, "max acceptable p99 admission latency")
+		wait     = flag.Duration("wait", 2*time.Minute, "how long to wait for accepted jobs to finish")
+		reqTO    = flag.Duration("request-timeout", 10*time.Second, "per-request timeout")
+		maxRetry = flag.Int("max-retries", 50, "max backpressure retries per submission before counting it rejected")
+		submit   = flag.Bool("submit-only", false, "submit without waiting for completion (drain/restart scenarios: the daemon may go away mid-run)")
+	)
+	flag.Parse()
+	code, summary := run(*base, *n, *c, *tenants, *seed, *p99Limit, *wait, *reqTO, *maxRetry, *submit)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(summary) //nolint:errcheck // stdout
+	os.Exit(code)
+}
+
+// summary is the machine-readable verdict.
+type summary struct {
+	Submitted  int            `json:"submitted"`
+	Accepted   int            `json:"accepted"`
+	Rejected   map[string]int `json:"rejected,omitempty"`
+	Retries    int            `json:"backpressure_retries"`
+	Errors     int            `json:"transport_errors"`
+	Done       int            `json:"done"`
+	Failed     int            `json:"failed"`
+	Lost       []string       `json:"lost,omitempty"`
+	Duplicated []string       `json:"duplicated,omitempty"`
+	P50Ms      float64        `json:"p50_ms"`
+	P99Ms      float64        `json:"p99_ms"`
+	MaxMs      float64        `json:"max_ms"`
+	ElapsedMs  float64        `json:"elapsed_ms"`
+	Violations []string       `json:"violations,omitempty"`
+}
+
+// specFor builds submission i of the seeded mix: a rotating tenant and a
+// deterministic blend of cheap evaluate jobs, schedule searches, and the
+// occasional short sweep — enough variety to exercise the batcher, the
+// search path, and the checkpointing sweep path at once.
+func specFor(i, tenants int, seed int64) service.JobSpec {
+	rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+	spec := service.JobSpec{
+		Tenant: "t" + strconv.Itoa(i%max(1, tenants)),
+		Seed:   rng.Int63n(1 << 30),
+	}
+	switch {
+	case i%10 < 6: // 60%: evaluate a fixed mapping on a small ring
+		spec.Kind = service.KindEvaluate
+		spec.Generate = &service.GenerateSpec{Kind: "ring", Switches: 8}
+		spec.M = 4
+		// A random rotation of a balanced assignment: every cluster keeps
+		// two switches, so the mapping is always valid while the batch
+		// still sees varied inputs.
+		rot := rng.Intn(8)
+		spec.Assign = make([]int, 8)
+		for s := range spec.Assign {
+			spec.Assign[s] = ((s + rot) / 2) % 4
+		}
+	case i%10 < 9: // 30%: schedule a small irregular network
+		spec.Kind = service.KindSchedule
+		spec.Generate = &service.GenerateSpec{Kind: "irregular", Switches: 8, Degree: 3, Seed: 1 + int64(i%4)}
+		spec.Clusters = 4
+		spec.Heuristic = "greedy"
+	default: // 10%: a short two-point sweep
+		spec.Kind = service.KindSweep
+		spec.Generate = &service.GenerateSpec{Kind: "ring", Switches: 8}
+		spec.Clusters = 4
+		spec.Heuristic = "greedy"
+		spec.Rates = []float64{0.1, 0.2}
+		spec.WarmupCycles = 50
+		spec.MeasureCycles = 200
+	}
+	return spec
+}
+
+func run(base string, n, c, tenants int, seed int64, p99Limit, wait, reqTO time.Duration, maxRetry int, submitOnly bool) (int, summary) {
+	client := &http.Client{Timeout: reqTO}
+	sum := summary{Submitted: n, Rejected: map[string]int{}}
+	var (
+		mu        sync.Mutex
+		accepted  []string
+		latencies []time.Duration
+	)
+	start := time.Now()
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				id, lat, retries, reason, terr := submit(client, base, specFor(i, tenants, seed), maxRetry)
+				mu.Lock()
+				sum.Retries += retries
+				switch {
+				case terr != nil:
+					sum.Errors++
+				case id == "":
+					sum.Rejected[reason]++
+				default:
+					accepted = append(accepted, id)
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	sum.Accepted = len(accepted)
+	sum.P50Ms, sum.P99Ms, sum.MaxMs = percentiles(latencies)
+	sum.Duplicated = findDuplicates(accepted)
+
+	// A submit-only run feeds drain/restart scenarios: the daemon is
+	// expected to go away mid-storm, so skip the completion audit (and
+	// the violations that presume a daemon still answering).
+	if submitOnly {
+		sum.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+		if len(sum.Duplicated) > 0 {
+			sum.Violations = append(sum.Violations, fmt.Sprintf("%d duplicated job ID(s)", len(sum.Duplicated)))
+			return 1, sum
+		}
+		return 0, sum
+	}
+
+	// Wait for every accepted job to reach a terminal state, then audit
+	// the daemon's ledger against ours.
+	deadline := time.Now().Add(wait)
+	pending := map[string]bool{}
+	for _, id := range accepted {
+		pending[id] = true
+	}
+	for len(pending) > 0 && time.Now().Before(deadline) {
+		states, err := listStates(client, base)
+		if err != nil {
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		for id := range pending {
+			switch states[id] {
+			case "done":
+				sum.Done++
+				delete(pending, id)
+			case "failed":
+				sum.Failed++
+				delete(pending, id)
+			}
+		}
+		if len(pending) > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	for id := range pending {
+		sum.Lost = append(sum.Lost, id)
+	}
+	sort.Strings(sum.Lost)
+	sum.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+
+	if len(sum.Lost) > 0 {
+		sum.Violations = append(sum.Violations, fmt.Sprintf("%d accepted job(s) never reached a terminal state", len(sum.Lost)))
+	}
+	if len(sum.Duplicated) > 0 {
+		sum.Violations = append(sum.Violations, fmt.Sprintf("%d duplicated job ID(s)", len(sum.Duplicated)))
+	}
+	if p99 := time.Duration(sum.P99Ms * float64(time.Millisecond)); p99 > p99Limit {
+		sum.Violations = append(sum.Violations, fmt.Sprintf("p99 admission latency %s exceeds %s", p99, p99Limit))
+	}
+	if sum.Errors > 0 {
+		sum.Violations = append(sum.Violations, fmt.Sprintf("%d transport error(s): the daemon must answer (even with 429), not hang or drop connections", sum.Errors))
+	}
+	if len(sum.Violations) > 0 {
+		return 1, sum
+	}
+	return 0, sum
+}
+
+// submit POSTs one job, retrying on backpressure per the daemon's own
+// Retry-After advice (capped so a drain does not strand the harness).
+// Returns the accepted job ID, the first-accept admission latency, the
+// number of backpressure retries, the final rejection reason when the
+// job was never accepted, and any transport error.
+func submit(client *http.Client, base string, spec service.JobSpec, maxRetry int) (string, time.Duration, int, string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", 0, 0, "", err
+	}
+	retries := 0
+	for {
+		t0 := time.Now()
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", 0, retries, "", err
+		}
+		lat := time.Since(t0)
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			var job service.Job
+			if err := json.Unmarshal(data, &job); err != nil || job.ID == "" {
+				return "", 0, retries, "", fmt.Errorf("202 with undecodable job: %v", err)
+			}
+			return job.ID, lat, retries, "", nil
+		case resp.StatusCode == http.StatusTooManyRequests && retries < maxRetry:
+			retries++
+			time.Sleep(retryAfter(resp, 50*time.Millisecond))
+		default:
+			var ae struct {
+				Reason string `json:"reason"`
+			}
+			json.Unmarshal(data, &ae) //nolint:errcheck // best-effort reason
+			if ae.Reason == "" {
+				ae.Reason = strconv.Itoa(resp.StatusCode)
+			}
+			return "", 0, retries, ae.Reason, nil
+		}
+	}
+}
+
+// retryAfter parses the Retry-After header, clamped to keep the harness
+// brisk (the daemon's advice is sized for polite clients, not load tests).
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			d := time.Duration(secs) * time.Second
+			if d > 500*time.Millisecond {
+				d = 500 * time.Millisecond
+			}
+			return d
+		}
+	}
+	return fallback
+}
+
+// listStates fetches every job's state in one call.
+func listStates(client *http.Client, base string) (map[string]string, error) {
+	resp, err := client.Get(base + "/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /jobs: %s", resp.Status)
+	}
+	var doc struct {
+		Jobs []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(doc.Jobs))
+	for _, j := range doc.Jobs {
+		out[j.ID] = j.State
+	}
+	return out, nil
+}
+
+func percentiles(lats []time.Duration) (p50, p99, maxMs float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	idx := func(p float64) int {
+		i := int(p * float64(len(lats)-1))
+		return i
+	}
+	return ms(lats[idx(0.50)]), ms(lats[idx(0.99)]), ms(lats[len(lats)-1])
+}
+
+func findDuplicates(ids []string) []string {
+	seen := map[string]int{}
+	for _, id := range ids {
+		seen[id]++
+	}
+	var dups []string
+	for id, n := range seen {
+		if n > 1 {
+			dups = append(dups, id)
+		}
+	}
+	sort.Strings(dups)
+	return dups
+}

@@ -37,13 +37,38 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 	return forEach(ctx, n, fn)
 }
 
+// rootCtx is the process-wide root context installed by SetRootContext.
+// A nil ctx passed to ForEach/ForEachPartial resolves to it, so deep
+// experiment loops that predate context threading become cancellable
+// (Ctrl-C, SIGTERM) without a signature change on every call path.
+var rootCtx atomic.Pointer[context.Context]
+
+// SetRootContext installs the context that a nil ctx resolves to in this
+// package (commands install their signal-bound root context here via
+// runctl). A nil argument restores context.Background.
+func SetRootContext(ctx context.Context) {
+	if ctx == nil {
+		rootCtx.Store(nil)
+		return
+	}
+	rootCtx.Store(&ctx)
+}
+
+// RootContext returns the installed root context (Background when none).
+func RootContext() context.Context {
+	if p := rootCtx.Load(); p != nil {
+		return *p
+	}
+	return context.Background()
+}
+
 // forEach is the raw bounded-worker loop, with no unit policy applied.
 func forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = RootContext()
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {

@@ -35,6 +35,11 @@ type Policy struct {
 	// their retries) before it aborts the remainder of the loop. Zero
 	// means no budget: any failed unit aborts, like ForEach.
 	ErrorBudget int
+	// Seed perturbs the per-unit backoff jitter. Every unit derives its
+	// own RNG from (Seed, unit name, unit index), so a unit's retry
+	// schedule is identical across runs and resumes no matter how the
+	// loop's workers interleave — while distinct units still decorrelate.
+	Seed int64
 }
 
 // Active reports whether the policy changes anything over the zero value.
@@ -89,9 +94,24 @@ func ResetCounters() {
 // retry budget runs out. Cancellation of the outer ctx is never retried
 // — a cancelled run must stop, not thrash.
 func RunUnit(ctx context.Context, name string, i int, fn func(ctx context.Context) error) error {
-	p := CurrentPolicy()
+	return CurrentPolicy().RunUnit(ctx, name, i, fn)
+}
+
+// RunUnit executes one unit under this specific policy, regardless of
+// what (if anything) is installed process-wide — the form long-lived
+// services use to give every job its own deadlines and retry budgets
+// without fighting over a global.
+func (p Policy) RunUnit(ctx context.Context, name string, i int, fn func(ctx context.Context) error) error {
 	if !p.Active() {
 		return runAttempt(ctx, fn)
+	}
+	// One jitter RNG per unit, seeded from the unit's identity alone.
+	// Attempt k draws the k-th value, so the whole retry schedule of a
+	// unit is a pure function of (policy seed, name, index) — never of
+	// which worker ran it or what its neighbors were doing.
+	var jitter *rand.Rand
+	if p.Backoff > 0 {
+		jitter = rand.New(rand.NewSource(unitSeed(p.Seed, name, i)))
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -121,7 +141,7 @@ func RunUnit(ctx context.Context, name string, i int, fn func(ctx context.Contex
 				obs.F("err", err.Error()))
 		}
 		if p.Backoff > 0 {
-			if serr := sleepBackoff(ctx, p.Backoff, attempt, int64(i)); serr != nil {
+			if serr := sleepBackoff(ctx, p.Backoff, attempt, jitter); serr != nil {
 				return err
 			}
 		}
@@ -138,17 +158,39 @@ func runAttempt(ctx context.Context, fn func(ctx context.Context) error) (err er
 	return fn(ctx)
 }
 
-// sleepBackoff waits base * 2^attempt scaled by jitter in [0.5, 1.5),
-// returning early (with the ctx error) when the run is cancelled. The
-// jitter source is seeded per unit — it perturbs only timing, never
-// results, so determinism of the science is untouched.
-func sleepBackoff(ctx context.Context, base time.Duration, attempt int, seed int64) error {
+// unitSeed folds the policy seed, unit name, and unit index into the
+// seed of the unit's jitter RNG (FNV-1a over the identity). Jitter
+// perturbs only timing, never results, so determinism of the science is
+// untouched either way — but a seeded schedule is reproducible when a
+// retry storm needs debugging under -resume.
+func unitSeed(policySeed int64, name string, i int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h ^= uint64(b); h *= prime64 }
+	for j := 0; j < len(name); j++ {
+		mix(name[j])
+	}
+	for _, v := range [2]uint64{uint64(i), uint64(policySeed)} {
+		for b := 0; b < 8; b++ {
+			mix(byte(v >> (8 * b)))
+		}
+	}
+	return int64(h)
+}
+
+// sleepBackoff waits base * 2^attempt scaled by the unit RNG's next
+// jitter draw in [0.5, 1.5), returning early (with the ctx error) when
+// the run is cancelled.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int, rng *rand.Rand) error {
 	d := base << uint(attempt)
 	const maxBackoff = 30 * time.Second
 	if d <= 0 || d > maxBackoff {
 		d = maxBackoff
 	}
-	jitter := 0.5 + rand.New(rand.NewSource(seed^int64(attempt)<<17)).Float64()
+	jitter := 0.5 + rng.Float64()
 	d = time.Duration(float64(d) * jitter)
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -158,6 +200,28 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int, seed int
 	case <-t.C:
 		return nil
 	}
+}
+
+// BackoffSchedule returns the exact backoff delays a unit would sleep
+// under the policy — attempt k's delay before retry k+1 — without
+// sleeping. Exposed so tests (and capacity planning) can assert the
+// reproducibility contract: the schedule depends only on the policy and
+// the unit's identity.
+func (p Policy) BackoffSchedule(name string, i, attempts int) []time.Duration {
+	if p.Backoff <= 0 || attempts <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(unitSeed(p.Seed, name, i)))
+	out := make([]time.Duration, attempts)
+	const maxBackoff = 30 * time.Second
+	for k := range out {
+		d := p.Backoff << uint(k)
+		if d <= 0 || d > maxBackoff {
+			d = maxBackoff
+		}
+		out[k] = time.Duration(float64(d) * (0.5 + rng.Float64()))
+	}
+	return out
 }
 
 // UnitError describes one unit that failed permanently (all retries
@@ -186,7 +250,7 @@ func ForEachPartial(ctx context.Context, name string, n int, fn func(ctx context
 		return nil, nil
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = RootContext()
 	}
 	budget := CurrentPolicy().ErrorBudget
 	var (

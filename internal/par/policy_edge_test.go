@@ -1,0 +1,168 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A budget of zero must behave exactly like ForEach: the first
+// permanently-failed unit aborts the loop, nothing is salvaged.
+func TestForEachPartialErrorBudgetZeroFailsFast(t *testing.T) {
+	SetPolicy(Policy{Retries: 1, ErrorBudget: 0})
+	defer SetPolicy(Policy{})
+	ResetCounters()
+	boom := errors.New("boom")
+	failed, err := ForEachPartial(context.Background(), "u", 8, func(_ context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("budget 0 must abort on the failed unit, got err=%v", err)
+	}
+	if errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("budget 0 is fail-fast, not a zero-size budget: %v", err)
+	}
+	if Salvaged() != 0 {
+		t.Fatalf("budget 0 must salvage nothing, salvaged %d", Salvaged())
+	}
+	if len(failed) != 1 || failed[0].Index != 3 {
+		t.Fatalf("failed units = %v, want exactly unit 3", failed)
+	}
+}
+
+// A budget exhausted exactly on the last unit is still a successful
+// partial run: the budget bounds failures, it is not a tripwire at the
+// boundary.
+func TestForEachPartialBudgetExactlyOnLastUnit(t *testing.T) {
+	SetPolicy(Policy{ErrorBudget: 2})
+	defer SetPolicy(Policy{})
+	ResetCounters()
+	const n = 6
+	boom := errors.New("boom")
+	// Units fail in index order (workers=1 would guarantee it; instead
+	// fail the last two indices and let any order land the same counts).
+	failed, err := ForEachPartial(context.Background(), "u", n, func(_ context.Context, i int) error {
+		if i >= n-2 {
+			return boom
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("exactly-at-budget run must succeed, got %v", err)
+	}
+	if len(failed) != 2 {
+		t.Fatalf("want 2 salvaged failures, got %v", failed)
+	}
+	if failed[0].Index != n-2 || failed[1].Index != n-1 {
+		t.Fatalf("failed indices = %v, want [%d %d] sorted", failed, n-2, n-1)
+	}
+	if Salvaged() != 2 {
+		t.Fatalf("salvaged counter = %d, want 2", Salvaged())
+	}
+
+	// One more failure — budget+1 — must abort with ErrBudgetExhausted.
+	ResetCounters()
+	_, err = ForEachPartial(context.Background(), "u", n, func(_ context.Context, i int) error {
+		if i >= n-3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("budget+1 failures must exhaust the budget, got %v", err)
+	}
+}
+
+// A deadline expiring mid-backoff must stop the retry loop promptly with
+// the unit's error — not sleep out the full backoff, not start another
+// attempt.
+func TestRetryThenTimeoutDeadlineExpiresMidBackoff(t *testing.T) {
+	SetPolicy(Policy{Retries: 5, Backoff: time.Hour})
+	defer SetPolicy(Policy{})
+	ResetCounters()
+	boom := errors.New("boom")
+	var attempts atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := RunUnit(ctx, "u", 0, func(context.Context) error {
+		attempts.Add(1)
+		return boom
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("RunUnit slept through the deadline: %s", elapsed)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("the unit's own error must surface, got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("no attempt may start after the deadline: %d attempts", got)
+	}
+}
+
+// The per-attempt timeout composing with retries: each attempt gets a
+// fresh deadline, and when the outer context dies between attempts the
+// loop stops instead of burning the remaining retries.
+func TestRetryThenTimeoutPerAttemptDeadlines(t *testing.T) {
+	SetPolicy(Policy{Timeout: 20 * time.Millisecond, Retries: 2, Backoff: time.Millisecond})
+	defer SetPolicy(Policy{})
+	ResetCounters()
+	var attempts atomic.Int64
+	err := RunUnit(context.Background(), "u", 0, func(ctx context.Context) error {
+		attempts.Add(1)
+		<-ctx.Done() // run the attempt into its deadline
+		return ctx.Err()
+	})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want the final timeout surfaced, got %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("timeouts are retryable: want 1+2 attempts, got %d", got)
+	}
+}
+
+// The backoff schedule of a unit is a pure function of (policy seed,
+// unit name, unit index): identical across runs, workers, and resumes;
+// decorrelated across units.
+func TestBackoffScheduleReproducible(t *testing.T) {
+	p := Policy{Retries: 4, Backoff: 100 * time.Millisecond, Seed: 7}
+	a := p.BackoffSchedule("sweep", 3, 4)
+	b := p.BackoffSchedule("sweep", 3, 4)
+	if len(a) != 4 {
+		t.Fatalf("want 4 delays, got %v", a)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("schedule not reproducible: %v vs %v", a, b)
+		}
+		base := p.Backoff << uint(k)
+		lo := time.Duration(float64(base) * 0.5)
+		hi := time.Duration(float64(base) * 1.5)
+		if a[k] < lo || a[k] >= hi {
+			t.Fatalf("delay %d = %s outside jitter range [%s, %s)", k, a[k], lo, hi)
+		}
+	}
+	if c := p.BackoffSchedule("sweep", 4, 4); c[0] == a[0] && c[1] == a[1] {
+		t.Fatalf("neighboring units share a schedule: %v vs %v", a, c)
+	}
+	if d := (Policy{Retries: 4, Backoff: 100 * time.Millisecond, Seed: 8}).BackoffSchedule("sweep", 3, 4); d[0] == a[0] && d[1] == a[1] {
+		t.Fatalf("policy seed does not perturb the schedule: %v vs %v", a, d)
+	}
+}
+
+// The schedule clamps: base<<k past 30s (or overflowing) pins to the
+// 30s ceiling before jitter.
+func TestBackoffScheduleClamps(t *testing.T) {
+	p := Policy{Backoff: 20 * time.Second, Seed: 1}
+	sched := p.BackoffSchedule("u", 0, 3)
+	for k := 1; k < len(sched); k++ {
+		if sched[k] >= time.Duration(float64(30*time.Second)*1.5) {
+			t.Fatalf("delay %d = %s exceeds the jittered 30s ceiling", k, sched[k])
+		}
+	}
+}

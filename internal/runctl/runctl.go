@@ -6,14 +6,52 @@
 package runctl
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"commsched/internal/par"
 	"commsched/internal/runstate"
 )
+
+// Signals binds the command's root context to SIGINT/SIGTERM: the first
+// signal cancels the returned context (and the par root context, so even
+// experiment loops that still pass a nil ctx stop between units), letting
+// the deferred finish/Close paths flush runstate checkpoints and obs
+// JSONL sinks instead of dropping them. After the first signal the
+// handler is removed, so a second signal takes the default disposition
+// and kills a run that is not winding down. The returned stop function
+// restores default signal handling; call it on the way out.
+func Signals(parent context.Context, warn io.Writer) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			signal.Stop(ch)
+			if warn != nil {
+				fmt.Fprintf(warn, "runctl: %v received; stopping between units and flushing checkpoints (signal again to kill)\n", sig)
+			}
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	par.SetRootContext(ctx)
+	return ctx, func() {
+		signal.Stop(ch)
+		par.SetRootContext(nil)
+		cancel()
+	}
+}
 
 // Config carries the durable-run command-line options.
 type Config struct {

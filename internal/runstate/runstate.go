@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -328,6 +330,22 @@ func (s *Store) Units() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.units)
+}
+
+// Keys returns the sorted unit keys that start with prefix ("" = all).
+// Long-lived services use this to enumerate their journaled records on
+// restart; one-shot sweeps never need it.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.units))
+	for k := range s.units {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // emitStatus mirrors the resumable state into the obs stream; the

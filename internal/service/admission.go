@@ -1,0 +1,271 @@
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Limits are the admission-control knobs of the service. The zero value
+// of each knob disables that check, except QueueDepth which must be
+// positive (an unbounded queue is the failure mode this package exists
+// to prevent).
+type Limits struct {
+	// QueueDepth bounds the number of jobs queued but not yet running.
+	// Past it, submissions get 429 + Retry-After — backpressure, not an
+	// OOM kill an hour later.
+	QueueDepth int
+	// TenantRate is the sustained submissions/second each tenant may
+	// make (token bucket; 0 = unlimited).
+	TenantRate float64
+	// TenantBurst is the bucket depth (defaults to max(1, TenantRate)).
+	TenantBurst int
+	// TenantJobs caps one tenant's queued+running jobs (0 = unlimited),
+	// so a single tenant cannot occupy the whole queue.
+	TenantJobs int
+	// ShedBytes is the heap watermark: when the process heap exceeds
+	// it, new work is shed with 429 until pressure clears (0 = off).
+	ShedBytes uint64
+}
+
+// Decision is the admission verdict for one submission.
+type Decision struct {
+	// OK: admitted; the caller owns one queue slot + one tenant slot
+	// and must Release them when the job leaves the system.
+	OK bool
+	// Code is the HTTP status to return when !OK (429 or 503).
+	Code int
+	// Reason is the machine-readable rejection class: "draining",
+	// "shedding", "queue_full", "rate_limited", or "quota".
+	Reason string
+	// RetryAfter is the client's suggested backoff (0 = do not retry,
+	// e.g. draining).
+	RetryAfter time.Duration
+}
+
+func (d Decision) Error() string {
+	return fmt.Sprintf("admission rejected: %s (retry after %s)", d.Reason, d.RetryAfter)
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Admission enforces the limits. It tracks queue depth and per-tenant
+// occupancy itself (Admit reserves, Release returns), so the check and
+// the reservation are one atomic step — two racing submissions can
+// never both squeeze into the last queue slot.
+type Admission struct {
+	lim  Limits
+	now  func() time.Time
+	heap func() uint64
+
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	occupied map[string]int // per-tenant queued+running
+	queued   int
+	draining bool
+
+	// rejection counters by reason, for /readyz and tests
+	rejected map[string]int64
+	admitted int64
+}
+
+// NewAdmission builds an admission controller. now and heap are
+// injectable for tests; nil means wall clock and a cached
+// runtime.MemStats probe.
+func NewAdmission(lim Limits, now func() time.Time, heap func() uint64) (*Admission, error) {
+	if lim.QueueDepth <= 0 {
+		return nil, fmt.Errorf("service: QueueDepth must be positive (a bounded queue is the point)")
+	}
+	if lim.TenantRate > 0 && lim.TenantBurst <= 0 {
+		lim.TenantBurst = int(lim.TenantRate)
+		if lim.TenantBurst < 1 {
+			lim.TenantBurst = 1
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	if heap == nil {
+		heap = cachedHeapProbe(250 * time.Millisecond)
+	}
+	return &Admission{
+		lim:      lim,
+		now:      now,
+		heap:     heap,
+		buckets:  make(map[string]*bucket),
+		occupied: make(map[string]int),
+		rejected: make(map[string]int64),
+	}, nil
+}
+
+// cachedHeapProbe samples runtime.ReadMemStats at most once per refresh
+// interval — the admission hot path must not stop the world per request.
+func cachedHeapProbe(refresh time.Duration) func() uint64 {
+	var (
+		mu   sync.Mutex
+		last time.Time
+		v    uint64
+	)
+	return func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(last) >= refresh {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			v = ms.HeapAlloc
+			last = time.Now()
+		}
+		return v
+	}
+}
+
+// SetDraining flips the admission gate for graceful shutdown: while
+// draining, every submission is refused with 503 and no Retry-After
+// (this instance is going away; the client should go elsewhere).
+func (a *Admission) SetDraining(on bool) {
+	a.mu.Lock()
+	a.draining = on
+	a.mu.Unlock()
+}
+
+// Draining reports the gate state.
+func (a *Admission) Draining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// Shedding reports whether the heap watermark is currently exceeded.
+func (a *Admission) Shedding() bool {
+	return a.lim.ShedBytes > 0 && a.heap() > a.lim.ShedBytes
+}
+
+// Admit runs every check in severity order and, on success, reserves one
+// queue slot and one tenant slot. The caller must pair it with
+// MarkRunning (when a worker picks the job up) and Release (when the
+// job leaves the system).
+func (a *Admission) Admit(tenant string) Decision {
+	// The heap probe does not need the lock (and may be slow-ish on its
+	// refresh tick).
+	shedding := a.Shedding()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	reject := func(code int, reason string, retry time.Duration) Decision {
+		a.rejected[reason]++
+		return Decision{Code: code, Reason: reason, RetryAfter: retry}
+	}
+	if a.draining {
+		return reject(503, "draining", 0)
+	}
+	if shedding {
+		// Under memory pressure the fastest relief is finishing what is
+		// already in flight; tell clients to come back after a GC cycle
+		// has had a chance to run.
+		return reject(429, "shedding", 5*time.Second)
+	}
+	if a.queued >= a.lim.QueueDepth {
+		// Suggest a backoff proportional to the backlog: a full queue
+		// of slow jobs should not invite an instant retry storm.
+		retry := time.Second + time.Duration(a.queued)*50*time.Millisecond
+		if retry > 30*time.Second {
+			retry = 30 * time.Second
+		}
+		return reject(429, "queue_full", retry)
+	}
+	if a.lim.TenantJobs > 0 && a.occupied[tenant] >= a.lim.TenantJobs {
+		return reject(429, "quota", time.Second)
+	}
+	if a.lim.TenantRate > 0 {
+		b := a.buckets[tenant]
+		now := a.now()
+		if b == nil {
+			b = &bucket{tokens: float64(a.lim.TenantBurst), last: now}
+			a.buckets[tenant] = b
+		}
+		b.tokens += now.Sub(b.last).Seconds() * a.lim.TenantRate
+		b.last = now
+		if max := float64(a.lim.TenantBurst); b.tokens > max {
+			b.tokens = max
+		}
+		if b.tokens < 1 {
+			need := (1 - b.tokens) / a.lim.TenantRate
+			return reject(429, "rate_limited", time.Duration(need*float64(time.Second))+time.Millisecond)
+		}
+		b.tokens--
+	}
+	a.queued++
+	a.occupied[tenant]++
+	a.admitted++
+	return Decision{OK: true}
+}
+
+// MarkRunning moves one reservation from the queue to execution: the
+// queue slot frees (new submissions may take it) while the tenant still
+// owns an occupancy slot until Release.
+func (a *Admission) MarkRunning() {
+	a.mu.Lock()
+	if a.queued > 0 {
+		a.queued--
+	}
+	a.mu.Unlock()
+}
+
+// Requeue returns a previously-running reservation to the queue — the
+// restart path for jobs recovered from a durable store. It bypasses the
+// admission checks: the job was already admitted in a previous life.
+func (a *Admission) Requeue(tenant string) {
+	a.mu.Lock()
+	a.queued++
+	a.occupied[tenant]++
+	a.mu.Unlock()
+}
+
+// Release returns a tenant occupancy slot (job reached a terminal or
+// parked state). stillQueued also returns the queue slot (the job never
+// started).
+func (a *Admission) Release(tenant string, stillQueued bool) {
+	a.mu.Lock()
+	if stillQueued && a.queued > 0 {
+		a.queued--
+	}
+	if a.occupied[tenant] > 0 {
+		a.occupied[tenant]--
+		if a.occupied[tenant] == 0 {
+			delete(a.occupied, tenant)
+		}
+	}
+	a.mu.Unlock()
+}
+
+// AdmissionStats is the controller's observable state.
+type AdmissionStats struct {
+	Queued   int              `json:"queued"`
+	Admitted int64            `json:"admitted"`
+	Rejected map[string]int64 `json:"rejected,omitempty"`
+	Draining bool             `json:"draining"`
+	Shedding bool             `json:"shedding"`
+}
+
+// Stats snapshots the counters.
+func (a *Admission) Stats() AdmissionStats {
+	shedding := a.Shedding()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rej := make(map[string]int64, len(a.rejected))
+	for k, v := range a.rejected {
+		rej[k] = v
+	}
+	return AdmissionStats{
+		Queued:   a.queued,
+		Admitted: a.admitted,
+		Rejected: rej,
+		Draining: a.draining,
+		Shedding: shedding,
+	}
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually-advanced clock.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func mustAdmission(t *testing.T, lim Limits, clock *fakeClock, heap func() uint64) *Admission {
+	t.Helper()
+	a, err := NewAdmission(lim, clock.now, heap)
+	if err != nil {
+		t.Fatalf("NewAdmission: %v", err)
+	}
+	return a
+}
+
+func TestAdmissionRequiresBoundedQueue(t *testing.T) {
+	if _, err := NewAdmission(Limits{}, nil, nil); err == nil {
+		t.Fatal("QueueDepth 0 must be refused: an unbounded queue defeats the package")
+	}
+}
+
+func TestAdmissionQueueFullBackpressure(t *testing.T) {
+	clock := newFakeClock()
+	a := mustAdmission(t, Limits{QueueDepth: 2}, clock, func() uint64 { return 0 })
+	for i := 0; i < 2; i++ {
+		if d := a.Admit("t"); !d.OK {
+			t.Fatalf("admission %d under the watermark must pass: %+v", i, d)
+		}
+	}
+	d := a.Admit("t")
+	if d.OK || d.Code != 429 || d.Reason != "queue_full" {
+		t.Fatalf("at the watermark want 429 queue_full, got %+v", d)
+	}
+	if d.RetryAfter <= 0 {
+		t.Fatalf("queue_full must carry a Retry-After, got %s", d.RetryAfter)
+	}
+	// A job starting frees a queue slot (the tenant slot stays occupied).
+	a.MarkRunning()
+	if d := a.Admit("t"); !d.OK {
+		t.Fatalf("freed queue slot must admit again: %+v", d)
+	}
+}
+
+func TestAdmissionTenantQuota(t *testing.T) {
+	clock := newFakeClock()
+	a := mustAdmission(t, Limits{QueueDepth: 10, TenantJobs: 2}, clock, func() uint64 { return 0 })
+	a.Admit("alice")
+	a.Admit("alice")
+	if d := a.Admit("alice"); d.OK || d.Reason != "quota" {
+		t.Fatalf("third concurrent job of one tenant must hit quota, got %+v", d)
+	}
+	if d := a.Admit("bob"); !d.OK {
+		t.Fatalf("quota is per tenant; bob must pass: %+v", d)
+	}
+	// Quota counts queued+running: running jobs still occupy it...
+	a.MarkRunning()
+	if d := a.Admit("alice"); d.OK {
+		t.Fatalf("a running job still occupies the quota, got %+v", d)
+	}
+	// ...until Release.
+	a.Release("alice", false)
+	if d := a.Admit("alice"); !d.OK {
+		t.Fatalf("released slot must admit again: %+v", d)
+	}
+}
+
+func TestAdmissionTokenBucketRate(t *testing.T) {
+	clock := newFakeClock()
+	a := mustAdmission(t, Limits{QueueDepth: 100, TenantRate: 2, TenantBurst: 2}, clock, func() uint64 { return 0 })
+	if d := a.Admit("t"); !d.OK {
+		t.Fatalf("burst token 1: %+v", d)
+	}
+	if d := a.Admit("t"); !d.OK {
+		t.Fatalf("burst token 2: %+v", d)
+	}
+	d := a.Admit("t")
+	if d.OK || d.Reason != "rate_limited" {
+		t.Fatalf("empty bucket must rate-limit, got %+v", d)
+	}
+	if d.RetryAfter <= 0 || d.RetryAfter > time.Second {
+		t.Fatalf("rate 2/s deficit of one token suggests ~500ms, got %s", d.RetryAfter)
+	}
+	// Half a second refills one token at 2/s.
+	clock.advance(500 * time.Millisecond)
+	if d := a.Admit("t"); !d.OK {
+		t.Fatalf("refilled token must admit: %+v", d)
+	}
+	// Tokens cap at the burst: a long idle period is not a license to flood.
+	clock.advance(time.Hour)
+	a.Admit("t")
+	a.Admit("t")
+	if d := a.Admit("t"); d.OK {
+		t.Fatalf("bucket must cap at burst 2 after idling, got %+v", d)
+	}
+}
+
+func TestAdmissionDraining(t *testing.T) {
+	clock := newFakeClock()
+	a := mustAdmission(t, Limits{QueueDepth: 10}, clock, func() uint64 { return 0 })
+	a.SetDraining(true)
+	d := a.Admit("t")
+	if d.OK || d.Code != 503 || d.Reason != "draining" {
+		t.Fatalf("draining must refuse with 503, got %+v", d)
+	}
+	if d.RetryAfter != 0 {
+		t.Fatalf("a draining instance is going away; no Retry-After, got %s", d.RetryAfter)
+	}
+}
+
+func TestAdmissionHeapWatermarkSheds(t *testing.T) {
+	clock := newFakeClock()
+	heap := uint64(0)
+	a := mustAdmission(t, Limits{QueueDepth: 10, ShedBytes: 1 << 20}, clock, func() uint64 { return heap })
+	if d := a.Admit("t"); !d.OK {
+		t.Fatalf("below the watermark: %+v", d)
+	}
+	heap = 2 << 20
+	d := a.Admit("t")
+	if d.OK || d.Code != 429 || d.Reason != "shedding" {
+		t.Fatalf("above the watermark want 429 shedding, got %+v", d)
+	}
+	heap = 0
+	if d := a.Admit("t"); !d.OK {
+		t.Fatalf("pressure cleared must admit again: %+v", d)
+	}
+}
+
+func TestAdmissionStatsCountRejections(t *testing.T) {
+	clock := newFakeClock()
+	a := mustAdmission(t, Limits{QueueDepth: 1}, clock, func() uint64 { return 0 })
+	a.Admit("t")
+	a.Admit("t")
+	a.Admit("t")
+	st := a.Stats()
+	if st.Admitted != 1 || st.Rejected["queue_full"] != 2 || st.Queued != 1 {
+		t.Fatalf("stats = %+v, want 1 admitted, 2 queue_full, 1 queued", st)
+	}
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commsched/internal/obs"
+	"commsched/internal/topology"
+)
+
+// evalCall is one caller waiting inside a batch; the response channel is
+// buffered so the flusher never blocks on a caller that gave up.
+type evalCall struct {
+	assign []int
+	m      int
+	resp   chan evalReply
+}
+
+type evalReply struct {
+	res EvaluateResult
+	err error
+}
+
+// evalGroup is the open batch for one topology SHA.
+type evalGroup struct {
+	net   *topology.Network
+	calls []*evalCall
+	timer *time.Timer
+	gen   int // guards against a timer firing for a batch already flushed by size
+}
+
+// Batcher coalesces concurrent evaluation requests against the same
+// topology (keyed by its SHA-256) into one batched flush: the expensive
+// part of an evaluation is characterizing the system (routing + the
+// O(n²) distance table), so N concurrent requests for one topology
+// should pay it once, not N times. A batch flushes when it reaches
+// MaxBatch calls or when MaxWait elapses after its first call —
+// whichever comes first — and every caller gets its answer on its own
+// response channel.
+type Batcher struct {
+	// MaxBatch is the size flush threshold (default 16).
+	MaxBatch int
+	// MaxWait is the age flush threshold (default 10ms): the latency
+	// cost the first caller pays so followers can ride along.
+	MaxWait time.Duration
+
+	// flush evaluates all calls of one batch; injectable for tests. The
+	// default (set by NewBatcher) characterizes the system once and
+	// evaluates each assignment against it.
+	flush func(sha string, g *evalGroup)
+
+	mu     sync.Mutex
+	groups map[string]*evalGroup
+
+	batches   atomic.Int64
+	coalesced atomic.Int64
+}
+
+// NewBatcher builds a batcher with the default system-building flush.
+func NewBatcher(maxBatch int, maxWait time.Duration) *Batcher {
+	b := &Batcher{MaxBatch: maxBatch, MaxWait: maxWait, groups: make(map[string]*evalGroup)}
+	if b.MaxBatch <= 0 {
+		b.MaxBatch = 16
+	}
+	if b.MaxWait <= 0 {
+		b.MaxWait = 10 * time.Millisecond
+	}
+	b.flush = b.evaluateGroup
+	return b
+}
+
+// Evaluate joins (or opens) the batch for the network's SHA and blocks
+// until the batch flushes or ctx ends. The caller resolves the network
+// itself (admission has validated it already).
+func (b *Batcher) Evaluate(ctx context.Context, sha string, net *topology.Network, assign []int, m int) (EvaluateResult, error) {
+	call := &evalCall{assign: assign, m: m, resp: make(chan evalReply, 1)}
+
+	b.mu.Lock()
+	g := b.groups[sha]
+	if g == nil {
+		g = &evalGroup{net: net}
+		b.groups[sha] = g
+		gen := g.gen
+		g.timer = time.AfterFunc(b.MaxWait, func() { b.flushByAge(sha, gen) })
+	} else {
+		b.coalesced.Add(1)
+	}
+	g.calls = append(g.calls, call)
+	var ready *evalGroup
+	if len(g.calls) >= b.MaxBatch {
+		ready = b.takeLocked(sha, g)
+	}
+	b.mu.Unlock()
+
+	if ready != nil {
+		// The size-triggered flush runs on the filling caller's
+		// goroutine: no worker pool to saturate, and the batch's own
+		// submitters pay for their batch.
+		b.runFlush(sha, ready)
+	}
+
+	select {
+	case r := <-call.resp:
+		return r.res, r.err
+	case <-ctx.Done():
+		return EvaluateResult{}, fmt.Errorf("service: evaluate cancelled: %w", ctx.Err())
+	}
+}
+
+// takeLocked removes the open group for sha (caller holds b.mu).
+func (b *Batcher) takeLocked(sha string, g *evalGroup) *evalGroup {
+	delete(b.groups, sha)
+	g.gen++
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	return g
+}
+
+// flushByAge is the timer path: flush whatever accumulated, unless the
+// batch already flushed by size (gen moved on).
+func (b *Batcher) flushByAge(sha string, gen int) {
+	b.mu.Lock()
+	g := b.groups[sha]
+	if g == nil || g.gen != gen {
+		b.mu.Unlock()
+		return
+	}
+	ready := b.takeLocked(sha, g)
+	b.mu.Unlock()
+	b.runFlush(sha, ready)
+}
+
+func (b *Batcher) runFlush(sha string, g *evalGroup) {
+	b.batches.Add(1)
+	if obs.Enabled() {
+		obs.Event("service.batch",
+			obs.F("value", b.batches.Load()),
+			obs.F("size", len(g.calls)),
+			obs.F("sha", sha[:min(12, len(sha))]))
+	}
+	b.flush(sha, g)
+}
+
+// evaluateGroup is the default flush: one system characterization per
+// batch, one cheap evaluation per call.
+func (b *Batcher) evaluateGroup(_ string, g *evalGroup) {
+	sys, err := newSystemSafe(g.net)
+	if err != nil {
+		for _, c := range g.calls {
+			c.resp <- evalReply{err: err}
+		}
+		return
+	}
+	for _, c := range g.calls {
+		q, err := evaluateAssign(sys, c.assign, c.m)
+		c.resp <- evalReply{res: q, err: err}
+	}
+}
+
+// Stats returns (batches flushed, calls that rode an existing batch).
+func (b *Batcher) Stats() (batches, coalesced int64) {
+	return b.batches.Load(), b.coalesced.Load()
+}

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"commsched/internal/topology"
+)
+
+func testRing(t *testing.T, n int) *topology.Network {
+	t.Helper()
+	net, err := topology.Ring(n, topology.Config{})
+	if err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	return net
+}
+
+// captureFlush replaces the batcher's flush with one that records batch
+// sizes and answers every call. The returned accessor snapshots the
+// batches seen so far under the recorder's own lock.
+func captureFlush(b *Batcher) func() [][]int {
+	var (
+		mu    sync.Mutex
+		sizes [][]int
+	)
+	b.flush = func(_ string, g *evalGroup) {
+		batch := []int{}
+		for _, c := range g.calls {
+			batch = append(batch, c.m)
+		}
+		mu.Lock()
+		sizes = append(sizes, batch)
+		mu.Unlock()
+		for i, c := range g.calls {
+			c.resp <- evalReply{res: EvaluateResult{Cc: float64(i)}}
+		}
+	}
+	return func() [][]int {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([][]int(nil), sizes...)
+	}
+}
+
+func TestBatcherFlushesBySize(t *testing.T) {
+	b := NewBatcher(3, time.Hour) // age flush effectively off
+	sizes := captureFlush(b)
+	net := testRing(t, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Evaluate(context.Background(), "sha-a", net, []int{0, 1, 0, 1}, 2+i); err != nil {
+				t.Errorf("evaluate: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(sizes()) != 1 || len((sizes())[0]) != 3 {
+		t.Fatalf("three calls at MaxBatch 3 must flush as one batch, got %v", sizes())
+	}
+	batches, coalesced := b.Stats()
+	if batches != 1 || coalesced != 2 {
+		t.Fatalf("stats = (%d batches, %d coalesced), want (1, 2)", batches, coalesced)
+	}
+}
+
+func TestBatcherFlushesByAge(t *testing.T) {
+	b := NewBatcher(100, 5*time.Millisecond)
+	sizes := captureFlush(b)
+	net := testRing(t, 4)
+	if _, err := b.Evaluate(context.Background(), "sha-b", net, []int{0, 1, 0, 1}, 2); err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if len(sizes()) != 1 || len((sizes())[0]) != 1 {
+		t.Fatalf("a lone call must flush by age, got %v", sizes())
+	}
+}
+
+func TestBatcherKeysByTopology(t *testing.T) {
+	b := NewBatcher(2, 20*time.Millisecond)
+	sizes := captureFlush(b)
+	net := testRing(t, 4)
+	var wg sync.WaitGroup
+	for _, sha := range []string{"sha-1", "sha-1", "sha-2"} {
+		wg.Add(1)
+		go func(sha string) {
+			defer wg.Done()
+			b.Evaluate(context.Background(), sha, net, []int{0, 1, 0, 1}, 2) //nolint:errcheck // sizes checked below
+		}(sha)
+	}
+	wg.Wait()
+	if len(sizes()) != 2 {
+		t.Fatalf("distinct topologies must not share a batch, got %v", sizes())
+	}
+}
+
+func TestBatcherCancelledCallerDoesNotBlockFlush(t *testing.T) {
+	b := NewBatcher(2, time.Hour)
+	net := testRing(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The cancelled caller returns immediately; its buffered response
+	// channel lets the eventual flush proceed without a reader.
+	if _, err := b.Evaluate(ctx, "sha-c", net, []int{0, 1, 0, 1}, 2); err == nil {
+		t.Fatal("cancelled evaluate must error")
+	}
+	done := make(chan struct{})
+	go func() {
+		b.Evaluate(context.Background(), "sha-c", net, []int{0, 1, 0, 1}, 2) //nolint:errcheck // completion is the assertion
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush deadlocked on the departed caller")
+	}
+}
+
+// The default flush path computes real quality numbers, and every caller
+// in a batch gets the answer for its own assignment.
+func TestBatcherDefaultFlushEvaluates(t *testing.T) {
+	b := NewBatcher(2, time.Hour)
+	net := testRing(t, 8)
+	sha := "sha-real"
+	type ans struct {
+		res EvaluateResult
+		err error
+	}
+	out := make(chan ans, 2)
+	assigns := [][]int{
+		{0, 0, 0, 0, 1, 1, 1, 1}, // contiguous halves
+		{0, 1, 0, 1, 0, 1, 0, 1}, // interleaved
+	}
+	for _, a := range assigns {
+		go func(a []int) {
+			r, err := b.Evaluate(context.Background(), sha, net, a, 2)
+			out <- ans{r, err}
+		}(a)
+	}
+	var got []EvaluateResult
+	for i := 0; i < 2; i++ {
+		a := <-out
+		if a.err != nil {
+			t.Fatalf("evaluate: %v", a.err)
+		}
+		got = append(got, a.res)
+	}
+	if got[0].Cc == got[1].Cc {
+		t.Fatalf("distinct assignments must score differently on a ring, both %v", got[0])
+	}
+	for _, r := range got {
+		if r.Cc <= 0 {
+			t.Fatalf("Cc must be positive, got %+v", r)
+		}
+	}
+}
+
+// Regression guard for the timer/size race: a timer firing after its
+// batch already flushed by size must not flush the successor batch early.
+func TestBatcherStaleTimerDoesNotDoubleFlush(t *testing.T) {
+	b := NewBatcher(1, 10*time.Millisecond) // size 1: every call flushes instantly
+	sizes := captureFlush(b)
+	net := testRing(t, 4)
+	for i := 0; i < 5; i++ {
+		if _, err := b.Evaluate(context.Background(), "sha-d", net, []int{0, 1, 0, 1}, 2); err != nil {
+			t.Fatalf("evaluate %d: %v", i, err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond) // let stale timers fire
+	if len(sizes()) != 5 {
+		t.Fatalf("want 5 single-call batches, got %d: %v", len(sizes()), sizes())
+	}
+	for i, s := range sizes() {
+		if len(s) != 1 {
+			t.Fatalf("batch %d has %d calls, want 1 (%v)", i, len(s), fmt.Sprint(sizes()))
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"commsched/internal/obs"
+	"commsched/internal/par"
+)
+
+// ErrInvalid wraps submission errors that are the client's fault (400),
+// as opposed to admission rejections (Decision: 429/503) and internal
+// failures (500).
+var ErrInvalid = errors.New("service: invalid job spec")
+
+// Config assembles a Service. Zero fields get safe defaults; only
+// Limits.QueueDepth is mandatory.
+type Config struct {
+	// Store persists jobs (default: a fresh MemStore). Use
+	// OpenDurableStore for a daemon that must survive SIGKILL.
+	Store JobStore
+	// Runner executes jobs (default: a CoreRunner with Policy and
+	// CkptRoot below).
+	Runner Runner
+	// Limits are the admission-control knobs.
+	Limits Limits
+	// Workers is the executor pool size (default GOMAXPROCS).
+	Workers int
+	// Policy is the per-unit robustness policy jobs run under.
+	Policy par.Policy
+	// CkptRoot is where per-job checkpoint directories live ("" = no
+	// mid-job durability; pair with a DurableStore via CkptRoot(state)).
+	CkptRoot string
+	// Clock is injectable time (default time.Now).
+	Clock func() time.Time
+	// BatchMax / BatchWait tune the evaluation batcher.
+	BatchMax  int
+	BatchWait time.Duration
+}
+
+// Service is the scheduling daemon's engine: admission → bounded queue →
+// worker pool → store, with a coalescing batcher for synchronous
+// evaluations. HTTP lives in http.go; the engine is fully drivable (and
+// tested) without a socket.
+type Service struct {
+	store    JobStore
+	runner   Runner
+	adm      *Admission
+	batcher  *Batcher
+	lim      Limits
+	clock    func() time.Time
+	ckptRoot string
+	workers  int
+
+	queue chan string
+	seq   atomic.Int64
+	wg    sync.WaitGroup
+
+	mu            sync.Mutex
+	started       bool
+	drained       bool
+	jobCtx        context.Context
+	jobCancel     context.CancelFunc
+	dequeueCtx    context.Context
+	dequeueCancel context.CancelFunc
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	parked    atomic.Int64
+	running   atomic.Int64
+}
+
+// New assembles a service; call Start to begin executing jobs.
+func New(cfg Config) (*Service, error) {
+	adm, err := NewAdmission(cfg.Limits, cfg.Clock, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = &CoreRunner{Policy: cfg.Policy, CkptRoot: cfg.CkptRoot}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Service{
+		store:    cfg.Store,
+		runner:   cfg.Runner,
+		adm:      adm,
+		batcher:  NewBatcher(cfg.BatchMax, cfg.BatchWait),
+		lim:      cfg.Limits,
+		clock:    cfg.Clock,
+		ckptRoot: cfg.CkptRoot,
+		workers:  cfg.Workers,
+	}, nil
+}
+
+// Start recovers persisted jobs and launches the worker pool. Recovery
+// re-enqueues every non-terminal job: queued jobs keep their place (by
+// submission order), and jobs that were running or parked when the
+// previous process died are re-run — resuming from their per-job
+// checkpoints when the runner finds them.
+func (s *Service) Start(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("service: already started")
+	}
+	s.started = true
+	s.jobCtx, s.jobCancel = context.WithCancel(ctx)
+	s.dequeueCtx, s.dequeueCancel = context.WithCancel(s.jobCtx)
+
+	jobs := s.store.List()
+	s.seq.Store(s.store.MaxSeq())
+	var recovered []Job
+	for _, j := range jobs {
+		switch j.State {
+		case StateQueued:
+			recovered = append(recovered, j)
+		case StateRunning, StateParked:
+			j.State = StateQueued
+			j.Error = ""
+			if err := s.store.Update(&j); err != nil {
+				return err
+			}
+			recovered = append(recovered, j)
+		}
+	}
+	// The channel must hold every recovered job plus a full admission
+	// window; admission accounting keeps it from ever filling past that.
+	s.queue = make(chan string, s.lim.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		s.adm.Requeue(j.Spec.Tenant)
+		s.queue <- j.ID
+		s.submitted.Add(1)
+	}
+	if n := len(recovered); n > 0 {
+		obs.Event("service.recovered", obs.F("value", int64(n)))
+	}
+	for w := 0; w < s.workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return nil
+}
+
+// Submit validates, admits, journals, and enqueues one job. The
+// returned error is nil (job accepted), a Decision (admission rejected
+// it — translate to 429/503), or wraps ErrInvalid (400).
+func (s *Service) Submit(spec JobSpec) (Job, error) {
+	net, err := spec.ResolveNetwork()
+	if err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	sha, err := TopologySHA(net)
+	if err != nil {
+		return Job{}, err
+	}
+	if d := s.adm.Admit(spec.Tenant); !d.OK {
+		obs.Event("service.rejected", obs.F("reason", d.Reason))
+		return Job{}, d
+	}
+	seq := s.seq.Add(1)
+	job := Job{
+		ID:          fmt.Sprintf("j%06d-%s", seq, sha[:8]),
+		Seq:         seq,
+		Spec:        spec,
+		TopologySHA: sha,
+		State:       StateQueued,
+		SubmittedAt: s.clock().UTC(),
+	}
+	if err := s.store.Create(&job); err != nil {
+		s.adm.Release(spec.Tenant, true)
+		return Job{}, fmt.Errorf("service: persisting job: %w", err)
+	}
+	select {
+	case s.queue <- job.ID:
+	default:
+		// Admission accounting sizes the channel; reaching this means a
+		// bug, but a hung client is worse than a spurious rejection.
+		s.adm.Release(spec.Tenant, true)
+		job.State = StateFailed
+		job.Error = "internal queue overflow"
+		_ = s.store.Update(&job)
+		return Job{}, Decision{Code: 429, Reason: "queue_full", RetryAfter: time.Second}
+	}
+	n := s.submitted.Add(1)
+	obs.Event("service.submitted", obs.F("value", n), obs.F("job", job.ID), obs.F("tenant", spec.Tenant))
+	s.emitDepth()
+	return job, nil
+}
+
+// Evaluate is the synchronous, batched path: concurrent requests against
+// the same topology coalesce into one characterization. Only the cheap
+// admission gates apply (draining, shedding, tenant rate) — an
+// evaluation holds no queue slot.
+func (s *Service) Evaluate(ctx context.Context, spec JobSpec) (EvaluateResult, error) {
+	spec.Kind = KindEvaluate
+	net, err := spec.ResolveNetwork()
+	if err != nil {
+		return EvaluateResult{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if s.adm.Draining() {
+		return EvaluateResult{}, Decision{Code: 503, Reason: "draining"}
+	}
+	if s.adm.Shedding() {
+		return EvaluateResult{}, Decision{Code: 429, Reason: "shedding", RetryAfter: 5 * time.Second}
+	}
+	sha, err := TopologySHA(net)
+	if err != nil {
+		return EvaluateResult{}, err
+	}
+	return s.batcher.Evaluate(ctx, sha, net, spec.Assign, spec.M)
+}
+
+// Get returns one job's record.
+func (s *Service) Get(id string) (Job, bool) { return s.store.Get(id) }
+
+// List returns all job records in submission order.
+func (s *Service) List() []Job { return s.store.List() }
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		// The stop order wins over a ready queue: once a drain begins, no
+		// new job may start even if both select cases are ready.
+		select {
+		case <-s.dequeueCtx.Done():
+			return
+		default:
+		}
+		select {
+		case <-s.dequeueCtx.Done():
+			return
+		case id := <-s.queue:
+			s.runJob(id)
+		}
+	}
+}
+
+// runJob drives one job from queued to a terminal (or parked) state,
+// journaling every transition so a SIGKILL at any instant is recoverable.
+func (s *Service) runJob(id string) {
+	job, ok := s.store.Get(id)
+	if !ok || job.State != StateQueued {
+		return // duplicate enqueue or an already-handled record
+	}
+	s.adm.MarkRunning()
+	s.emitDepth()
+	job.State = StateRunning
+	job.StartedAt = s.clock().UTC()
+	job.Attempts++
+	if err := s.store.Update(&job); err != nil {
+		obs.Event("service.store_error", obs.F("err", err.Error()))
+	}
+	s.running.Add(1)
+	s.emitJobState(&job)
+
+	result, info, runErr := s.runner.Run(s.jobCtx, &job)
+	s.running.Add(-1)
+
+	switch {
+	case runErr != nil && s.jobCtx.Err() != nil:
+		// Interrupted by shutdown, not by its own failure: park it with
+		// its checkpoints; a restarted daemon re-runs it from them.
+		job.State = StateParked
+		job.Error = runErr.Error()
+		s.parked.Add(1)
+	case runErr != nil:
+		job.State = StateFailed
+		job.Error = runErr.Error()
+		job.FinishedAt = s.clock().UTC()
+		s.failed.Add(1)
+	default:
+		job.State = StateDone
+		job.Result = result
+		job.Salvaged = info.Salvaged
+		job.FinishedAt = s.clock().UTC()
+		s.completed.Add(1)
+		if s.ckptRoot != "" {
+			// The result is journaled in the job record; the per-job
+			// checkpoint directory is now redundant bytes.
+			os.RemoveAll(filepath.Join(s.ckptRoot, job.ID)) //nolint:errcheck // best-effort GC
+		}
+	}
+	if err := s.store.Update(&job); err != nil {
+		obs.Event("service.store_error", obs.F("err", err.Error()))
+	}
+	s.adm.Release(job.Spec.Tenant, false)
+	s.emitJobState(&job)
+	s.emitDepth()
+	obs.Progress("service.jobs", s.completed.Load()+s.failed.Load(), s.submitted.Load())
+}
+
+func (s *Service) emitJobState(j *Job) {
+	obs.Event("service.job",
+		obs.F("job", j.ID),
+		obs.F("state", string(j.State)),
+		obs.F("attempts", j.Attempts),
+		obs.F("tenant", j.Spec.Tenant))
+}
+
+func (s *Service) emitDepth() {
+	st := s.adm.Stats()
+	obs.Event("service.queue_depth", obs.F("value", int64(st.Queued)))
+}
+
+// Drain is the graceful-shutdown sequence: stop admitting (readyz and
+// submissions flip to 503), let running jobs finish within the deadline,
+// hard-cancel (and park) whatever remains, then flush and close the
+// store. Jobs still queued stay journaled as queued and re-enqueue on
+// the next start. A clean drain returns nil — the daemon exits 0.
+func (s *Service) Drain(deadline time.Duration) error {
+	s.mu.Lock()
+	if !s.started || s.drained {
+		s.mu.Unlock()
+		return s.store.Close()
+	}
+	s.drained = true
+	s.mu.Unlock()
+
+	s.adm.SetDraining(true)
+	obs.Event("service.draining", obs.F("value", int64(1)))
+	s.dequeueCancel()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		// Deadline: order in-flight jobs to park. The runner observes
+		// the cancellation between units, journals "parked", and the
+		// worker exits.
+		s.jobCancel()
+		<-done
+	}
+	s.jobCancel() // release the context either way
+	return s.store.Close()
+}
+
+// ServiceStats is the engine's observable state (served at /readyz).
+type ServiceStats struct {
+	Admission AdmissionStats `json:"admission"`
+	Running   int64          `json:"running"`
+	Submitted int64          `json:"submitted"`
+	Completed int64          `json:"completed"`
+	Failed    int64          `json:"failed"`
+	Parked    int64          `json:"parked"`
+	Workers   int            `json:"workers"`
+	QueueCap  int            `json:"queue_cap"`
+	Batches   int64          `json:"eval_batches"`
+	Coalesced int64          `json:"eval_coalesced"`
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() ServiceStats {
+	batches, coalesced := s.batcher.Stats()
+	return ServiceStats{
+		Admission: s.adm.Stats(),
+		Running:   s.running.Load(),
+		Submitted: s.submitted.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Parked:    s.parked.Load(),
+		Workers:   s.workers,
+		QueueCap:  s.lim.QueueDepth,
+		Batches:   batches,
+		Coalesced: coalesced,
+	}
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// JobStore persists job records. The service writes a job's record on
+// every state transition; Create/Update must be durable before they
+// return (for the durable backend: appended to the write-ahead journal
+// and fsync'd), so a SIGKILL at any instant loses at most work, never an
+// admitted job. All methods are safe for concurrent use.
+type JobStore interface {
+	// Create stores a new job record; the job's ID must be unused.
+	Create(j *Job) error
+	// Update overwrites the record of an existing job.
+	Update(j *Job) error
+	// Get returns a copy of the job (deep enough that callers can't
+	// race the store), or false when the ID is unknown.
+	Get(id string) (Job, bool)
+	// List returns copies of all jobs, ordered by submission Seq.
+	List() []Job
+	// MaxSeq returns the highest Seq ever stored (0 when empty) — the
+	// restart-safe floor for new sequence numbers.
+	MaxSeq() int64
+	// Close releases the backing resources (snapshots + fsync for the
+	// durable backend) and returns the first persistent write error.
+	Close() error
+}
+
+// MemStore is the in-memory JobStore: full service semantics, no
+// durability. The durable backend embeds one as its read cache.
+type MemStore struct {
+	mu   sync.Mutex
+	jobs map[string]Job
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{jobs: make(map[string]Job)}
+}
+
+// clone deep-copies the aliasing fields of a job record so store copies
+// never share slices with caller-held ones.
+func clone(j Job) Job {
+	if j.Result != nil {
+		j.Result = append([]byte(nil), j.Result...)
+	}
+	if j.Spec.Network != nil {
+		j.Spec.Network = append([]byte(nil), j.Spec.Network...)
+	}
+	if j.Spec.Assign != nil {
+		j.Spec.Assign = append([]int(nil), j.Spec.Assign...)
+	}
+	if j.Spec.Rates != nil {
+		j.Spec.Rates = append([]float64(nil), j.Spec.Rates...)
+	}
+	if j.Spec.Generate != nil {
+		g := *j.Spec.Generate
+		j.Spec.Generate = &g
+	}
+	return j
+}
+
+// Create implements JobStore.
+func (m *MemStore) Create(j *Job) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[j.ID]; ok {
+		return fmt.Errorf("service: job %s already exists", j.ID)
+	}
+	m.jobs[j.ID] = clone(*j)
+	return nil
+}
+
+// Update implements JobStore.
+func (m *MemStore) Update(j *Job) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[j.ID]; !ok {
+		return fmt.Errorf("service: job %s does not exist", j.ID)
+	}
+	m.jobs[j.ID] = clone(*j)
+	return nil
+}
+
+// Get implements JobStore.
+func (m *MemStore) Get(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return clone(j), true
+}
+
+// List implements JobStore.
+func (m *MemStore) List() []Job {
+	m.mu.Lock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, clone(j))
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// MaxSeq implements JobStore.
+func (m *MemStore) MaxSeq() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max int64
+	for _, j := range m.jobs {
+		if j.Seq > max {
+			max = j.Seq
+		}
+	}
+	return max
+}
+
+// Close implements JobStore (a no-op for the in-memory backend).
+func (m *MemStore) Close() error { return nil }
