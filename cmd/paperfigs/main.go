@@ -10,6 +10,7 @@
 //	paperfigs -fig claims   headline claims (gains, optimality, heuristics)
 //	paperfigs -fig ablations design-choice ablations + future-work extensions
 //	paperfigs -fig resilience link-failure injection and degraded-mode rescheduling
+//	paperfigs -fig adversarial PISA-style adversarial DAG search: HEFT vs Tabu-refined placement
 //	paperfigs -fig all      everything above
 //
 // Use -quick for a reduced simulation scale.
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1..6, clustering, claims, ablations, model, resilience, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1..6, clustering, claims, ablations, model, resilience, adversarial, or all")
 	quick := flag.Bool("quick", false, "reduced simulation scale (for smoke runs)")
 	csvDir := flag.String("csv", "", "also write fig1/fig3/fig5/fig6 data as CSV files into this directory")
 	metrics := flag.String("metrics", "", "write an observability trace (JSON lines) to this file")
@@ -91,11 +92,11 @@ func mainErr(fig string, quick bool, csvDir string, opts telemetry.Options, mani
 	_, stop := runctl.Signals(context.Background(), os.Stderr)
 	runErr := func() error {
 		if csvDir != "" {
-			if err := writeCSVs(csvDir, sc); err != nil {
+			if err := writeCSVs(csvDir, fig, sc, quick); err != nil {
 				return err
 			}
 		}
-		return run(fig, sc)
+		return run(fig, sc, quick)
 	}()
 	stop()
 
@@ -120,7 +121,11 @@ func mainErr(fig string, quick bool, csvDir string, opts telemetry.Options, mani
 }
 
 // writeCSVs regenerates the plottable figures and stores their raw data.
-func writeCSVs(dir string, sc experiments.Scale) error {
+// The set of files is figure-aware: `-fig adversarial` writes only the
+// adversarial CSV, `-fig all` writes everything, and any other figure
+// keeps the original fig1/fig3/fig5/fig6 set (so smoke runs comparing
+// those files stay byte-stable).
+func writeCSVs(dir string, fig string, sc experiments.Scale, quick bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -134,6 +139,19 @@ func writeCSVs(dir string, sc experiments.Scale) error {
 			return err
 		}
 		return f.Close()
+	}
+	if fig == "adversarial" || fig == "all" {
+		adv, err := experiments.Adversarial(nil, advConfig(quick))
+		if err != nil {
+			return err
+		}
+		if err := save("fig_adversarial.csv", adv.WriteCSV); err != nil {
+			return err
+		}
+		if fig == "adversarial" {
+			fmt.Printf("wrote adversarial CSV data to %s\n", dir)
+			return nil
+		}
 	}
 	f1, err := experiments.Fig1()
 	if err != nil {
@@ -167,7 +185,18 @@ func writeCSVs(dir string, sc experiments.Scale) error {
 	return nil
 }
 
-func run(fig string, sc experiments.Scale) error {
+// advConfig picks the adversarial-search scale; the climbs always fan
+// out in parallel (results are byte-identical to the serial mode).
+func advConfig(quick bool) experiments.AdvConfig {
+	cfg := experiments.FullAdvConfig()
+	if quick {
+		cfg = experiments.QuickAdvConfig()
+	}
+	cfg.Parallel = true
+	return cfg
+}
+
+func run(fig string, sc experiments.Scale, quick bool) error {
 	switch fig {
 	case "1":
 		return fig1()
@@ -191,6 +220,8 @@ func run(fig string, sc experiments.Scale) error {
 		return model(sc)
 	case "resilience":
 		return resilience(sc)
+	case "adversarial":
+		return adversarial(quick)
 	case "all":
 		if err := fig1(); err != nil {
 			return err
@@ -220,7 +251,10 @@ func run(fig string, sc experiments.Scale) error {
 		if err := model(sc); err != nil {
 			return err
 		}
-		return resilience(sc)
+		if err := resilience(sc); err != nil {
+			return err
+		}
+		return adversarial(quick)
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
@@ -275,6 +309,16 @@ func ablations(sc experiments.Scale) error {
 }
 
 func header(title string) { fmt.Printf("\n==== %s ====\n\n", title) }
+
+func adversarial(quick bool) error {
+	header("Adversarial search: instances where HEFT trails the Tabu-refined placement")
+	r, err := experiments.Adversarial(nil, advConfig(quick))
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table())
+	return nil
+}
 
 func resilience(sc experiments.Scale) error {
 	header("Resilience: link failures, degraded-mode rescheduling, repair vs from-scratch")

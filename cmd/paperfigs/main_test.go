@@ -54,7 +54,7 @@ func TestRunSingleFigures(t *testing.T) {
 		{"4", "identified: true"},
 	}
 	for _, c := range cases {
-		out, err := capture(t, func() error { return run(c.fig, tinyScale()) })
+		out, err := capture(t, func() error { return run(c.fig, tinyScale(), true) })
 		if err != nil {
 			t.Fatalf("fig %s: %v", c.fig, err)
 		}
@@ -65,7 +65,7 @@ func TestRunSingleFigures(t *testing.T) {
 }
 
 func TestRunFig3And6(t *testing.T) {
-	out, err := capture(t, func() error { return run("3", tinyScale()) })
+	out, err := capture(t, func() error { return run("3", tinyScale(), true) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestRunFig3And6(t *testing.T) {
 	}
 	sc := tinyScale()
 	sc.RandomMappings = 5
-	out, err = capture(t, func() error { return run("6", sc) })
+	out, err = capture(t, func() error { return run("6", sc, true) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestRunFig3And6(t *testing.T) {
 }
 
 func TestRunResilience(t *testing.T) {
-	out, err := capture(t, func() error { return run("resilience", tinyScale()) })
+	out, err := capture(t, func() error { return run("resilience", tinyScale(), true) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,8 +95,38 @@ func TestRunResilience(t *testing.T) {
 	}
 }
 
+func TestRunAdversarial(t *testing.T) {
+	out, err := capture(t, func() error { return run("adversarial", tinyScale(), true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"best_ratio", "layered", "forkjoin", "random", "schedules validated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("adversarial output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSVsAdversarialOnly(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := capture(t, func() error { return writeCSVs(dir, "adversarial", tinyScale(), true) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/fig_adversarial.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "family,restart,tasks,edges,start_ratio,best_ratio,") {
+		t.Fatalf("adversarial CSV header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+	// -fig adversarial must write only its own data file.
+	if _, err := os.Stat(dir + "/fig1.csv"); err == nil {
+		t.Fatal("fig1.csv written for -fig adversarial")
+	}
+}
+
 func TestRunUnknownFigure(t *testing.T) {
-	if _, err := capture(t, func() error { return run("42", tinyScale()) }); err == nil {
+	if _, err := capture(t, func() error { return run("42", tinyScale(), true) }); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
@@ -105,7 +135,7 @@ func TestWriteCSVs(t *testing.T) {
 	dir := t.TempDir()
 	sc := tinyScale()
 	sc.RandomMappings = 3
-	if _, err := capture(t, func() error { return writeCSVs(dir, sc) }); err != nil {
+	if _, err := capture(t, func() error { return writeCSVs(dir, "3", sc, true) }); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig1.csv", "fig3.csv", "fig5.csv", "fig6.csv"} {

@@ -65,6 +65,36 @@ func (r *SimResult) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// WriteCSV emits the adversarial-search study as CSV
+// (family,restart,tasks,edges,start_ratio,best_ratio,heft_makespan,
+// refined_makespan,accepted,validated).
+func (r *AdvResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"family", "restart", "tasks", "edges", "start_ratio", "best_ratio",
+		"heft_makespan", "refined_makespan", "accepted", "validated"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Family,
+			strconv.Itoa(row.Restart),
+			strconv.Itoa(row.Tasks),
+			strconv.Itoa(row.Edges),
+			strconv.FormatFloat(row.StartRatio, 'f', 4, 64),
+			strconv.FormatFloat(row.BestRatio, 'f', 4, 64),
+			strconv.FormatFloat(row.HeftMakespan, 'f', 4, 64),
+			strconv.FormatFloat(row.RefinedMakespan, 'f', 4, 64),
+			strconv.Itoa(row.Accepted),
+			strconv.Itoa(row.Validated),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteCSV emits the Figure 6 correlations as CSV
 // (point,r_accepted,r_latency).
 func (r *Fig6Result) WriteCSV(w io.Writer) error {

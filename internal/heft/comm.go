@@ -1,0 +1,114 @@
+package heft
+
+import (
+	"fmt"
+
+	"commsched/internal/distance"
+)
+
+// CommModel prices inter-processor communication: Cost(p, q) is the
+// transfer cost per unit of edge data between processors p and q. A task
+// and its successor on the same processor communicate for free
+// (Cost(p, p) must be 0), matching the classic HEFT assumption.
+type CommModel interface {
+	// Procs returns the number of processors the model covers.
+	Procs() int
+	// Cost returns the per-unit-data transfer cost between p and q.
+	Cost(p, q int) float64
+}
+
+// UniformComm is the textbook model: unit cost between distinct
+// processors, zero locally — the model under which the classic 10-task
+// HEFT example reproduces its published makespan.
+type UniformComm struct {
+	// N is the processor count.
+	N int
+}
+
+// Procs implements CommModel.
+func (u UniformComm) Procs() int { return u.N }
+
+// Cost implements CommModel.
+func (u UniformComm) Cost(p, q int) float64 {
+	if p == q {
+		return 0
+	}
+	return 1
+}
+
+// MatrixComm prices communication with an explicit symmetric cost
+// matrix — the bridge from the paper's network model to DAG scheduling.
+type MatrixComm struct {
+	cost [][]float64
+}
+
+// NewMatrixComm validates a square matrix with a zero diagonal and
+// non-negative entries.
+func NewMatrixComm(cost [][]float64) (*MatrixComm, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, fmt.Errorf("heft: empty comm matrix")
+	}
+	for p, row := range cost {
+		if len(row) != n {
+			return nil, fmt.Errorf("heft: ragged comm row %d", p)
+		}
+		for q, v := range row {
+			if p == q && v != 0 {
+				return nil, fmt.Errorf("heft: non-zero local comm cost at proc %d", p)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("heft: negative comm cost at (%d,%d)", p, q)
+			}
+		}
+	}
+	return &MatrixComm{cost: cost}, nil
+}
+
+// CommFromTable derives processor communication costs from the paper's
+// table of equivalent distances: processor p lives at switch procSwitch[p]
+// and Cost(p, q) = T(procSwitch[p], procSwitch[q]). Two processors may
+// share a switch (their cost is then 0 — co-located compute units).
+func CommFromTable(tab *distance.Table, procSwitch []int) (*MatrixComm, error) {
+	if len(procSwitch) == 0 {
+		return nil, fmt.Errorf("heft: no processors")
+	}
+	for p, s := range procSwitch {
+		if s < 0 || s >= tab.N() {
+			return nil, fmt.Errorf("heft: processor %d placed at switch %d, table covers [0,%d)", p, s, tab.N())
+		}
+	}
+	cost := make([][]float64, len(procSwitch))
+	for p := range cost {
+		cost[p] = make([]float64, len(procSwitch))
+		for q := range cost[p] {
+			if p != q {
+				cost[p][q] = tab.At(procSwitch[p], procSwitch[q])
+			}
+		}
+	}
+	return &MatrixComm{cost: cost}, nil
+}
+
+// Procs implements CommModel.
+func (m *MatrixComm) Procs() int { return len(m.cost) }
+
+// Cost implements CommModel.
+func (m *MatrixComm) Cost(p, q int) float64 { return m.cost[p][q] }
+
+// meanCost returns the average off-diagonal cost — the c̄ normalization
+// of HEFT's upward ranks. A single-processor model has no transfers and
+// returns 0.
+func meanCost(cm CommModel) float64 {
+	n := cm.Procs()
+	if n < 2 {
+		return 0
+	}
+	s := 0.0
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			s += cm.Cost(p, q)
+		}
+	}
+	return s / float64(n*(n-1)/2)
+}

@@ -1,0 +1,91 @@
+package heft
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"commsched/internal/metatask"
+	"commsched/internal/search"
+)
+
+// Determinism contract of the DAG scheduler stack, mirroring the Tabu
+// determinism tests: the same seeds must produce byte-identical
+// schedules — HEFT proper, the placement evaluator, and the Tabu-refined
+// placement — run after run. The adversarial-search half of the contract
+// (serial vs par.ForEach CSV identity) lives in
+// internal/experiments/adversarial_test.go.
+
+func schedulesEqual(t *testing.T, label string, a, b *Schedule) {
+	t.Helper()
+	if !reflect.DeepEqual(a.ProcOf, b.ProcOf) {
+		t.Fatalf("%s: placements differ: %v vs %v", label, a.ProcOf, b.ProcOf)
+	}
+	if !reflect.DeepEqual(a.Start, b.Start) || !reflect.DeepEqual(a.Finish, b.Finish) {
+		t.Fatalf("%s: intervals differ", label)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("%s: makespans differ: %v vs %v", label, a.Makespan, b.Makespan)
+	}
+	if !reflect.DeepEqual(a.Order, b.Order) {
+		t.Fatalf("%s: orders differ: %v vs %v", label, a.Order, b.Order)
+	}
+}
+
+// TestHEFTDeterministic: regenerating the instance from the same seed
+// and rescheduling must reproduce the identical Schedule, for every
+// generator family.
+func TestHEFTDeterministic(t *testing.T) {
+	build := func(seed int64) (*metatask.DAG, CommModel, *Schedule) {
+		rng := rand.New(rand.NewSource(seed))
+		var (
+			d   *metatask.DAG
+			err error
+		)
+		switch seed % 3 {
+		case 0:
+			d, err = metatask.GenerateLayeredDAG(3, 4, 4, 1.5, 1, rng)
+		case 1:
+			d, err = metatask.GenerateForkJoinDAG(2, 5, 4, 1.5, 1, rng)
+		default:
+			d, err = metatask.GenerateRandomDAG(24, 4, 0.2, 1.5, 1, rng)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := randomComm(4, rng)
+		s, err := ScheduleDAG(d, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, cm, s
+	}
+	for seed := int64(0); seed < 9; seed++ {
+		_, _, a := build(seed)
+		_, _, b := build(seed)
+		schedulesEqual(t, "HEFT repeat", a, b)
+	}
+}
+
+// TestRefineDeterministic: the Tabu-refined placement must also be an
+// exact function of the seeds.
+func TestRefineDeterministic(t *testing.T) {
+	run := func() *Schedule {
+		rng := rand.New(rand.NewSource(77))
+		d, err := metatask.GenerateRandomDAG(28, 4, 0.25, 2, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := UniformComm{N: 4}
+		s, err := ScheduleDAG(d, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _, err := RefinePlacement(nil, d, cm, s, search.NewTabu(), rand.New(rand.NewSource(78)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	schedulesEqual(t, "refine repeat", run(), run())
+}

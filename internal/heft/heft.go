@@ -1,0 +1,326 @@
+// Package heft implements the HEFT list scheduler (Heterogeneous
+// Earliest Finish Time, Topcuoglu/Hariri/Wu) for the precedence-
+// constrained task graphs of internal/metatask: upward ranks computed
+// over mean compute and mean communication costs set the scheduling
+// priority, and each task is placed on the processor minimizing its
+// finish time with insertion-based slot search (a task may fill an idle
+// gap between two already-scheduled tasks).
+//
+// Beside the scheduler proper, the package provides the makespan
+// evaluator for *fixed* placements (EvaluatePlacement) — the DAG
+// counterpart of quality.Cc — an adapter satisfying search.Objective so
+// the existing Tabu/anneal/genetic searchers can refine a HEFT-seeded
+// placement through search.Tabu.SearchFrom, and the schedule-validity
+// checker (Validate) that the property tests and the CI dag-smoke job
+// run over every schedule.
+package heft
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"commsched/internal/metatask"
+	"commsched/internal/obs"
+)
+
+// Schedule is a complete assignment of tasks to processors and time.
+type Schedule struct {
+	// ProcOf maps task -> processor.
+	ProcOf []int
+	// Start and Finish are each task's scheduled interval;
+	// Finish[t] = Start[t] + Comp[t][ProcOf[t]].
+	Start, Finish []float64
+	// Makespan is the maximum finish time.
+	Makespan float64
+	// Ranks are the upward ranks the priority list was built from.
+	Ranks []float64
+	// Order is the scheduling order (decreasing rank, ties by task index).
+	Order []int
+}
+
+// Ranks computes the upward rank of every task:
+//
+//	rank(t) = w̄(t) + max over successors s of (c̄(t,s) + rank(s))
+//
+// with w̄ the mean compute cost across processors and c̄ the edge data
+// scaled by the mean off-diagonal communication cost of the model.
+func Ranks(d *metatask.DAG, cm CommModel) []float64 {
+	mean := meanCost(cm)
+	ranks := make([]float64, d.Tasks())
+	topo := d.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		t := topo[i]
+		best := 0.0
+		for _, ei := range d.Succ(t) {
+			e := d.Edges[ei]
+			if v := e.Data*mean + ranks[e.To]; v > best {
+				best = v
+			}
+		}
+		ranks[t] = d.MeanComp(t) + best
+	}
+	return ranks
+}
+
+// rankEpsilon tolerates the float drift of mean-compute divisions when
+// comparing ranks: analytically tied tasks (the classic example's
+// n3/n4, both exactly 80) must fall back to the index tie-break, not to
+// the noise of their last ulp. Any true rank gap across an edge is at
+// least the predecessor's mean compute cost — many orders of magnitude
+// larger.
+const rankEpsilon = 1e-9
+
+// rankOrder returns the tasks sorted by decreasing upward rank, ties
+// broken by ascending task index (the classic example's ordering). The
+// order is guaranteed topological: across any edge, rank(from) exceeds
+// rank(to) by at least the positive w̄(from).
+func rankOrder(ranks []float64) []int {
+	order := make([]int, len(ranks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := ranks[order[a]], ranks[order[b]]
+		if diff := ra - rb; diff > rankEpsilon*(1+math.Abs(ra)) || diff < -rankEpsilon*(1+math.Abs(ra)) {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// procTimeline is one processor's scheduled intervals in start order.
+type procTimeline struct {
+	start, finish []float64
+}
+
+// insert finds the earliest start >= ready that fits dur on the
+// timeline — either inside an idle gap between scheduled intervals
+// (insertion-based slot search) or after the last one — and records it.
+func (tl *procTimeline) insert(ready, dur float64) float64 {
+	at := ready
+	slot := len(tl.start)
+	for i := 0; i < len(tl.start); i++ {
+		gapStart := ready
+		if i > 0 && tl.finish[i-1] > gapStart {
+			gapStart = tl.finish[i-1]
+		}
+		if gapStart+dur <= tl.start[i]+slotEpsilon {
+			at, slot = gapStart, i
+			break
+		}
+	}
+	if slot == len(tl.start) && len(tl.start) > 0 {
+		if last := tl.finish[len(tl.finish)-1]; last > at {
+			at = last
+		}
+	}
+	tl.start = append(tl.start, 0)
+	tl.finish = append(tl.finish, 0)
+	copy(tl.start[slot+1:], tl.start[slot:])
+	copy(tl.finish[slot+1:], tl.finish[slot:])
+	tl.start[slot] = at
+	tl.finish[slot] = at + dur
+	return at
+}
+
+// peek returns the start insert would choose without mutating the
+// timeline.
+func (tl *procTimeline) peek(ready, dur float64) float64 {
+	at := ready
+	for i := 0; i < len(tl.start); i++ {
+		gapStart := ready
+		if i > 0 && tl.finish[i-1] > gapStart {
+			gapStart = tl.finish[i-1]
+		}
+		if gapStart+dur <= tl.start[i]+slotEpsilon {
+			return gapStart
+		}
+	}
+	if len(tl.start) > 0 {
+		if last := tl.finish[len(tl.finish)-1]; last > at {
+			at = last
+		}
+	}
+	return at
+}
+
+// slotEpsilon absorbs float drift when checking whether a task fits a
+// gap exactly; durations are O(1..10²), so 1e-9 is far below any real
+// slack.
+const slotEpsilon = 1e-9
+
+// checkModel validates that the DAG and comm model agree on the
+// processor count.
+func checkModel(d *metatask.DAG, cm CommModel) error {
+	if d.Procs() != cm.Procs() {
+		return fmt.Errorf("heft: DAG has %d processors, comm model %d", d.Procs(), cm.Procs())
+	}
+	return nil
+}
+
+// ScheduleDAG runs HEFT proper: tasks in decreasing upward-rank order,
+// each placed on the processor minimizing its earliest finish time under
+// insertion-based slot search. The result is a pure function of the DAG
+// and the comm model.
+func ScheduleDAG(d *metatask.DAG, cm CommModel) (*Schedule, error) {
+	if err := checkModel(d, cm); err != nil {
+		return nil, err
+	}
+	sp := obs.StartSpan("heft.schedule", obs.F("tasks", d.Tasks()), obs.F("procs", d.Procs()))
+	ranks := Ranks(d, cm)
+	order := rankOrder(ranks)
+	s := &Schedule{
+		ProcOf: make([]int, d.Tasks()),
+		Start:  make([]float64, d.Tasks()),
+		Finish: make([]float64, d.Tasks()),
+		Ranks:  ranks,
+		Order:  order,
+	}
+	timelines := make([]procTimeline, d.Procs())
+	for _, t := range order {
+		bestP, bestStart, bestFinish := -1, 0.0, math.Inf(1)
+		for p := 0; p < d.Procs(); p++ {
+			ready := readyTime(d, cm, s, t, p)
+			at := timelines[p].peek(ready, d.Comp[t][p])
+			if finish := at + d.Comp[t][p]; finish < bestFinish-slotEpsilon {
+				bestP, bestStart, bestFinish = p, at, finish
+			}
+		}
+		timelines[bestP].insert(bestStart, d.Comp[t][bestP])
+		s.ProcOf[t] = bestP
+		s.Start[t] = bestStart
+		s.Finish[t] = bestFinish
+		if bestFinish > s.Makespan {
+			s.Makespan = bestFinish
+		}
+	}
+	sp.End(obs.F("makespan", s.Makespan))
+	return s, nil
+}
+
+// readyTime returns the earliest moment task t's inputs are available on
+// processor p: every predecessor must have finished and shipped its data.
+func readyTime(d *metatask.DAG, cm CommModel, s *Schedule, t, p int) float64 {
+	ready := 0.0
+	for _, ei := range d.Pred(t) {
+		e := d.Edges[ei]
+		arrive := s.Finish[e.From] + e.Data*cm.Cost(s.ProcOf[e.From], p)
+		if arrive > ready {
+			ready = arrive
+		}
+	}
+	return ready
+}
+
+// EvaluatePlacement computes the schedule of a *fixed* task-to-processor
+// placement: tasks keep HEFT's rank priority order but each goes to its
+// assigned processor, with the same insertion-based slot search. This is
+// the makespan evaluator the searchers minimize when refining a
+// HEFT-seeded placement — the DAG-workload analogue of quality.Cc.
+func EvaluatePlacement(d *metatask.DAG, cm CommModel, procOf []int) (*Schedule, error) {
+	if err := checkModel(d, cm); err != nil {
+		return nil, err
+	}
+	if len(procOf) != d.Tasks() {
+		return nil, fmt.Errorf("heft: placement covers %d tasks, DAG has %d", len(procOf), d.Tasks())
+	}
+	for t, p := range procOf {
+		if p < 0 || p >= d.Procs() {
+			return nil, fmt.Errorf("heft: task %d placed on processor %d, want [0,%d)", t, p, d.Procs())
+		}
+	}
+	ranks := Ranks(d, cm)
+	order := rankOrder(ranks)
+	s := &Schedule{
+		ProcOf: append([]int(nil), procOf...),
+		Start:  make([]float64, d.Tasks()),
+		Finish: make([]float64, d.Tasks()),
+		Ranks:  ranks,
+		Order:  order,
+	}
+	timelines := make([]procTimeline, d.Procs())
+	for _, t := range order {
+		p := procOf[t]
+		ready := readyTime(d, cm, s, t, p)
+		at := timelines[p].insert(ready, d.Comp[t][p])
+		s.Start[t] = at
+		s.Finish[t] = at + d.Comp[t][p]
+		if s.Finish[t] > s.Makespan {
+			s.Makespan = s.Finish[t]
+		}
+	}
+	return s, nil
+}
+
+// validityEpsilon is the tolerance of the schedule checker: all times
+// come from sums of O(10²) costs, so any true violation is far larger.
+const validityEpsilon = 1e-6
+
+// Validate checks the schedule-validity invariants the property tests
+// and the CI dag-smoke job enforce:
+//
+//  1. precedence: no task starts before every predecessor's finish plus
+//     the communication delay between their processors;
+//  2. exclusivity: no processor runs two tasks concurrently;
+//  3. consistency: Finish = Start + compute cost, and Makespan equals
+//     the maximum finish time.
+func Validate(d *metatask.DAG, cm CommModel, s *Schedule) error {
+	if err := checkModel(d, cm); err != nil {
+		return err
+	}
+	n := d.Tasks()
+	if len(s.ProcOf) != n || len(s.Start) != n || len(s.Finish) != n {
+		return fmt.Errorf("heft: schedule covers %d/%d/%d tasks, DAG has %d",
+			len(s.ProcOf), len(s.Start), len(s.Finish), n)
+	}
+	maxFinish := 0.0
+	for t := 0; t < n; t++ {
+		p := s.ProcOf[t]
+		if p < 0 || p >= d.Procs() {
+			return fmt.Errorf("heft: task %d on invalid processor %d", t, p)
+		}
+		if s.Start[t] < -validityEpsilon {
+			return fmt.Errorf("heft: task %d starts at %g before time 0", t, s.Start[t])
+		}
+		if want := s.Start[t] + d.Comp[t][p]; math.Abs(s.Finish[t]-want) > validityEpsilon {
+			return fmt.Errorf("heft: task %d finish %g != start %g + cost %g", t, s.Finish[t], s.Start[t], d.Comp[t][p])
+		}
+		if s.Finish[t] > maxFinish {
+			maxFinish = s.Finish[t]
+		}
+	}
+	if math.Abs(maxFinish-s.Makespan) > validityEpsilon {
+		return fmt.Errorf("heft: makespan %g != max finish %g", s.Makespan, maxFinish)
+	}
+	for _, e := range d.Edges {
+		earliest := s.Finish[e.From] + e.Data*cm.Cost(s.ProcOf[e.From], s.ProcOf[e.To])
+		if s.Start[e.To] < earliest-validityEpsilon {
+			return fmt.Errorf("heft: task %d starts at %g before predecessor %d's data arrives at %g",
+				e.To, s.Start[e.To], e.From, earliest)
+		}
+	}
+	// Exclusivity: sort each processor's tasks by start and require
+	// non-overlap.
+	byProc := make([][]int, d.Procs())
+	for t := 0; t < n; t++ {
+		byProc[s.ProcOf[t]] = append(byProc[s.ProcOf[t]], t)
+	}
+	for p, tasks := range byProc {
+		sort.Slice(tasks, func(a, b int) bool {
+			if s.Start[tasks[a]] != s.Start[tasks[b]] {
+				return s.Start[tasks[a]] < s.Start[tasks[b]]
+			}
+			return tasks[a] < tasks[b]
+		})
+		for i := 1; i < len(tasks); i++ {
+			prev, cur := tasks[i-1], tasks[i]
+			if s.Start[cur] < s.Finish[prev]-validityEpsilon {
+				return fmt.Errorf("heft: tasks %d and %d overlap on processor %d ([%g,%g] vs [%g,%g])",
+					prev, cur, p, s.Start[prev], s.Finish[prev], s.Start[cur], s.Finish[cur])
+			}
+		}
+	}
+	return nil
+}

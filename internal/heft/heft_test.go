@@ -1,0 +1,227 @@
+package heft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"commsched/internal/metatask"
+	"commsched/internal/search"
+)
+
+// classicDAG builds the canonical 10-task, 3-processor HEFT example
+// (Topcuoglu, Hariri, Wu, TPDS 2002, Figure 2 / Table 1) whose upward
+// ranks and final makespan are published — the known-answer instance.
+func classicDAG(t *testing.T) *metatask.DAG {
+	t.Helper()
+	comp := [][]float64{
+		{14, 16, 9},
+		{13, 19, 18},
+		{11, 13, 19},
+		{13, 8, 17},
+		{12, 13, 10},
+		{13, 16, 9},
+		{7, 15, 11},
+		{5, 11, 14},
+		{18, 12, 20},
+		{21, 7, 16},
+	}
+	// Edge data = the paper's transfer costs (unit bandwidth).
+	edges := []metatask.DAGEdge{
+		{From: 0, To: 1, Data: 18},
+		{From: 0, To: 2, Data: 12},
+		{From: 0, To: 3, Data: 9},
+		{From: 0, To: 4, Data: 11},
+		{From: 0, To: 5, Data: 14},
+		{From: 1, To: 7, Data: 19},
+		{From: 1, To: 8, Data: 16},
+		{From: 2, To: 6, Data: 23},
+		{From: 3, To: 7, Data: 27},
+		{From: 3, To: 8, Data: 23},
+		{From: 4, To: 8, Data: 13},
+		{From: 5, To: 7, Data: 15},
+		{From: 6, To: 9, Data: 17},
+		{From: 7, To: 9, Data: 11},
+		{From: 8, To: 9, Data: 13},
+	}
+	d, err := metatask.NewDAG("classic10", comp, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestClassicRanks pins the published upward ranks of the 10-task
+// example (paper Table: rank_u(n_1)=108.000 ... rank_u(n_10)=14.667).
+func TestClassicRanks(t *testing.T) {
+	d := classicDAG(t)
+	ranks := Ranks(d, UniformComm{N: 3})
+	want := []float64{108, 77, 80, 80, 69, 63.333, 42.667, 35.667, 44.333, 14.667}
+	for i, w := range want {
+		if math.Abs(ranks[i]-w) > 0.001 {
+			t.Errorf("rank(n%d) = %.3f, want %.3f", i+1, ranks[i], w)
+		}
+	}
+}
+
+// TestClassicSchedule pins the published HEFT result on the known-answer
+// instance: makespan 80 with the insertion-based policy.
+func TestClassicSchedule(t *testing.T) {
+	d := classicDAG(t)
+	cm := UniformComm{N: 3}
+	s, err := ScheduleDAG(d, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(d, cm, s); err != nil {
+		t.Fatalf("classic schedule invalid: %v", err)
+	}
+	if math.Abs(s.Makespan-80) > 0.001 {
+		t.Fatalf("classic makespan = %.3f, want 80.000 (schedule %+v)", s.Makespan, s.ProcOf)
+	}
+	// The priority list of the paper: n1, n3, n4, n2, n5, n6, n9, n7, n8,
+	// n10 (ties 80.0 between n3/n4 broken by index).
+	want := []int{0, 2, 3, 1, 4, 5, 8, 6, 7, 9}
+	for i, task := range want {
+		if s.Order[i] != task {
+			t.Fatalf("scheduling order[%d] = n%d, want n%d (full order %v)", i, s.Order[i]+1, task+1, s.Order)
+		}
+	}
+}
+
+// TestEvaluatePlacementReproducesHEFT: re-evaluating the placement HEFT
+// chose must reproduce the identical schedule — the evaluator and the
+// scheduler share order, ready-time, and slot-search semantics.
+func TestEvaluatePlacementReproducesHEFT(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := metatask.GenerateRandomDAG(25, 4, 0.2, 1.5, 1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := UniformComm{N: 4}
+		s, err := ScheduleDAG(d, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := EvaluatePlacement(d, cm, s.ProcOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Makespan != s.Makespan {
+			t.Fatalf("seed %d: evaluator makespan %v != scheduler %v", seed, e.Makespan, s.Makespan)
+		}
+		for task := range s.Start {
+			if e.Start[task] != s.Start[task] || e.Finish[task] != s.Finish[task] {
+				t.Fatalf("seed %d: task %d interval differs: [%v,%v] vs [%v,%v]",
+					seed, task, e.Start[task], e.Finish[task], s.Start[task], s.Finish[task])
+			}
+		}
+	}
+}
+
+func TestCommModels(t *testing.T) {
+	if _, err := NewMatrixComm(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := NewMatrixComm([][]float64{{1}}); err == nil {
+		t.Error("non-zero diagonal accepted")
+	}
+	if _, err := NewMatrixComm([][]float64{{0, -1}, {-1, 0}}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	m, err := NewMatrixComm([][]float64{{0, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cost(0, 1) != 2 || m.Cost(1, 1) != 0 {
+		t.Fatalf("matrix costs wrong: %v %v", m.Cost(0, 1), m.Cost(1, 1))
+	}
+	if got := meanCost(m); got != 2 {
+		t.Fatalf("meanCost = %v, want 2", got)
+	}
+	if got := meanCost(UniformComm{N: 1}); got != 0 {
+		t.Fatalf("single-proc meanCost = %v, want 0", got)
+	}
+}
+
+func TestScheduleDAGRejectsMismatchedModel(t *testing.T) {
+	d := classicDAG(t)
+	if _, err := ScheduleDAG(d, UniformComm{N: 2}); err == nil {
+		t.Error("processor-count mismatch accepted")
+	}
+	if _, err := EvaluatePlacement(d, UniformComm{N: 3}, []int{0}); err == nil {
+		t.Error("short placement accepted")
+	}
+	if _, err := EvaluatePlacement(d, UniformComm{N: 3}, []int{9, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("out-of-range placement accepted")
+	}
+}
+
+// TestValidateCatchesViolations corrupts valid schedules along each
+// invariant and requires Validate to object.
+func TestValidateCatchesViolations(t *testing.T) {
+	d := classicDAG(t)
+	cm := UniformComm{N: 3}
+	fresh := func() *Schedule {
+		s, err := ScheduleDAG(d, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := fresh()
+	s.Makespan *= 2
+	if err := Validate(d, cm, s); err == nil {
+		t.Error("inflated makespan passed")
+	}
+	s = fresh()
+	s.Start[9] = 0 // far before its predecessors finish
+	s.Finish[9] = d.Comp[9][s.ProcOf[9]]
+	if err := Validate(d, cm, s); err == nil {
+		t.Error("precedence violation passed")
+	}
+	s = fresh()
+	s.Finish[3] = s.Start[3] // finish != start + cost
+	if err := Validate(d, cm, s); err == nil {
+		t.Error("inconsistent interval passed")
+	}
+	s = fresh()
+	// Put every task on processor 0 at its original times: overlaps.
+	for task := range s.ProcOf {
+		s.ProcOf[task] = 0
+	}
+	if err := Validate(d, cm, s); err == nil {
+		t.Error("overlapping tasks passed")
+	}
+}
+
+// TestRefineNeverWorsens: Tabu refinement warm-starts at the HEFT
+// placement, so its makespan can only improve or stay.
+func TestRefineNeverWorsens(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := metatask.GenerateLayeredDAG(4, 4, 4, 2, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := UniformComm{N: 4}
+		s, err := ScheduleDAG(d, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, res, err := RefinePlacement(nil, d, cm, s, search.NewTabu(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(d, cm, refined); err != nil {
+			t.Fatalf("seed %d: refined schedule invalid: %v", seed, err)
+		}
+		if refined.Makespan > s.Makespan+1e-9 {
+			t.Fatalf("seed %d: refinement worsened makespan: %v > %v", seed, refined.Makespan, s.Makespan)
+		}
+		if res.Evaluations == 0 {
+			t.Fatalf("seed %d: refinement did no work", seed)
+		}
+	}
+}

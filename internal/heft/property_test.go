@@ -1,0 +1,183 @@
+package heft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"commsched/internal/mapping"
+	"commsched/internal/metatask"
+	"commsched/internal/search"
+)
+
+// This file is the schedule-validity property suite: across 1,000+
+// seeded random DAG instances (all three generator families, varied
+// sizes, heterogeneity, CCR, and comm models), every HEFT schedule and
+// every Tabu-refined placement must satisfy the Validate invariants —
+// precedence with communication delay, per-processor exclusivity, and
+// makespan = max finish. It runs inside the ordinary `go test ./...`
+// tier, so the invariants gate every change to the scheduler.
+
+// randomComm draws either the uniform model or a random symmetric
+// matrix, so the properties hold across comm-cost structures too.
+func randomComm(procs int, rng *rand.Rand) CommModel {
+	if rng.Intn(2) == 0 {
+		return UniformComm{N: procs}
+	}
+	cost := make([][]float64, procs)
+	for p := range cost {
+		cost[p] = make([]float64, procs)
+	}
+	for p := 0; p < procs; p++ {
+		for q := p + 1; q < procs; q++ {
+			c := 0.2 + 3*rng.Float64()
+			cost[p][q], cost[q][p] = c, c
+		}
+	}
+	m, err := NewMatrixComm(cost)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// randomInstance draws one DAG from a seed-selected family with
+// seed-varied shape parameters.
+func randomInstance(t *testing.T, seed int64) (*metatask.DAG, CommModel) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	procs := 2 + rng.Intn(4)
+	hetero := 0.3 + 2.5*rng.Float64()
+	ccr := 3 * rng.Float64()
+	var (
+		d   *metatask.DAG
+		err error
+	)
+	switch seed % 3 {
+	case 0:
+		d, err = metatask.GenerateLayeredDAG(2+rng.Intn(4), 1+rng.Intn(5), procs, hetero, ccr, rng)
+	case 1:
+		d, err = metatask.GenerateForkJoinDAG(1+rng.Intn(3), 1+rng.Intn(6), procs, hetero, ccr, rng)
+	default:
+		d, err = metatask.GenerateRandomDAG(2+rng.Intn(30), procs, rng.Float64()/2, hetero, ccr, rng)
+	}
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return d, randomComm(procs, rng)
+}
+
+// TestScheduleValidityProperty: 1,050 randomized instances; every HEFT
+// schedule must validate, and on a sampled subset the Tabu-refined
+// placement must validate too and never worsen the makespan.
+func TestScheduleValidityProperty(t *testing.T) {
+	const instances = 1050
+	refined := 0
+	for seed := int64(0); seed < instances; seed++ {
+		d, cm := randomInstance(t, seed)
+		s, err := ScheduleDAG(d, cm)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := Validate(d, cm, s); err != nil {
+			t.Fatalf("seed %d (%s, %d tasks): HEFT schedule invalid: %v", seed, d.Name, d.Tasks(), err)
+		}
+		// Makespan can never beat the critical-path-free lower bound: the
+		// largest single best-processor task time.
+		lb := 0.0
+		for task := 0; task < d.Tasks(); task++ {
+			best := math.Inf(1)
+			for p := 0; p < d.Procs(); p++ {
+				if d.Comp[task][p] < best {
+					best = d.Comp[task][p]
+				}
+			}
+			if best > lb {
+				lb = best
+			}
+		}
+		if s.Makespan < lb-1e-9 {
+			t.Fatalf("seed %d: makespan %v below lower bound %v", seed, s.Makespan, lb)
+		}
+		// Refine every 25th instance (Tabu over every instance would
+		// dominate the suite's runtime without adding coverage).
+		if seed%25 == 0 {
+			r, _, err := RefinePlacement(nil, d, cm, s, search.NewTabu(), rand.New(rand.NewSource(seed+1)))
+			if err != nil {
+				t.Fatalf("seed %d: refine: %v", seed, err)
+			}
+			if err := Validate(d, cm, r); err != nil {
+				t.Fatalf("seed %d (%s): refined schedule invalid: %v", seed, d.Name, err)
+			}
+			if r.Makespan > s.Makespan+1e-9 {
+				t.Fatalf("seed %d: refined makespan %v worse than HEFT %v", seed, r.Makespan, s.Makespan)
+			}
+			refined++
+		}
+	}
+	if refined < 40 {
+		t.Fatalf("only %d refined instances checked", refined)
+	}
+}
+
+// TestPlacementObjectiveDeltaConsistency: the cached SwapDelta of the
+// search adapter must equal the brute-force makespan difference of the
+// swapped placement, across random partitions and swap pairs.
+func TestPlacementObjectiveDeltaConsistency(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := metatask.GenerateRandomDAG(16, 4, 0.25, 1.5, 1.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := randomComm(4, rng)
+		s, err := ScheduleDAG(d, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := UsedProcs(s.ProcOf)
+		if len(used) < 2 {
+			continue
+		}
+		clusterOf := map[int]int{}
+		for c, p := range used {
+			clusterOf[p] = c
+		}
+		assign := make([]int, d.Tasks())
+		for task, p := range s.ProcOf {
+			assign[task] = clusterOf[p]
+		}
+		part, err := mapping.New(assign, len(used))
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := NewPlacementObjective(d, cm, used)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := obj.IntraSum(part)
+		for trial := 0; trial < 20; trial++ {
+			u, v := rng.Intn(d.Tasks()), rng.Intn(d.Tasks())
+			delta := obj.SwapDelta(part, u, v)
+			if part.Cluster(u) == part.Cluster(v) {
+				if delta != 0 {
+					t.Fatalf("seed %d: same-cluster swap delta %v", seed, delta)
+				}
+				continue
+			}
+			// Brute force: evaluate the swapped placement directly.
+			swapped := make([]int, d.Tasks())
+			for task := range swapped {
+				swapped[task] = used[part.Cluster(task)]
+			}
+			swapped[u], swapped[v] = swapped[v], swapped[u]
+			es, err := EvaluatePlacement(d, cm, swapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := es.Makespan - base; math.Abs(delta-want) > 1e-9 {
+				t.Fatalf("seed %d trial %d: SwapDelta %v, brute force %v", seed, trial, delta, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package heft
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"commsched/internal/mapping"
+	"commsched/internal/metatask"
+	"commsched/internal/obs"
+	"commsched/internal/search"
+)
+
+// placementEval evaluates fixed placements repeatedly with shared
+// rank/order/timeline buffers — the hot loop of Tabu refinement calls it
+// O(tasks²) times per iteration.
+type placementEval struct {
+	d         *metatask.DAG
+	cm        CommModel
+	order     []int
+	finish    []float64
+	procOf    []int
+	timelines []procTimeline
+}
+
+func newPlacementEval(d *metatask.DAG, cm CommModel) *placementEval {
+	ranks := Ranks(d, cm)
+	return &placementEval{
+		d:         d,
+		cm:        cm,
+		order:     rankOrder(ranks),
+		finish:    make([]float64, d.Tasks()),
+		procOf:    make([]int, d.Tasks()),
+		timelines: make([]procTimeline, d.Procs()),
+	}
+}
+
+// makespan schedules the placement in rank order with insertion-based
+// slot search (the EvaluatePlacement semantics) and returns only the
+// makespan.
+func (pe *placementEval) makespan(procOf []int) float64 {
+	for p := range pe.timelines {
+		pe.timelines[p].start = pe.timelines[p].start[:0]
+		pe.timelines[p].finish = pe.timelines[p].finish[:0]
+	}
+	mk := 0.0
+	for _, t := range pe.order {
+		p := procOf[t]
+		ready := 0.0
+		for _, ei := range pe.d.Pred(t) {
+			e := pe.d.Edges[ei]
+			arrive := pe.finish[e.From] + e.Data*pe.cm.Cost(procOf[e.From], p)
+			if arrive > ready {
+				ready = arrive
+			}
+		}
+		at := pe.timelines[p].insert(ready, pe.d.Comp[t][p])
+		pe.finish[t] = at + pe.d.Comp[t][p]
+		if pe.finish[t] > mk {
+			mk = pe.finish[t]
+		}
+	}
+	return mk
+}
+
+// PlacementObjective adapts the makespan evaluator to search.Objective,
+// so the Tabu searcher (and any swap-move searcher) can refine task
+// placements exactly as it refines switch partitions. Partition cluster
+// c stands for processor ProcIDs[c]; swap moves exchange the processors
+// of two tasks.
+//
+// The adapter caches the makespan of the partition it last evaluated
+// (Tabu probes O(tasks²) swaps against one base partition per
+// iteration), so SwapDelta costs one evaluation, not two. It is not safe
+// for concurrent use; give each goroutine its own instance.
+type PlacementObjective struct {
+	d       *metatask.DAG
+	cm      CommModel
+	procIDs []int
+	eval    *placementEval
+
+	baseAssign []int
+	baseVal    float64
+	haveBase   bool
+	scratch    []int
+}
+
+// NewPlacementObjective builds the adapter. procIDs maps partition
+// clusters to processors (a refinement is free to cover only the
+// processors the seed schedule actually used).
+func NewPlacementObjective(d *metatask.DAG, cm CommModel, procIDs []int) (*PlacementObjective, error) {
+	if err := checkModel(d, cm); err != nil {
+		return nil, err
+	}
+	if len(procIDs) == 0 {
+		return nil, fmt.Errorf("heft: empty processor list")
+	}
+	for _, p := range procIDs {
+		if p < 0 || p >= d.Procs() {
+			return nil, fmt.Errorf("heft: processor id %d outside [0,%d)", p, d.Procs())
+		}
+	}
+	return &PlacementObjective{
+		d:          d,
+		cm:         cm,
+		procIDs:    append([]int(nil), procIDs...),
+		eval:       newPlacementEval(d, cm),
+		baseAssign: make([]int, d.Tasks()),
+		scratch:    make([]int, d.Tasks()),
+	}, nil
+}
+
+// fill translates a partition into a processor assignment in scratch.
+func (o *PlacementObjective) fill(p *mapping.Partition, dst []int) {
+	for t := range dst {
+		dst[t] = o.procIDs[p.Cluster(t)]
+	}
+}
+
+// base returns the cached makespan of p, refreshing the cache when p's
+// assignment changed since the last call.
+func (o *PlacementObjective) base(p *mapping.Partition) float64 {
+	same := o.haveBase
+	for t := 0; same && t < len(o.baseAssign); t++ {
+		same = o.baseAssign[t] == o.procIDs[p.Cluster(t)]
+	}
+	if !same {
+		o.fill(p, o.baseAssign)
+		o.baseVal = o.eval.makespan(o.baseAssign)
+		o.haveBase = true
+	}
+	return o.baseVal
+}
+
+// IntraSum implements search.Objective: the makespan of the placement
+// (the name is the searchers' historical term for "objective value").
+func (o *PlacementObjective) IntraSum(p *mapping.Partition) float64 {
+	return o.base(p)
+}
+
+// SwapDelta implements search.Objective: the makespan change if tasks u
+// and v exchanged processors.
+func (o *PlacementObjective) SwapDelta(p *mapping.Partition, u, v int) float64 {
+	cu, cv := p.Cluster(u), p.Cluster(v)
+	if cu == cv {
+		return 0
+	}
+	before := o.base(p)
+	copy(o.scratch, o.baseAssign)
+	o.scratch[u], o.scratch[v] = o.procIDs[cv], o.procIDs[cu]
+	return o.eval.makespan(o.scratch) - before
+}
+
+// UsedProcs returns the sorted distinct processors of a placement.
+func UsedProcs(procOf []int) []int {
+	seen := map[int]bool{}
+	var used []int
+	for _, p := range procOf {
+		if !seen[p] {
+			seen[p] = true
+			used = append(used, p)
+		}
+	}
+	for i := 1; i < len(used); i++ {
+		for j := i; j > 0 && used[j] < used[j-1]; j-- {
+			used[j], used[j-1] = used[j-1], used[j]
+		}
+	}
+	return used
+}
+
+// RefinePlacement warm-starts the given Tabu searcher from a seed
+// schedule's placement via search.Tabu.SearchFrom and returns the
+// refined schedule. The search's swap neighborhood exchanges the
+// processors of task pairs over the processors the seed actually used,
+// so the refined makespan never exceeds the seed's. The result is a
+// pure function of (DAG, comm model, seed placement, tabu parameters).
+func RefinePlacement(ctx context.Context, d *metatask.DAG, cm CommModel, seed *Schedule, tb *search.Tabu, rng *rand.Rand) (*Schedule, *search.Result, error) {
+	if len(seed.ProcOf) != d.Tasks() {
+		return nil, nil, fmt.Errorf("heft: seed placement covers %d tasks, DAG has %d", len(seed.ProcOf), d.Tasks())
+	}
+	sp := obs.StartSpan("heft.refine", obs.F("tasks", d.Tasks()), obs.F("procs", d.Procs()))
+	used := UsedProcs(seed.ProcOf)
+	clusterOf := make(map[int]int, len(used))
+	for c, p := range used {
+		clusterOf[p] = c
+	}
+	assign := make([]int, d.Tasks())
+	for t, p := range seed.ProcOf {
+		assign[t] = clusterOf[p]
+	}
+	start, err := mapping.New(assign, len(used))
+	if err != nil {
+		return nil, nil, fmt.Errorf("heft: seed placement not partitionable: %w", err)
+	}
+	sizes := make([]int, start.M())
+	for c := range sizes {
+		sizes[c] = start.Size(c)
+	}
+	obj, err := NewPlacementObjective(d, cm, used)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := tb.SearchFrom(ctx, obj, search.Spec{Sizes: sizes}, rng, start)
+	if err != nil {
+		return nil, nil, err
+	}
+	procOf := make([]int, d.Tasks())
+	for t := range procOf {
+		procOf[t] = used[res.Best.Cluster(t)]
+	}
+	refined, err := EvaluatePlacement(d, cm, procOf)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp.End(obs.F("seed_makespan", seed.Makespan), obs.F("refined_makespan", refined.Makespan),
+		obs.F("evaluations", res.Evaluations))
+	return refined, res, nil
+}

@@ -1,0 +1,353 @@
+package metatask
+
+// This file extends the meta-task layer from independent tasks to
+// precedence-constrained task graphs — the workload shape of real
+// heterogeneous systems (and of the HEFT scheduler in internal/heft).
+// A DAG couples a per-processor compute-cost matrix (the ETC idea, kept
+// per task × processor) with weighted precedence edges carrying the data
+// volume each dependency transfers.
+//
+// Every generated DAG satisfies the single-entry contract: task 0 is the
+// unique task without predecessors, so every task is reachable from it
+// (predecessor chains strictly descend task indices and can only stop at
+// task 0). The fuzz targets in dag_fuzz_test.go enforce this and
+// acyclicity for all generator inputs.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DAGEdge is one precedence constraint: To may start only after From has
+// finished and Data units have been transferred between their processors.
+type DAGEdge struct {
+	// From and To are task indices, From strictly before To in every
+	// topological order.
+	From, To int
+	// Data is the transferred volume; the communication delay is
+	// Data × cost(proc(From), proc(To)) under the scheduler's comm model.
+	Data float64
+}
+
+// DAG is a precedence-constrained task graph over heterogeneous
+// processors.
+type DAG struct {
+	// Name labels the instance family ("layered", "forkjoin", ...).
+	Name string
+	// Comp[t][p] is the compute cost of task t on processor p (> 0).
+	Comp [][]float64
+	// Edges are the precedence constraints in a fixed (deterministic)
+	// order.
+	Edges []DAGEdge
+
+	succ, pred [][]int // task -> indices into Edges
+	topo       []int   // one valid topological order (deterministic)
+}
+
+// NewDAG validates the graph (rectangular positive compute matrix, valid
+// and duplicate-free edges, acyclicity) and builds the adjacency and a
+// deterministic topological order.
+func NewDAG(name string, comp [][]float64, edges []DAGEdge) (*DAG, error) {
+	if len(comp) == 0 || len(comp[0]) == 0 {
+		return nil, fmt.Errorf("metatask: empty compute matrix")
+	}
+	procs := len(comp[0])
+	for t, row := range comp {
+		if len(row) != procs {
+			return nil, fmt.Errorf("metatask: ragged compute row %d", t)
+		}
+		for p, v := range row {
+			if v <= 0 {
+				return nil, fmt.Errorf("metatask: non-positive compute cost at task %d proc %d", t, p)
+			}
+		}
+	}
+	n := len(comp)
+	d := &DAG{
+		Name:  name,
+		Comp:  comp,
+		Edges: edges,
+		succ:  make([][]int, n),
+		pred:  make([][]int, n),
+	}
+	seen := make(map[[2]int]bool, len(edges))
+	for i, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return nil, fmt.Errorf("metatask: edge %d endpoints (%d,%d) out of range [0,%d)", i, e.From, e.To, n)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("metatask: self-loop on task %d", e.From)
+		}
+		if e.Data < 0 {
+			return nil, fmt.Errorf("metatask: negative data on edge %d->%d", e.From, e.To)
+		}
+		key := [2]int{e.From, e.To}
+		if seen[key] {
+			return nil, fmt.Errorf("metatask: duplicate edge %d->%d", e.From, e.To)
+		}
+		seen[key] = true
+		d.succ[e.From] = append(d.succ[e.From], i)
+		d.pred[e.To] = append(d.pred[e.To], i)
+	}
+	topo, err := d.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	d.topo = topo
+	return d, nil
+}
+
+// topoOrder runs Kahn's algorithm, always extracting the smallest ready
+// task index, so the order is a pure function of the edge set.
+func (d *DAG) topoOrder() ([]int, error) {
+	n := d.Tasks()
+	indeg := make([]int, n)
+	for _, e := range d.Edges {
+		indeg[e.To]++
+	}
+	order := make([]int, 0, n)
+	ready := make([]bool, n)
+	for t := 0; t < n; t++ {
+		if indeg[t] == 0 {
+			ready[t] = true
+		}
+	}
+	for len(order) < n {
+		next := -1
+		for t := 0; t < n; t++ {
+			if ready[t] {
+				next = t
+				break
+			}
+		}
+		if next < 0 {
+			return nil, fmt.Errorf("metatask: cycle in task graph (%d of %d tasks ordered)", len(order), n)
+		}
+		ready[next] = false
+		indeg[next] = -1
+		order = append(order, next)
+		for _, ei := range d.succ[next] {
+			to := d.Edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready[to] = true
+			}
+		}
+	}
+	return order, nil
+}
+
+// Tasks returns the number of tasks.
+func (d *DAG) Tasks() int { return len(d.Comp) }
+
+// Procs returns the number of processors the compute matrix covers.
+func (d *DAG) Procs() int { return len(d.Comp[0]) }
+
+// Succ returns the indices into Edges of task t's outgoing edges.
+func (d *DAG) Succ(t int) []int { return d.succ[t] }
+
+// Pred returns the indices into Edges of task t's incoming edges.
+func (d *DAG) Pred(t int) []int { return d.pred[t] }
+
+// Topo returns a topological order of the tasks (do not mutate).
+func (d *DAG) Topo() []int { return d.topo }
+
+// MeanComp returns the average compute cost of task t across processors —
+// the w̄ term of HEFT's upward rank.
+func (d *DAG) MeanComp(t int) float64 {
+	s := 0.0
+	for _, v := range d.Comp[t] {
+		s += v
+	}
+	return s / float64(len(d.Comp[t]))
+}
+
+// Clone deep-copies the DAG (generators and the adversarial perturber
+// mutate copies, then re-validate through NewDAG).
+func (d *DAG) Clone() *DAG {
+	comp := make([][]float64, len(d.Comp))
+	for t, row := range d.Comp {
+		comp[t] = append([]float64(nil), row...)
+	}
+	edges := append([]DAGEdge(nil), d.Edges...)
+	nd, err := NewDAG(d.Name, comp, edges)
+	if err != nil {
+		// A valid DAG deep-copies into a valid DAG; failure is a
+		// programming error.
+		panic(fmt.Sprintf("metatask: Clone of valid DAG failed: %v", err))
+	}
+	return nd
+}
+
+// IsSingleEntry reports whether task 0 is the unique entry task — the
+// connectivity contract of every generator (it implies all tasks are
+// reachable from task 0, since predecessor chains descend indices).
+func (d *DAG) IsSingleEntry() bool {
+	if d.Tasks() == 0 || len(d.pred[0]) != 0 {
+		return false
+	}
+	for t := 1; t < d.Tasks(); t++ {
+		if len(d.pred[t]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// genComp draws a range-based heterogeneous compute matrix (the ETC
+// method of GenerateETC, reused for DAG tasks).
+func genComp(tasks, procs int, hetero float64, rng *rand.Rand) [][]float64 {
+	comp := make([][]float64, tasks)
+	for t := range comp {
+		base := 1 + rng.Float64()*hetero
+		row := make([]float64, procs)
+		for p := range row {
+			row[p] = base * (1 + rng.Float64()*hetero)
+		}
+		comp[t] = row
+	}
+	return comp
+}
+
+// edgeData draws one edge's transfer volume: ccr scales communication
+// against the O(hetero²) compute costs the matrix generator produces.
+func edgeData(hetero, ccr float64, rng *rand.Rand) float64 {
+	return ccr * (1 + hetero) * (0.5 + rng.Float64())
+}
+
+// checkDAGParams validates the shared generator parameters.
+func checkDAGParams(tasks, procs int, hetero, ccr float64) error {
+	if tasks < 1 || procs < 1 {
+		return fmt.Errorf("metatask: need tasks and procs >= 1, got %d/%d", tasks, procs)
+	}
+	if hetero <= 0 {
+		return fmt.Errorf("metatask: heterogeneity must be positive, got %g", hetero)
+	}
+	if ccr < 0 {
+		return fmt.Errorf("metatask: CCR must be non-negative, got %g", ccr)
+	}
+	return nil
+}
+
+// ensureSingleEntry gives every task beyond 0 at least one predecessor
+// with a smaller index, establishing the single-entry contract without
+// ever creating a cycle (added edges always descend to ascend indices).
+func ensureSingleEntry(tasks int, edges []DAGEdge, have map[[2]int]bool, hetero, ccr float64, rng *rand.Rand) []DAGEdge {
+	hasPred := make([]bool, tasks)
+	for _, e := range edges {
+		hasPred[e.To] = true
+	}
+	for t := 1; t < tasks; t++ {
+		if hasPred[t] {
+			continue
+		}
+		from := rng.Intn(t)
+		for have[[2]int{from, t}] {
+			// Duplicate with an existing forward edge cannot happen when
+			// hasPred[t] is false, but keep the guard for mutated inputs.
+			from = (from + 1) % t
+		}
+		have[[2]int{from, t}] = true
+		edges = append(edges, DAGEdge{From: from, To: t, Data: edgeData(hetero, ccr, rng)})
+	}
+	return edges
+}
+
+// GenerateLayeredDAG builds a layered task graph: `layers` ranks of
+// `width` tasks; every task links to 1..width tasks of the next layer and
+// every non-entry task keeps at least one predecessor in the previous
+// layer. Layer-0 tasks beyond task 0 are attached under task 0 so the
+// single-entry contract holds.
+func GenerateLayeredDAG(layers, width, procs int, hetero, ccr float64, rng *rand.Rand) (*DAG, error) {
+	if layers < 1 || width < 1 {
+		return nil, fmt.Errorf("metatask: need layers and width >= 1, got %d/%d", layers, width)
+	}
+	tasks := layers * width
+	if err := checkDAGParams(tasks, procs, hetero, ccr); err != nil {
+		return nil, err
+	}
+	comp := genComp(tasks, procs, hetero, rng)
+	var edges []DAGEdge
+	have := map[[2]int]bool{}
+	add := func(a, b int) {
+		if !have[[2]int{a, b}] {
+			have[[2]int{a, b}] = true
+			edges = append(edges, DAGEdge{From: a, To: b, Data: edgeData(hetero, ccr, rng)})
+		}
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			from := l*width + i
+			fanout := 1 + rng.Intn(width)
+			for k := 0; k < fanout; k++ {
+				add(from, (l+1)*width+rng.Intn(width))
+			}
+		}
+		// Every next-layer task needs a predecessor in this layer.
+		for j := 0; j < width; j++ {
+			to := (l+1)*width + j
+			hasPred := false
+			for a := 0; a < width && !hasPred; a++ {
+				hasPred = have[[2]int{l*width + a, to}]
+			}
+			if !hasPred {
+				add(l*width+rng.Intn(width), to)
+			}
+		}
+	}
+	edges = ensureSingleEntry(tasks, edges, have, hetero, ccr, rng)
+	return NewDAG("layered", comp, edges)
+}
+
+// GenerateForkJoinDAG builds `stages` sequential fork-join diamonds: a
+// fork task fans out to `fanout` parallel tasks which join into a single
+// task feeding the next stage.
+func GenerateForkJoinDAG(stages, fanout, procs int, hetero, ccr float64, rng *rand.Rand) (*DAG, error) {
+	if stages < 1 || fanout < 1 {
+		return nil, fmt.Errorf("metatask: need stages and fanout >= 1, got %d/%d", stages, fanout)
+	}
+	tasks := stages*(fanout+1) + 1
+	if err := checkDAGParams(tasks, procs, hetero, ccr); err != nil {
+		return nil, err
+	}
+	comp := genComp(tasks, procs, hetero, rng)
+	var edges []DAGEdge
+	fork := 0
+	for s := 0; s < stages; s++ {
+		base := s*(fanout+1) + 1
+		join := base + fanout
+		for i := 0; i < fanout; i++ {
+			edges = append(edges,
+				DAGEdge{From: fork, To: base + i, Data: edgeData(hetero, ccr, rng)},
+				DAGEdge{From: base + i, To: join, Data: edgeData(hetero, ccr, rng)})
+		}
+		fork = join
+	}
+	return NewDAG("forkjoin", comp, edges)
+}
+
+// GenerateRandomDAG builds an Erdős–Rényi-style random DAG: each forward
+// pair (i, j), i < j, becomes an edge with probability edgeProb, and the
+// single-entry pass then guarantees connectivity. Acyclicity is
+// structural: every edge ascends task indices.
+func GenerateRandomDAG(tasks, procs int, edgeProb, hetero, ccr float64, rng *rand.Rand) (*DAG, error) {
+	if err := checkDAGParams(tasks, procs, hetero, ccr); err != nil {
+		return nil, err
+	}
+	if edgeProb < 0 || edgeProb > 1 {
+		return nil, fmt.Errorf("metatask: edge probability %g outside [0,1]", edgeProb)
+	}
+	comp := genComp(tasks, procs, hetero, rng)
+	var edges []DAGEdge
+	have := map[[2]int]bool{}
+	for i := 0; i < tasks; i++ {
+		for j := i + 1; j < tasks; j++ {
+			if rng.Float64() < edgeProb {
+				have[[2]int{i, j}] = true
+				edges = append(edges, DAGEdge{From: i, To: j, Data: edgeData(hetero, ccr, rng)})
+			}
+		}
+	}
+	edges = ensureSingleEntry(tasks, edges, have, hetero, ccr, rng)
+	return NewDAG("random", comp, edges)
+}

@@ -1,0 +1,104 @@
+package metatask
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fuzzCheck asserts the generator contract on a successfully generated
+// DAG: NewDAG already proved acyclicity, so the target checks the
+// single-entry/connectivity spec and cost positivity.
+func fuzzCheck(t *testing.T, d *DAG, err error) {
+	t.Helper()
+	if err != nil {
+		return // rejected parameters are fine; panics are not
+	}
+	if !d.IsSingleEntry() {
+		t.Fatalf("%s: generated DAG is not single-entry", d.Name)
+	}
+	reached := make([]bool, d.Tasks())
+	reached[0] = true
+	for _, task := range d.Topo() {
+		if !reached[task] {
+			continue
+		}
+		for _, ei := range d.Succ(task) {
+			reached[d.Edges[ei].To] = true
+		}
+	}
+	for task, ok := range reached {
+		if !ok {
+			t.Fatalf("%s: task %d unreachable from entry", d.Name, task)
+		}
+	}
+	for _, row := range d.Comp {
+		for _, v := range row {
+			if v <= 0 {
+				t.Fatalf("%s: non-positive compute cost survived", d.Name)
+			}
+		}
+	}
+}
+
+// clampDim keeps fuzzed sizes in a range where a run is fast but the
+// structural space (multiple layers, duplicates, fan-in collisions) is
+// still exercised.
+func clampDim(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FuzzGenerateRandomDAG: for any parameters, the generator must either
+// return an error or a DAG that is acyclic (NewDAG), single-entry, and
+// fully reachable — never panic.
+func FuzzGenerateRandomDAG(f *testing.F) {
+	f.Add(10, 3, 0.3, 1.0, 0.5, int64(42))
+	f.Add(1, 1, 0.0, 0.5, 0.0, int64(0))
+	f.Add(40, 4, 1.0, 2.0, 2.0, int64(7))
+	f.Add(5, 2, -0.5, 1.0, 1.0, int64(3))
+	f.Fuzz(func(t *testing.T, tasks, procs int, edgeProb, hetero, ccr float64, seed int64) {
+		tasks = clampDim(tasks, 1, 64)
+		procs = clampDim(procs, 1, 8)
+		rng := rand.New(rand.NewSource(seed))
+		d, err := GenerateRandomDAG(tasks, procs, edgeProb, hetero, ccr, rng)
+		fuzzCheck(t, d, err)
+	})
+}
+
+// FuzzGenerateLayeredDAG mirrors FuzzGenerateRandomDAG for the layered
+// family, whose per-layer fan-out/fan-in repair logic is the riskier
+// code path.
+func FuzzGenerateLayeredDAG(f *testing.F) {
+	f.Add(3, 4, 2, 1.0, 0.8, int64(11))
+	f.Add(1, 1, 1, 0.5, 0.0, int64(1))
+	f.Add(6, 2, 5, 3.0, 2.5, int64(23))
+	f.Fuzz(func(t *testing.T, layers, width, procs int, hetero, ccr float64, seed int64) {
+		layers = clampDim(layers, 1, 8)
+		width = clampDim(width, 1, 8)
+		procs = clampDim(procs, 1, 8)
+		rng := rand.New(rand.NewSource(seed))
+		d, err := GenerateLayeredDAG(layers, width, procs, hetero, ccr, rng)
+		fuzzCheck(t, d, err)
+	})
+}
+
+// FuzzGenerateForkJoinDAG covers the third family; its structure is
+// deterministic given the sizes, so the target mostly guards the
+// parameter validation and cost generation.
+func FuzzGenerateForkJoinDAG(f *testing.F) {
+	f.Add(2, 3, 3, 1.0, 1.0, int64(5))
+	f.Add(1, 1, 1, 0.1, 0.0, int64(9))
+	f.Fuzz(func(t *testing.T, stages, fanout, procs int, hetero, ccr float64, seed int64) {
+		stages = clampDim(stages, 1, 6)
+		fanout = clampDim(fanout, 1, 8)
+		procs = clampDim(procs, 1, 8)
+		rng := rand.New(rand.NewSource(seed))
+		d, err := GenerateForkJoinDAG(stages, fanout, procs, hetero, ccr, rng)
+		fuzzCheck(t, d, err)
+	})
+}

@@ -1,0 +1,148 @@
+package metatask
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewDAGValidation(t *testing.T) {
+	comp := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	cases := []struct {
+		name  string
+		comp  [][]float64
+		edges []DAGEdge
+	}{
+		{"empty matrix", nil, nil},
+		{"ragged", [][]float64{{1, 2}, {3}}, nil},
+		{"non-positive cost", [][]float64{{1, 0}}, nil},
+		{"edge out of range", comp, []DAGEdge{{From: 0, To: 9, Data: 1}}},
+		{"self loop", comp, []DAGEdge{{From: 1, To: 1, Data: 1}}},
+		{"negative data", comp, []DAGEdge{{From: 0, To: 1, Data: -1}}},
+		{"duplicate edge", comp, []DAGEdge{{From: 0, To: 1, Data: 1}, {From: 0, To: 1, Data: 2}}},
+		{"cycle", comp, []DAGEdge{{From: 0, To: 1, Data: 1}, {From: 1, To: 2, Data: 1}, {From: 2, To: 0, Data: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := NewDAG("bad", c.comp, c.edges); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestDAGTopoRespectsEdges(t *testing.T) {
+	d, err := NewDAG("t", [][]float64{{1}, {1}, {1}, {1}},
+		[]DAGEdge{{From: 0, To: 2, Data: 1}, {From: 2, To: 1, Data: 1}, {From: 0, To: 3, Data: 1}, {From: 3, To: 1, Data: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, d.Tasks())
+	for i, task := range d.Topo() {
+		pos[task] = i
+	}
+	for _, e := range d.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("topo order violates edge %d->%d: %v", e.From, e.To, d.Topo())
+		}
+	}
+	if d.MeanComp(0) != 1 {
+		t.Fatalf("MeanComp = %v, want 1", d.MeanComp(0))
+	}
+}
+
+// checkGenerated asserts the generator contract: valid costs, acyclic by
+// construction (NewDAG verified it), single entry, and every task
+// reachable from task 0.
+func checkGenerated(t *testing.T, d *DAG, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsSingleEntry() {
+		t.Fatalf("%s: not single-entry", d.Name)
+	}
+	// Reachability from task 0 over directed edges.
+	reached := make([]bool, d.Tasks())
+	reached[0] = true
+	for _, task := range d.Topo() {
+		if !reached[task] {
+			continue
+		}
+		for _, ei := range d.Succ(task) {
+			reached[d.Edges[ei].To] = true
+		}
+	}
+	for task, ok := range reached {
+		if !ok {
+			t.Fatalf("%s: task %d unreachable from entry", d.Name, task)
+		}
+	}
+}
+
+func TestGeneratorsContract(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := GenerateLayeredDAG(4, 3, 4, 1.5, 0.8, rng)
+		checkGenerated(t, d, err)
+		d, err = GenerateForkJoinDAG(3, 4, 3, 2, 1.2, rng)
+		checkGenerated(t, d, err)
+		d, err = GenerateRandomDAG(20, 4, 0.15, 1, 0.5, rng)
+		checkGenerated(t, d, err)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gen := func() *DAG {
+		d, err := GenerateRandomDAG(30, 4, 0.2, 1.5, 1, rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := gen(), gen()
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+	for t2 := range a.Comp {
+		for p := range a.Comp[t2] {
+			if a.Comp[t2][p] != b.Comp[t2][p] {
+				t.Fatalf("comp[%d][%d] differs", t2, p)
+			}
+		}
+	}
+}
+
+func TestGeneratorsRejectBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateLayeredDAG(0, 3, 2, 1, 1, rng); err == nil {
+		t.Error("layers=0 accepted")
+	}
+	if _, err := GenerateForkJoinDAG(1, 0, 2, 1, 1, rng); err == nil {
+		t.Error("fanout=0 accepted")
+	}
+	if _, err := GenerateRandomDAG(5, 2, 1.5, 1, 1, rng); err == nil {
+		t.Error("edgeProb>1 accepted")
+	}
+	if _, err := GenerateRandomDAG(5, 2, 0.5, -1, 1, rng); err == nil {
+		t.Error("negative hetero accepted")
+	}
+	if _, err := GenerateRandomDAG(5, 2, 0.5, 1, -1, rng); err == nil {
+		t.Error("negative ccr accepted")
+	}
+}
+
+func TestDAGClone(t *testing.T) {
+	d, err := GenerateForkJoinDAG(2, 3, 4, 1, 1, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	c.Comp[0][0] *= 2
+	c.Edges[0].Data *= 2
+	if d.Comp[0][0] == c.Comp[0][0] || d.Edges[0].Data == c.Edges[0].Data {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
