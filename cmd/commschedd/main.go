@@ -82,7 +82,11 @@ func run(addr, state string, workers, queueDepth int, rate float64, burst, tenan
 	reg := telemetry.NewRegistry()
 	hub := telemetry.NewHub()
 	tel := telemetry.NewServer(reg, hub)
-	sinks := obs.Fanout{reg, hub}
+	// The bounded trace store backs GET /trace/{id}: recent traces stay
+	// queryable as structured JSON without grepping the JSONL file.
+	traces := telemetry.NewTraces(0, 0)
+	tel.Traces = traces
+	sinks := obs.Fanout{reg, hub, traces}
 	var jsonl *obs.JSONL
 	if metricsOut != "" {
 		j, err := obs.OpenJSONL(metricsOut)

@@ -9,7 +9,15 @@
 //   - bounded admission latency: the p99 POST /jobs round trip stays
 //     under -p99 even while the queue is pushing back;
 //   - backpressure over collapse: at the queue watermark the daemon
-//     answers 429, not timeouts.
+//     answers 429, not timeouts;
+//   - trace continuity: every submission carries a fresh seeded W3C
+//     traceparent, and the daemon must echo the same trace ID back and
+//     journal it on the job record — a mismatch is a violation.
+//
+// Beyond admission latency, the summary reports the daemon-measured
+// queue wait (time from accept to run start, journaled per job as
+// queue_wait_ms) as p50/p99 — the scheduling-delay half of the SLO that
+// client-side round-trip times cannot see.
 //
 // It prints a JSON summary to stdout and exits nonzero when any
 // assertion fails, so CI can gate on it directly:
@@ -69,8 +77,42 @@ type summary struct {
 	P50Ms      float64        `json:"p50_ms"`
 	P99Ms      float64        `json:"p99_ms"`
 	MaxMs      float64        `json:"max_ms"`
-	ElapsedMs  float64        `json:"elapsed_ms"`
-	Violations []string       `json:"violations,omitempty"`
+	// TraceMismatches counts accepted submissions whose echoed or
+	// journaled trace ID differed from the traceparent we sent.
+	TraceMismatches int `json:"trace_mismatches"`
+	// QueueP50Ms / QueueP99Ms are percentiles of the daemon's own
+	// queue-wait measurement (accept → run start) across finished jobs.
+	QueueP50Ms float64  `json:"queue_p50_ms"`
+	QueueP99Ms float64  `json:"queue_p99_ms"`
+	ElapsedMs  float64  `json:"elapsed_ms"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// traceparentFor mints submission i's W3C traceparent from the mix seed:
+// deterministic per (seed, i), distinct across submissions, never the
+// all-zero IDs the spec forbids.
+func traceparentFor(i int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed*6364136223846793005 + int64(i)*1442695040888963407 + 1))
+	var tr [16]byte
+	var sp [8]byte
+	for b := range tr {
+		tr[b] = byte(rng.Intn(256))
+	}
+	for b := range sp {
+		sp[b] = byte(rng.Intn(256))
+	}
+	tr[15] |= 1
+	sp[7] |= 1
+	return fmt.Sprintf("00-%x-%x-01", tr, sp)
+}
+
+// traceOf extracts the 32-hex trace ID from a traceparent header ("" when
+// the header is not even shaped like one).
+func traceOf(tp string) string {
+	if len(tp) < 35 || tp[2] != '-' || tp[35] != '-' {
+		return ""
+	}
+	return tp[3:35]
 }
 
 // specFor builds submission i of the seeded mix: a rotating tenant and a
@@ -129,7 +171,8 @@ func run(base string, n, c, tenants int, seed int64, p99Limit, wait, reqTO time.
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				id, lat, retries, reason, terr := submit(client, base, specFor(i, tenants, seed), maxRetry)
+				tp := traceparentFor(i, seed)
+				id, lat, retries, reason, traceOK, terr := submit(client, base, specFor(i, tenants, seed), tp, maxRetry)
 				mu.Lock()
 				sum.Retries += retries
 				switch {
@@ -140,6 +183,9 @@ func run(base string, n, c, tenants int, seed int64, p99Limit, wait, reqTO time.
 				default:
 					accepted = append(accepted, id)
 					latencies = append(latencies, lat)
+					if !traceOK {
+						sum.TraceMismatches++
+					}
 				}
 				mu.Unlock()
 			}
@@ -173,6 +219,7 @@ func run(base string, n, c, tenants int, seed int64, p99Limit, wait, reqTO time.
 	for _, id := range accepted {
 		pending[id] = true
 	}
+	var queueWaits []time.Duration
 	for len(pending) > 0 && time.Now().Before(deadline) {
 		states, err := listStates(client, base)
 		if err != nil {
@@ -180,19 +227,22 @@ func run(base string, n, c, tenants int, seed int64, p99Limit, wait, reqTO time.
 			continue
 		}
 		for id := range pending {
-			switch states[id] {
+			switch states[id].State {
 			case "done":
 				sum.Done++
 				delete(pending, id)
+				queueWaits = append(queueWaits, time.Duration(states[id].QueueWaitMs*float64(time.Millisecond)))
 			case "failed":
 				sum.Failed++
 				delete(pending, id)
+				queueWaits = append(queueWaits, time.Duration(states[id].QueueWaitMs*float64(time.Millisecond)))
 			}
 		}
 		if len(pending) > 0 {
 			time.Sleep(200 * time.Millisecond)
 		}
 	}
+	sum.QueueP50Ms, sum.QueueP99Ms, _ = percentiles(queueWaits)
 	for id := range pending {
 		sum.Lost = append(sum.Lost, id)
 	}
@@ -211,28 +261,39 @@ func run(base string, n, c, tenants int, seed int64, p99Limit, wait, reqTO time.
 	if sum.Errors > 0 {
 		sum.Violations = append(sum.Violations, fmt.Sprintf("%d transport error(s): the daemon must answer (even with 429), not hang or drop connections", sum.Errors))
 	}
+	if sum.TraceMismatches > 0 {
+		sum.Violations = append(sum.Violations, fmt.Sprintf("%d accepted submission(s) came back in the wrong trace: the daemon must echo and journal the client's trace ID", sum.TraceMismatches))
+	}
 	if len(sum.Violations) > 0 {
 		return 1, sum
 	}
 	return 0, sum
 }
 
-// submit POSTs one job, retrying on backpressure per the daemon's own
-// Retry-After advice (capped so a drain does not strand the harness).
-// Returns the accepted job ID, the first-accept admission latency, the
-// number of backpressure retries, the final rejection reason when the
-// job was never accepted, and any transport error.
-func submit(client *http.Client, base string, spec service.JobSpec, maxRetry int) (string, time.Duration, int, string, error) {
+// submit POSTs one job with the given traceparent, retrying on
+// backpressure per the daemon's own Retry-After advice (capped so a
+// drain does not strand the harness). Returns the accepted job ID, the
+// first-accept admission latency, the number of backpressure retries,
+// the final rejection reason when the job was never accepted, whether
+// the daemon kept the submission in the client's trace (echoed header
+// AND journaled job record), and any transport error.
+func submit(client *http.Client, base string, spec service.JobSpec, tp string, maxRetry int) (string, time.Duration, int, string, bool, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return "", 0, 0, "", err
+		return "", 0, 0, "", false, err
 	}
 	retries := 0
 	for {
-		t0 := time.Now()
-		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest("POST", base+"/jobs", bytes.NewReader(body))
 		if err != nil {
-			return "", 0, retries, "", err
+			return "", 0, retries, "", false, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("traceparent", tp)
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", 0, retries, "", false, err
 		}
 		lat := time.Since(t0)
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
@@ -241,9 +302,11 @@ func submit(client *http.Client, base string, spec service.JobSpec, maxRetry int
 		case resp.StatusCode == http.StatusAccepted:
 			var job service.Job
 			if err := json.Unmarshal(data, &job); err != nil || job.ID == "" {
-				return "", 0, retries, "", fmt.Errorf("202 with undecodable job: %v", err)
+				return "", 0, retries, "", false, fmt.Errorf("202 with undecodable job: %v", err)
 			}
-			return job.ID, lat, retries, "", nil
+			want := traceOf(tp)
+			traceOK := traceOf(resp.Header.Get("traceparent")) == want && job.Trace == want
+			return job.ID, lat, retries, "", traceOK, nil
 		case resp.StatusCode == http.StatusTooManyRequests && retries < maxRetry:
 			retries++
 			time.Sleep(retryAfter(resp, 50*time.Millisecond))
@@ -255,7 +318,7 @@ func submit(client *http.Client, base string, spec service.JobSpec, maxRetry int
 			if ae.Reason == "" {
 				ae.Reason = strconv.Itoa(resp.StatusCode)
 			}
-			return "", 0, retries, ae.Reason, nil
+			return "", 0, retries, ae.Reason, false, nil
 		}
 	}
 }
@@ -275,8 +338,14 @@ func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
 	return fallback
 }
 
-// listStates fetches every job's state in one call.
-func listStates(client *http.Client, base string) (map[string]string, error) {
+// jobStatus is the slice of a job record the audit loop needs.
+type jobStatus struct {
+	State       string
+	QueueWaitMs float64
+}
+
+// listStates fetches every job's state (and measured queue wait) in one call.
+func listStates(client *http.Client, base string) (map[string]jobStatus, error) {
 	resp, err := client.Get(base + "/jobs")
 	if err != nil {
 		return nil, err
@@ -287,16 +356,17 @@ func listStates(client *http.Client, base string) (map[string]string, error) {
 	}
 	var doc struct {
 		Jobs []struct {
-			ID    string `json:"id"`
-			State string `json:"state"`
+			ID          string  `json:"id"`
+			State       string  `json:"state"`
+			QueueWaitMs float64 `json:"queue_wait_ms"`
 		} `json:"jobs"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return nil, err
 	}
-	out := make(map[string]string, len(doc.Jobs))
+	out := make(map[string]jobStatus, len(doc.Jobs))
 	for _, j := range doc.Jobs {
-		out[j.ID] = j.State
+		out[j.ID] = jobStatus{State: j.State, QueueWaitMs: j.QueueWaitMs}
 	}
 	return out, nil
 }

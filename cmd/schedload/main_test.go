@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"commsched/internal/service"
+)
+
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := service.New(service.Config{
+		Limits:  service.Limits{QueueDepth: 64},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Drain(5 * time.Second) }) //nolint:errcheck // teardown
+	ts := httptest.NewServer(svc.Mux(nil))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunTraceContinuity drives the full harness against an in-process
+// daemon: every accepted submission must come back in its own trace
+// (echoed header and journaled job record), and the summary must report
+// the daemon-measured queue-wait percentiles.
+func TestRunTraceContinuity(t *testing.T) {
+	ts := startDaemon(t)
+	code, sum := run(ts.URL, 20, 4, 2, 7, 10*time.Second, time.Minute, 10*time.Second, 50, false)
+	if code != 0 {
+		t.Fatalf("run failed: %+v", sum)
+	}
+	if sum.Accepted == 0 {
+		t.Fatal("nothing accepted")
+	}
+	if sum.TraceMismatches != 0 {
+		t.Fatalf("%d trace mismatch(es): %+v", sum.TraceMismatches, sum)
+	}
+	if sum.Done+sum.Failed != sum.Accepted {
+		t.Fatalf("accepted %d but only %d terminal", sum.Accepted, sum.Done+sum.Failed)
+	}
+	if sum.QueueP99Ms < sum.QueueP50Ms {
+		t.Fatalf("queue percentiles inverted: p50=%v p99=%v", sum.QueueP50Ms, sum.QueueP99Ms)
+	}
+}
+
+// TestTraceparentForDeterministic pins the mix contract: the traceparent
+// stream is a pure function of (seed, i), distinct across i, and valid.
+func TestTraceparentForDeterministic(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		tp := traceparentFor(i, 7)
+		if tp != traceparentFor(i, 7) {
+			t.Fatalf("traceparentFor(%d) not deterministic", i)
+		}
+		if len(tp) != 55 || !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+			t.Fatalf("malformed traceparent %q", tp)
+		}
+		id := traceOf(tp)
+		if len(id) != 32 || id == strings.Repeat("0", 32) {
+			t.Fatalf("bad trace ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("trace ID %s repeats within the mix", id)
+		}
+		seen[id] = true
+	}
+	if traceOf(traceparentFor(0, 1)) == traceOf(traceparentFor(0, 2)) {
+		t.Fatal("different seeds produced the same trace ID")
+	}
+}

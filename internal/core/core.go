@@ -188,7 +188,7 @@ type Schedule struct {
 // ctx means context.Background; cancelling it stops the search promptly
 // with an error wrapping ctx.Err().
 func (s *System) Schedule(ctx context.Context, opts ScheduleOptions) (*Schedule, error) {
-	sp := obs.StartSpan("core.schedule",
+	sp, ctx := obs.StartSpanCtx(ctx, "core.schedule",
 		obs.F("clusters", opts.Clusters),
 		obs.F("seed", opts.Seed))
 	var spec search.Spec
@@ -424,7 +424,7 @@ func (s *System) SimulateSweep(ctx context.Context, p *mapping.Partition, cfg si
 // calling SimulateSweep in a loop. A nil ctx means context.Background; a
 // cancellation or first error stops the remaining work.
 func (s *System) SimulateSweepMany(ctx context.Context, ps []*mapping.Partition, cfg simnet.Config, rates []float64) ([][]simnet.SweepPoint, error) {
-	sp := obs.StartSpan("core.simulate_sweep_many",
+	sp, ctx := obs.StartSpanCtx(ctx, "core.simulate_sweep_many",
 		obs.F("mappings", len(ps)), obs.F("points", len(rates)))
 	out := make([][]simnet.SweepPoint, len(ps))
 	err := par.ForEach(ctx, len(ps), func(ctx context.Context, i int) error {

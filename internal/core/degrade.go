@@ -151,7 +151,7 @@ type RepairResult struct {
 // switches than a from-scratch reschedule while recovering most of its
 // clustering coefficient. A nil ctx means context.Background.
 func (ds *DegradedSystem) Repair(ctx context.Context, old *mapping.Partition, seed int64) (*RepairResult, error) {
-	sp := obs.StartSpan("core.repair", obs.F("seed", seed))
+	sp, ctx := obs.StartSpanCtx(ctx, "core.repair", obs.F("seed", seed))
 	proj, err := ds.ProjectPartition(old)
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@
 package heft
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -165,10 +166,19 @@ func checkModel(d *metatask.DAG, cm CommModel) error {
 // insertion-based slot search. The result is a pure function of the DAG
 // and the comm model.
 func ScheduleDAG(d *metatask.DAG, cm CommModel) (*Schedule, error) {
+	return ScheduleDAGCtx(context.Background(), d, cm)
+}
+
+// ScheduleDAGCtx is ScheduleDAG carrying a caller context so the
+// scheduling span joins the caller's trace (a Background context falls
+// back to the process root trace, when one is installed). The context
+// carries identity only — HEFT itself never blocks, so there is no
+// cancellation point to honor.
+func ScheduleDAGCtx(ctx context.Context, d *metatask.DAG, cm CommModel) (*Schedule, error) {
 	if err := checkModel(d, cm); err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("heft.schedule", obs.F("tasks", d.Tasks()), obs.F("procs", d.Procs()))
+	sp, _ := obs.StartSpanCtx(ctx, "heft.schedule", obs.F("tasks", d.Tasks()), obs.F("procs", d.Procs()))
 	ranks := Ranks(d, cm)
 	order := rankOrder(ranks)
 	s := &Schedule{

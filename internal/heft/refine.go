@@ -179,7 +179,7 @@ func RefinePlacement(ctx context.Context, d *metatask.DAG, cm CommModel, seed *S
 	if len(seed.ProcOf) != d.Tasks() {
 		return nil, nil, fmt.Errorf("heft: seed placement covers %d tasks, DAG has %d", len(seed.ProcOf), d.Tasks())
 	}
-	sp := obs.StartSpan("heft.refine", obs.F("tasks", d.Tasks()), obs.F("procs", d.Procs()))
+	sp, ctx := obs.StartSpanCtx(ctx, "heft.refine", obs.F("tasks", d.Tasks()), obs.F("procs", d.Procs()))
 	used := UsedProcs(seed.ProcOf)
 	clusterOf := make(map[int]int, len(used))
 	for c, p := range used {

@@ -32,17 +32,24 @@ type Field struct {
 func F(key string, value any) Field { return Field{Key: key, Value: value} }
 
 // Record is one observability datum. Kind is "event" for point-in-time
-// facts, "span" for timed regions (Dur is set), and "hist" for flushed
-// histograms (bucket data travels in Fields).
+// facts, "span" for timed regions (Dur is set), "hist" for flushed
+// histograms (bucket data travels in Fields), and "wide" for canonical
+// per-unit wide events (see Wide).
 type Record struct {
 	// Time is the event time (span start time for spans).
 	Time time.Time
-	// Kind is "event", "span", or "hist".
+	// Kind is "event", "span", "hist", or "wide".
 	Kind string
 	// Name identifies the instrumentation point, e.g. "search.restart".
 	Name string
 	// Dur is the elapsed time of a span (zero otherwise).
 	Dur time.Duration
+	// Trace / Span / Parent are the causal identity of the record: the
+	// trace it belongs to, its own span ID (spans only), and the parent
+	// span. All zero for records emitted outside any trace.
+	Trace  TraceID
+	Span   SpanID
+	Parent SpanID
 	// Fields carries the record's attributes.
 	Fields []Field
 }
@@ -119,6 +126,17 @@ type Span struct {
 	name   string
 	start  time.Time
 	fields []Field
+	sc     SpanContext
+	parent SpanID
+}
+
+// Context returns the span's own span context (zero for spans opened with
+// the trace-less StartSpan, and for a nil span).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
 }
 
 // StartSpan opens a span; the fields given here are recorded alongside
@@ -126,6 +144,12 @@ type Span struct {
 func StartSpan(name string, fields ...Field) *Span {
 	if global.Load() == nil {
 		return nil
+	}
+	// When a process root trace is installed (runctl), even legacy
+	// context-free spans join it as direct children, so no
+	// instrumentation point falls outside the run's trace.
+	if p := rootSpanCtx.Load(); p != nil {
+		return &Span{name: name, start: time.Now(), fields: fields, sc: p.NewChild(), parent: p.Span}
 	}
 	return &Span{name: name, start: time.Now(), fields: fields}
 }
@@ -145,6 +169,9 @@ func (s *Span) End(fields ...Field) {
 		Kind:   "span",
 		Name:   s.name,
 		Dur:    time.Since(s.start),
+		Trace:  s.sc.Trace,
+		Span:   s.sc.Span,
+		Parent: s.parent,
 		Fields: append(s.fields, fields...),
 	})
 }

@@ -89,7 +89,8 @@ func (m *Memory) Reset() {
 
 // JSONL writes one JSON object per record — the machine-readable trace
 // format behind the CLIs' -metrics flag. Reserved keys are "ts", "kind",
-// "name", and "dur_ms"; field keys are flattened into the same object, so
+// "name", "dur_ms", "trace", "span", and "parent"; field keys are
+// flattened into the same object, so
 // instrumentation must avoid those names. Keys are emitted sorted
 // (encoding/json map order), making traces diff-friendly.
 type JSONL struct {
@@ -152,14 +153,25 @@ func (j *JSONL) flushLoop() {
 
 // RecordObject flattens a record into the wire object shared by the JSONL
 // sink and the telemetry SSE stream: reserved keys "ts", "kind", "name",
-// and "dur_ms", with the record's fields merged into the same map.
+// "dur_ms", and — for records inside a trace — "trace", "span", and
+// "parent" (lowercase hex), with the record's fields merged into the same
+// map.
 func RecordObject(r Record) map[string]any {
-	obj := make(map[string]any, len(r.Fields)+4)
+	obj := make(map[string]any, len(r.Fields)+7)
 	obj["ts"] = r.Time.UTC().Format("2006-01-02T15:04:05.000000Z07:00")
 	obj["kind"] = r.Kind
 	obj["name"] = r.Name
 	if r.Dur > 0 {
 		obj["dur_ms"] = float64(r.Dur.Microseconds()) / 1000
+	}
+	if !r.Trace.IsZero() {
+		obj["trace"] = r.Trace.String()
+	}
+	if !r.Span.IsZero() {
+		obj["span"] = r.Span.String()
+	}
+	if !r.Parent.IsZero() {
+		obj["parent"] = r.Parent.String()
 	}
 	for _, f := range r.Fields {
 		obj[f.Key] = f.Value

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent drives the W3C header parser with arbitrary input.
+// Invariants: never panic; on success the context is valid, survives a
+// format/reparse round trip, and — for version 00 — re-formats to the
+// canonical lowercase input.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	f.Add("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-future")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-00000000000000000000000000000000-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01")
+	f.Add("")
+	f.Add("00-")
+	f.Add(strings.Repeat("-", 55))
+	f.Fuzz(func(t *testing.T, in string) {
+		sc, err := ParseTraceparent(in)
+		if err != nil {
+			if sc.Valid() {
+				t.Fatalf("error %v but context %+v is valid", err, sc)
+			}
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted %q but context %+v is invalid", in, sc)
+		}
+		out := sc.Traceparent()
+		back, err := ParseTraceparent(out)
+		if err != nil {
+			t.Fatalf("reformatted %q -> %q does not reparse: %v", in, out, err)
+		}
+		if back != sc {
+			t.Fatalf("round trip drifted: %+v -> %q -> %+v", sc, out, back)
+		}
+		if strings.HasPrefix(in, "00-") && len(in) == 55 && out != in {
+			t.Fatalf("version-00 input %q did not reformat identically: %q", in, out)
+		}
+	})
+}

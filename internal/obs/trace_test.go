@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestTraceparentRoundTrip formats and reparses every flag combination.
+func TestTraceparentRoundTrip(t *testing.T) {
+	SeedIDs(7)
+	for _, sampled := range []bool{false, true} {
+		sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: sampled}
+		h := sc.Traceparent()
+		if len(h) != 55 {
+			t.Fatalf("traceparent %q is %d bytes, want 55", h, len(h))
+		}
+		got, err := ParseTraceparent(h)
+		if err != nil {
+			t.Fatalf("reparsing %q: %v", h, err)
+		}
+		if got != sc {
+			t.Fatalf("round trip drifted: sent %+v got %+v", sc, got)
+		}
+	}
+}
+
+// TestTraceparentMalformed is the malformed-header table: every entry
+// must be rejected, never panic, and never yield a valid context.
+func TestTraceparentMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"short", "00-abc"},
+		{"bad delimiters", "00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01"},
+		{"uppercase trace", "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01"},
+		{"uppercase span", "00-0af7651916cd43dd8448eb211c80319c-B7AD6B7169203331-01"},
+		{"zero trace", "00-00000000000000000000000000000000-b7ad6b7169203331-01"},
+		{"zero span", "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01"},
+		{"version ff", "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"},
+		{"nonhex version", "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"},
+		{"nonhex flags", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz"},
+		{"v00 trailing data", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"},
+		{"v01 trailing junk without dash", "01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x"},
+		{"truncated flags", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0"},
+		{"unicode", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0é"},
+	}
+	for _, tc := range cases {
+		if sc, err := ParseTraceparent(tc.in); err == nil {
+			t.Errorf("%s: %q parsed to %+v, want error", tc.name, tc.in, sc)
+		}
+	}
+}
+
+// TestTraceparentFutureVersion checks the W3C forward-compatibility rule:
+// a higher version with well-formed leading fields parses, with or
+// without dash-separated trailing data.
+func TestTraceparentFutureVersion(t *testing.T) {
+	for _, in := range []string{
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-what-future-holds",
+	} {
+		sc, err := ParseTraceparent(in)
+		if err != nil {
+			t.Fatalf("future version %q rejected: %v", in, err)
+		}
+		if sc.Trace.String() != "0af7651916cd43dd8448eb211c80319c" || sc.Span.String() != "b7ad6b7169203331" {
+			t.Fatalf("future version %q misparsed: %+v", in, sc)
+		}
+		if !sc.Sampled {
+			t.Fatalf("future version %q lost the sampled flag", in)
+		}
+	}
+}
+
+// TestSeededIDsDeterministic pins the seeded-generation contract: a fixed
+// seed reproduces the exact ID sequence.
+func TestSeededIDsDeterministic(t *testing.T) {
+	SeedIDs(42)
+	a1, b1, c1 := NewTraceID(), NewSpanID(), NewSpanID()
+	SeedIDs(42)
+	a2, b2, c2 := NewTraceID(), NewSpanID(), NewSpanID()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Fatalf("seeded ID stream is not reproducible: (%s,%s,%s) vs (%s,%s,%s)", a1, b1, c1, a2, b2, c2)
+	}
+	SeedIDs(43)
+	if a3 := NewTraceID(); a3 == a1 {
+		t.Fatalf("different seeds produced the same trace id %s", a3)
+	}
+}
+
+// TestStartSpanCtxPropagation checks that nested spans share one trace and
+// chain parent links, and that the emitted records carry the lineage.
+func TestStartSpanCtxPropagation(t *testing.T) {
+	mem := &Memory{}
+	SetSink(mem)
+	defer SetSink(nil)
+	SeedIDs(1)
+
+	root, ctx := StartSpanCtx(context.Background(), "outer")
+	child, _ := StartSpanCtx(ctx, "inner")
+	if root.Context().Trace != child.Context().Trace {
+		t.Fatalf("child left the trace: %s vs %s", root.Context().Trace, child.Context().Trace)
+	}
+	child.End()
+	root.End()
+
+	spans := map[string]Record{}
+	for _, r := range mem.Records() {
+		spans[r.Name] = r
+	}
+	in, out := spans["inner"], spans["outer"]
+	if in.Trace.IsZero() || in.Trace != out.Trace {
+		t.Fatalf("records carry different traces: %s vs %s", in.Trace, out.Trace)
+	}
+	if in.Parent != out.Span {
+		t.Fatalf("inner's parent %s is not outer's span %s", in.Parent, out.Span)
+	}
+	if out.Parent != (SpanID{}) {
+		t.Fatalf("outer is a root but has parent %s", out.Parent)
+	}
+}
+
+// TestStartSpanCtxJoinsInboundContext checks a W3C header context is
+// honored as the parent (the HTTP-admission stitch).
+func TestStartSpanCtxJoinsInboundContext(t *testing.T) {
+	mem := &Memory{}
+	SetSink(mem)
+	defer SetSink(nil)
+
+	inbound, err := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithSpanContext(context.Background(), inbound)
+	sp, _ := StartSpanCtx(ctx, "server")
+	sp.End()
+
+	r := mem.Records()[0]
+	if r.Trace != inbound.Trace {
+		t.Fatalf("server span trace %s, want inbound %s", r.Trace, inbound.Trace)
+	}
+	if r.Parent != inbound.Span {
+		t.Fatalf("server span parent %s, want inbound span %s", r.Parent, inbound.Span)
+	}
+}
+
+// TestStartSpanCtxDisabled pins the disabled-path contract: nil span,
+// untouched context, no allocation of a child identity.
+func TestStartSpanCtxDisabled(t *testing.T) {
+	SetSink(nil)
+	ctx := context.Background()
+	sp, got := StartSpanCtx(ctx, "never")
+	if sp != nil {
+		t.Fatalf("disabled StartSpanCtx returned a span")
+	}
+	if got != ctx {
+		t.Fatalf("disabled StartSpanCtx derived a new context")
+	}
+	sp.End() // must not panic
+	if sp.Context().Valid() {
+		t.Fatalf("nil span has a valid context")
+	}
+}
+
+// TestRootSpanContextFallback checks the process-wide root installed by
+// resumable CLI runs is adopted by spans whose context carries no trace.
+func TestRootSpanContextFallback(t *testing.T) {
+	mem := &Memory{}
+	SetSink(mem)
+	defer SetSink(nil)
+	root := SpanContext{Trace: TraceIDFromBytes([]byte("run-identity")), Span: NewSpanID()}
+	SetRootSpanContext(root)
+	defer SetRootSpanContext(SpanContext{})
+
+	sp, _ := StartSpanCtx(context.Background(), "adopted")
+	sp.End()
+	if r := mem.Records()[0]; r.Trace != root.Trace || r.Parent != root.Span {
+		t.Fatalf("span did not adopt the process root: %+v", r)
+	}
+
+	// An explicit context still wins over the process root.
+	other := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	sp2, _ := StartSpanCtx(WithSpanContext(context.Background(), other), "explicit")
+	sp2.End()
+	if r := mem.Records()[1]; r.Trace != other.Trace {
+		t.Fatalf("explicit context lost to the process root: %+v", r)
+	}
+}
+
+// TestWideEvent checks the wide-event contract: kind "wide", trace
+// stamped from the context.
+func TestWideEvent(t *testing.T) {
+	mem := &Memory{}
+	SetSink(mem)
+	defer SetSink(nil)
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	Wide(WithSpanContext(context.Background(), sc), "job.wide", F("tenant", "t1"), F("queue_wait_ms", 12.5))
+	r := mem.Records()[0]
+	if r.Kind != "wide" || r.Name != "job.wide" {
+		t.Fatalf("wide record mis-shaped: %+v", r)
+	}
+	if r.Trace != sc.Trace || r.Span != sc.Span {
+		t.Fatalf("wide record lost the trace: %+v", r)
+	}
+	obj := RecordObject(r)
+	if obj["trace"] != sc.Trace.String() || obj["tenant"] != "t1" {
+		t.Fatalf("wire object lost fields: %v", obj)
+	}
+}
+
+// TestTraceIDFromBytes pins the deterministic root-trace constructor.
+func TestTraceIDFromBytes(t *testing.T) {
+	a := TraceIDFromBytes([]byte{1, 2, 3})
+	b := TraceIDFromBytes([]byte{1, 2, 3})
+	if a != b || a.IsZero() {
+		t.Fatalf("TraceIDFromBytes not deterministic/non-zero: %s vs %s", a, b)
+	}
+	if z := TraceIDFromBytes(nil); z.IsZero() {
+		t.Fatalf("empty input produced the invalid all-zero trace id")
+	}
+	long := TraceIDFromBytes([]byte(strings.Repeat("x", 64)))
+	if long.IsZero() {
+		t.Fatalf("long input produced zero id")
+	}
+}
+
+// BenchmarkDisabledStartSpanCtx measures the tracing disabled path — it
+// must stay at one atomic load, like every other emission helper.
+func BenchmarkDisabledStartSpanCtx(b *testing.B) {
+	SetSink(nil)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, _ := StartSpanCtx(ctx, "bench")
+		sp.End()
+	}
+}

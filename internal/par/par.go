@@ -104,9 +104,11 @@ func forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 					// Items are coarse (a full simulation run, a search
 					// restart), so a per-item span is cheap relative to the
 					// work; the worker field maps the item onto its worker's
-					// thread lane in the Chrome trace view.
-					sp := obs.StartSpan("par.item", obs.F("worker", worker), obs.F("index", i))
-					err := fn(ctx, i)
+					// thread lane in the Chrome trace view, and the derived
+					// context hands each item its own span as parent so
+					// nested instrumentation trees under the right item.
+					sp, ictx := obs.StartSpanCtx(ctx, "par.item", obs.F("worker", worker), obs.F("index", i))
+					err := fn(ictx, i)
 					sp.End(obs.F("err", err != nil))
 					obs.Progress("par.foreach", done.Add(1), int64(n))
 					if err != nil {

@@ -100,8 +100,17 @@ func RunUnit(ctx context.Context, name string, i int, fn func(ctx context.Contex
 // RunUnit executes one unit under this specific policy, regardless of
 // what (if anything) is installed process-wide — the form long-lived
 // services use to give every job its own deadlines and retry budgets
-// without fighting over a global.
+// without fighting over a global. When observability is on, the unit
+// runs inside a "par.unit" span chained to the caller's trace, so every
+// retry and timeout lands under the job that caused it.
 func (p Policy) RunUnit(ctx context.Context, name string, i int, fn func(ctx context.Context) error) error {
+	sp, ctx := obs.StartSpanCtx(ctx, "par.unit", obs.F("unit", name), obs.F("index", i))
+	err := p.runUnit(ctx, name, i, fn)
+	sp.End(obs.F("err", err != nil))
+	return err
+}
+
+func (p Policy) runUnit(ctx context.Context, name string, i int, fn func(ctx context.Context) error) error {
 	if !p.Active() {
 		return runAttempt(ctx, fn)
 	}
@@ -134,7 +143,7 @@ func (p Policy) RunUnit(ctx context.Context, name string, i int, fn func(ctx con
 		}
 		retriedCount.Add(1)
 		if obs.Enabled() {
-			obs.Event("par.retry",
+			obs.EventCtx(ctx, "par.retry",
 				obs.F("value", retriedCount.Load()),
 				obs.F("unit", fmt.Sprintf("%s[%d]", name, i)),
 				obs.F("attempt", attempt+1),
@@ -273,7 +282,7 @@ func ForEachPartial(ctx context.Context, name string, n int, fn func(ctx context
 		if budget > 0 && nFailed <= budget {
 			salvagedCount.Add(1)
 			if obs.Enabled() {
-				obs.Event("par.salvaged",
+				obs.EventCtx(ctx, "par.salvaged",
 					obs.F("value", salvagedCount.Load()),
 					obs.F("unit", fmt.Sprintf("%s[%d]", name, i)),
 					obs.F("err", uerr.Error()))

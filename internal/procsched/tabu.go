@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"commsched/internal/obs"
 )
 
 // TabuOptions parameterizes the process-level Tabu search; zero values
@@ -68,6 +70,8 @@ func TabuContext(ctx context.Context, pr *Problem, opts TabuOptions, rng *rand.R
 		ctx = context.Background()
 	}
 	opts = opts.withDefaults()
+	sp, ctx := obs.StartSpanCtx(ctx, "procsched.tabu",
+		obs.F("restarts", opts.Restarts), obs.F("max_iterations", opts.MaxIterations))
 	res := &Result{}
 	for restart := 0; restart < opts.Restarts; restart++ {
 		a := pr.RandomAssignment(rng)
@@ -79,6 +83,7 @@ func TabuContext(ctx context.Context, pr *Problem, opts TabuOptions, rng *rand.R
 
 		for iter := 0; iter < opts.MaxIterations; iter++ {
 			if err := ctx.Err(); err != nil {
+				sp.End(obs.F("cancelled", true))
 				return res, fmt.Errorf("procsched: tabu cancelled at restart %d iteration %d: %w", restart, iter, err)
 			}
 			mv, delta, evals, found := bestMove(pr, a, tabu, iter, cur, res.BestCost)
@@ -105,6 +110,7 @@ func TabuContext(ctx context.Context, pr *Problem, opts TabuOptions, rng *rand.R
 			consider(res, a, cur)
 		}
 	}
+	sp.End(obs.F("best_cost", res.BestCost), obs.F("evaluations", res.Evaluations), obs.F("iterations", res.Iterations))
 	return res, nil
 }
 

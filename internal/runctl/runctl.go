@@ -7,6 +7,8 @@ package runctl
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"commsched/internal/obs"
 	"commsched/internal/par"
 	"commsched/internal/runstate"
 )
@@ -112,7 +115,9 @@ func Activate(cfg Config, id runstate.Identity, warn io.Writer) (func() error, e
 				cfg.ResumeDir, n)
 		}
 	}
+	installRootTrace(id)
 	return func() error {
+		obs.SetRootSpanContext(obs.SpanContext{})
 		par.SetPolicy(par.Policy{})
 		if n := par.Salvaged(); n > 0 && warn != nil {
 			fmt.Fprintf(warn, "warning: %d unit(s) failed permanently and were salvaged as incomplete; results are partial\n", n)
@@ -128,4 +133,45 @@ func Activate(cfg Config, id runstate.Identity, warn io.Writer) (func() error, e
 		}
 		return st.Close()
 	}, nil
+}
+
+// traceRootUnit is the durable form of the run's root span context — the
+// "trace/root" checkpoint unit. Journaling it makes trace continuity an
+// explicit contract: a -resume replays the recorded identity (even if the
+// derivation scheme ever changes between versions), so the interrupted
+// run and its resume stitch into one trace.
+type traceRootUnit struct {
+	Trace string `json:"trace"`
+	Span  string `json:"span"`
+}
+
+// installRootTrace derives the run's root span context deterministically
+// from the run identity (SHA-256 of its JSON encoding: bytes 0..16 are
+// the trace ID, 16..24 the root span ID) and installs it as the
+// process-wide fallback, so every span of the run — even from code that
+// passes a bare context — lands in one trace. With a checkpoint store
+// open, the context is journaled as the "trace/root" unit and replayed
+// on resume.
+func installRootTrace(id runstate.Identity) {
+	data, err := json.Marshal(id)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(data)
+	sc := obs.SpanContext{Trace: obs.TraceIDFromBytes(sum[:16]), Sampled: true}
+	copy(sc.Span[:], sum[16:24])
+	if sc.Span.IsZero() {
+		sc.Span[7] = 1
+	}
+	var u traceRootUnit
+	if runstate.Lookup("trace/root", &u) {
+		if tr, terr := obs.ParseTraceID(u.Trace); terr == nil {
+			if sp, serr := obs.ParseSpanID(u.Span); serr == nil {
+				sc.Trace, sc.Span = tr, sp
+			}
+		}
+	} else {
+		runstate.Record("trace/root", traceRootUnit{Trace: sc.Trace.String(), Span: sc.Span.String()})
+	}
+	obs.SetRootSpanContext(sc)
 }

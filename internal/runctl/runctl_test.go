@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"commsched/internal/obs"
 	"commsched/internal/par"
 	"commsched/internal/runstate"
 )
@@ -75,6 +76,85 @@ func TestActivateResumeRoundTrip(t *testing.T) {
 	}
 	if err := finish(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRootTraceDeterministic pins the root-trace contract: the trace is
+// a pure function of the run identity, is installed as the process-wide
+// fallback for the duration of the run, and is uninstalled by finish.
+func TestRootTraceDeterministic(t *testing.T) {
+	id := testIdentity()
+	finish, err := Activate(Config{}, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc1 := obs.SpanContextFrom(nil)
+	if !sc1.Valid() {
+		t.Fatal("Activate installed no root span context")
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if obs.SpanContextFrom(nil).Valid() {
+		t.Fatal("finish left the root span context installed")
+	}
+
+	finish, err = Activate(Config{}, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2 := obs.SpanContextFrom(nil)
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if sc1 != sc2 {
+		t.Fatalf("same identity yielded different root traces: %s vs %s", sc1.Traceparent(), sc2.Traceparent())
+	}
+
+	other := testIdentity()
+	other.Seeds = map[string]int64{"search": 7}
+	finish, err = Activate(Config{}, other, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc3 := obs.SpanContextFrom(nil)
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if sc3.Trace == sc1.Trace {
+		t.Fatal("different identities share a root trace")
+	}
+}
+
+// TestRootTraceStitchedAcrossResume is the durable-trace contract: a run
+// killed mid-way and resumed from its checkpoint directory continues the
+// SAME trace, replayed from the journaled "trace/root" unit.
+func TestRootTraceStitchedAcrossResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	id := testIdentity()
+
+	finish, err := Activate(Config{ResumeDir: dir}, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := obs.SpanContextFrom(nil)
+	if !first.Valid() {
+		t.Fatal("no root span context on the first run")
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	finish, err = Activate(Config{ResumeDir: dir}, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := obs.SpanContextFrom(nil)
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed != first {
+		t.Fatalf("resume minted a new root trace: %s, first run had %s", resumed.Traceparent(), first.Traceparent())
 	}
 }
 

@@ -40,7 +40,8 @@ func (a *Anneal) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rn
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("search.anneal", obs.F("restarts", a.Restarts), obs.F("steps", a.Steps))
+	sp, sctx := obs.StartSpanCtx(ctx, "search.anneal", obs.F("restarts", a.Restarts), obs.F("steps", a.Steps))
+	ctx = sctx
 	res := &Result{}
 	for restart := 0; restart < a.Restarts; restart++ {
 		p, err := spec.randomPartition(rng)
@@ -90,7 +91,7 @@ func (a *Anneal) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rn
 			temp *= a.Cooling
 		}
 		if obs.Enabled() {
-			obs.Event("search.restart",
+			obs.EventCtx(ctx, "search.restart",
 				obs.F("heuristic", "simulated-annealing"),
 				obs.F("restart", restart),
 				obs.F("iterations", accepted),

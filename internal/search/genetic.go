@@ -50,7 +50,8 @@ func (g *Genetic) Search(ctx context.Context, e *quality.Evaluator, spec Spec, r
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("search.genetic", obs.F("population", g.Population), obs.F("generations", g.Generations))
+	sp, sctx := obs.StartSpanCtx(ctx, "search.genetic", obs.F("population", g.Population), obs.F("generations", g.Generations))
+	ctx = sctx
 	res := &Result{}
 	n := spec.N()
 	pop := make([]chromosome, g.Population)
@@ -82,7 +83,7 @@ func (g *Genetic) Search(ctx context.Context, e *quality.Evaluator, spec Spec, r
 		}
 		if obs.Enabled() {
 			// pop is still sorted from the selection step above.
-			obs.Event("search.generation",
+			obs.EventCtx(ctx, "search.generation",
 				obs.F("heuristic", "genetic"),
 				obs.F("generation", gen),
 				obs.F("best", pop[0].val),

@@ -70,8 +70,8 @@ func (t *Tabu) Search(ctx context.Context, e *quality.Evaluator, spec Spec, rng 
 	if err := spec.validate(e); err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("search.tabu", obs.F("restarts", t.Restarts), obs.F("parallel", t.Parallel))
-	res, err := t.searchObjective(orBackground(ctx), e, spec, rng, func(p *mapping.Partition) float64 {
+	sp, sctx := obs.StartSpanCtx(orBackground(ctx), "search.tabu", obs.F("restarts", t.Restarts), obs.F("parallel", t.Parallel))
+	res, err := t.searchObjective(sctx, e, spec, rng, func(p *mapping.Partition) float64 {
 		return e.Similarity(p)
 	})
 	if err != nil {
@@ -90,8 +90,8 @@ func (t *Tabu) SearchObjective(ctx context.Context, obj Objective, spec Spec, rn
 	if err := validateSpecShape(spec); err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("search.tabu", obs.F("restarts", t.Restarts), obs.F("parallel", t.Parallel))
-	res, err := t.searchObjective(orBackground(ctx), obj, spec, rng, nil)
+	sp, sctx := obs.StartSpanCtx(orBackground(ctx), "search.tabu", obs.F("restarts", t.Restarts), obs.F("parallel", t.Parallel))
+	res, err := t.searchObjective(sctx, obj, spec, rng, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -122,10 +122,10 @@ func (t *Tabu) SearchFrom(ctx context.Context, obj Objective, spec Spec, rng *ra
 				c, start.Size(c), spec.Sizes[c])
 		}
 	}
-	sp := obs.StartSpan("search.tabu_warm", obs.F("n", start.N()), obs.F("m", start.M()))
+	sp, sctx := obs.StartSpanCtx(ctx, "search.tabu_warm", obs.F("n", start.N()), obs.F("m", start.M()))
 	res := &Result{}
 	globalIter := 0
-	if err := t.runRestart(ctx, obj, start.Clone(), res, 0, &globalIter, nil); err != nil {
+	if err := t.runRestart(sctx, obj, start.Clone(), res, 0, &globalIter, nil); err != nil {
 		return nil, err
 	}
 	sp.End(obs.F("best", res.BestIntraSum), obs.F("evaluations", res.Evaluations), obs.F("iterations", res.Iterations))

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"commsched/internal/obs"
 )
 
 // Mux builds the daemon's HTTP API on a standard ServeMux:
@@ -27,20 +29,53 @@ import (
 // elsewhere).
 func (s *Service) Mux(tel http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
-	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("POST /evaluate", s.handleEvaluate)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /jobs", withTrace("/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /jobs", withTrace("/jobs", s.handleList))
+	mux.HandleFunc("GET /jobs/{id}", withTrace("/jobs/{id}", s.handleGet))
+	mux.HandleFunc("GET /jobs/{id}/result", withTrace("/jobs/{id}/result", s.handleResult))
+	mux.HandleFunc("POST /evaluate", withTrace("/evaluate", s.handleEvaluate))
+	mux.HandleFunc("GET /healthz", withTrace("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", withTrace("/readyz", s.handleReadyz))
 	if tel != nil {
 		mux.Handle("/metrics", tel)
 		mux.Handle("/events", tel)
 		mux.Handle("/runs", tel)
+		mux.Handle("/trace/", tel)
 		mux.Handle("/debug/pprof/", tel)
 	}
 	return mux
+}
+
+// statusWriter captures the response code for the http.request span.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withTrace is the W3C trace-context middleware: it joins the client's
+// traceparent (or mints a fresh root when the header is absent or
+// malformed), opens a request span as its child, echoes the span's own
+// traceparent in the response so the client can correlate, and attaches
+// the span context to the request context for everything downstream
+// (admission, the runner, error bodies). The header round trip works
+// whether or not an obs sink is installed; only the span emission is
+// gated.
+func withTrace(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		sc := parent.NewChild()
+		w.Header().Set("traceparent", sc.Traceparent())
+		sp := obs.StartSpanAt(sc, parent.Span, "http.request",
+			obs.F("endpoint", endpoint), obs.F("method", r.Method))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(obs.WithSpanContext(r.Context(), sc)))
+		sp.End(obs.F("status", sw.code))
+	}
 }
 
 // maxBodyBytes bounds any request body: the largest legitimate payload
@@ -51,6 +86,12 @@ type apiError struct {
 	Error      string  `json:"error"`
 	Reason     string  `json:"reason,omitempty"`
 	RetryAfter float64 `json:"retry_after_seconds,omitempty"`
+	// TraceID / JobID are the machine-readable correlation handles: the
+	// request's trace (always present under the trace middleware) and the
+	// job involved when one is known, so a client's audit log can tie a
+	// 429/503/500 back to the submission that caused it.
+	TraceID string `json:"trace_id,omitempty"`
+	JobID   string `json:"job_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -61,10 +102,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
 }
 
+// correlate stamps an error body with the request's trace ID and, when
+// known, the job ID.
+func correlate(r *http.Request, jobID string, e apiError) apiError {
+	if sc := obs.SpanContextFrom(r.Context()); sc.Valid() {
+		e.TraceID = sc.Trace.String()
+	}
+	e.JobID = jobID
+	return e
+}
+
 // writeError translates the service's error taxonomy to HTTP: Decision →
 // its own code with a Retry-After header, ErrInvalid → 400, anything
-// else → 500.
-func writeError(w http.ResponseWriter, err error) {
+// else → 500. Every body carries the request's trace ID (and the job ID
+// when the caller knows one).
+func writeError(w http.ResponseWriter, r *http.Request, jobID string, err error) {
 	var d Decision
 	if errors.As(err, &d) {
 		if d.RetryAfter > 0 {
@@ -74,14 +126,14 @@ func writeError(w http.ResponseWriter, err error) {
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
 		}
-		writeJSON(w, d.Code, apiError{Error: d.Error(), Reason: d.Reason, RetryAfter: d.RetryAfter.Seconds()})
+		writeJSON(w, d.Code, correlate(r, jobID, apiError{Error: d.Error(), Reason: d.Reason, RetryAfter: d.RetryAfter.Seconds()}))
 		return
 	}
 	if errors.Is(err, ErrInvalid) {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Reason: "invalid"})
+		writeJSON(w, http.StatusBadRequest, correlate(r, jobID, apiError{Error: err.Error(), Reason: "invalid"}))
 		return
 	}
-	writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	writeJSON(w, http.StatusInternalServerError, correlate(r, jobID, apiError{Error: err.Error()}))
 }
 
 func decodeSpec(w http.ResponseWriter, r *http.Request) (JobSpec, bool) {
@@ -90,7 +142,7 @@ func decodeSpec(w http.ResponseWriter, r *http.Request) (JobSpec, bool) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding job spec: %v", err), Reason: "invalid"})
+		writeJSON(w, http.StatusBadRequest, correlate(r, "", apiError{Error: fmt.Sprintf("decoding job spec: %v", err), Reason: "invalid"}))
 		return JobSpec{}, false
 	}
 	return spec, true
@@ -101,9 +153,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	job, err := s.Submit(spec)
+	job, err := s.SubmitCtx(r.Context(), spec)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, "", err)
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+job.ID)
@@ -133,18 +185,20 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	job, ok := s.Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job", Reason: "not_found"})
+		writeJSON(w, http.StatusNotFound, correlate(r, id, apiError{Error: "no such job", Reason: "not_found"}))
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	job, ok := s.Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job", Reason: "not_found"})
+		writeJSON(w, http.StatusNotFound, correlate(r, id, apiError{Error: "no such job", Reason: "not_found"}))
 		return
 	}
 	switch job.State {
@@ -152,11 +206,11 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(job.Result) //nolint:errcheck // client gone; nothing to do
 	case StateFailed:
-		writeJSON(w, http.StatusConflict, apiError{Error: job.Error, Reason: "failed"})
+		writeJSON(w, http.StatusConflict, correlate(r, id, apiError{Error: job.Error, Reason: "failed"}))
 	default:
 		// Not done yet: tell the poller how things stand and to come back.
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job is %s", job.State), Reason: string(job.State), RetryAfter: 1})
+		writeJSON(w, http.StatusConflict, correlate(r, id, apiError{Error: fmt.Sprintf("job is %s", job.State), Reason: string(job.State), RetryAfter: 1}))
 	}
 }
 
@@ -167,7 +221,7 @@ func (s *Service) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Evaluate(r.Context(), spec)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, "", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)

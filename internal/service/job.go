@@ -264,6 +264,16 @@ type Job struct {
 	// Result is the canonical result document, when State == done. It
 	// depends only on Spec — never on timing, worker, or resume history.
 	Result json.RawMessage `json:"result,omitempty"`
+	// Trace / Span are the causal identity of the submission: the trace ID
+	// (from the client's traceparent, or minted at admission) and the
+	// admission span's ID. They are journaled with the job, so a daemon
+	// killed mid-run stitches the resumed work into the same trace. They
+	// are status metadata — never part of Result.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
+	// QueueWaitMs is how long the job waited between submission and worker
+	// pickup, in milliseconds (set when it starts running).
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
 	// Attempts counts worker pickups (>1 after a resume).
 	Attempts int `json:"attempts"`
 	// Salvaged counts sweep points salvaged as incomplete under the

@@ -141,7 +141,7 @@ func (r *CoreRunner) openJobCheckpoint(job *Job) (*runstate.Store, error) {
 
 // Run implements Runner.
 func (r *CoreRunner) Run(ctx context.Context, job *Job) (json.RawMessage, RunInfo, error) {
-	sp := obs.StartSpan("service.run",
+	sp, ctx := obs.StartSpanCtx(ctx, "service.run",
 		obs.F("job", job.ID), obs.F("kind", string(job.Spec.Kind)))
 	res, info, err := r.run(ctx, job)
 	sp.End(obs.F("err", err != nil), obs.F("salvaged", info.Salvaged))
@@ -297,6 +297,7 @@ func (r *CoreRunner) sweep(ctx context.Context, sys *core.System, job *Job) (*Sw
 		var pt SweepResultPoint
 		if ck != nil && ck.Lookup(key, &pt) {
 			out.Points = append(out.Points, pt)
+			r.emitUnitWide(ctx, job, key, rate, &pt, true)
 			continue
 		}
 		cfg := simnet.Config{
@@ -343,6 +344,7 @@ func (r *CoreRunner) sweep(ctx context.Context, sys *core.System, job *Job) (*Sw
 		if ck != nil {
 			ck.Record(key, pt)
 		}
+		r.emitUnitWide(ctx, job, key, rate, &pt, false)
 		obs.Progress("job:"+job.ID, int64(len(out.Points)), int64(len(job.Spec.Rates)))
 	}
 
@@ -353,4 +355,22 @@ func (r *CoreRunner) sweep(ctx context.Context, sys *core.System, job *Job) (*Sw
 		}
 	}
 	return out, salvaged, nil
+}
+
+// emitUnitWide emits the canonical per-checkpoint-unit wide event: one
+// record per sweep point, whether computed fresh or replayed from the
+// journal of a killed predecessor — the replay is part of the job's
+// causal story and shares its trace.
+func (r *CoreRunner) emitUnitWide(ctx context.Context, job *Job, unit string, rate float64, pt *SweepResultPoint, replayed bool) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Wide(ctx, "unit.wide",
+		obs.F("job", job.ID),
+		obs.F("unit", unit),
+		obs.F("replayed", replayed),
+		obs.F("incomplete", pt.Incomplete),
+		obs.F("rate", rate),
+		obs.F("accepted", pt.AcceptedTraffic),
+		obs.F("latency", pt.AvgLatency))
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -164,6 +165,15 @@ func (s *Service) Start(ctx context.Context) error {
 // returned error is nil (job accepted), a Decision (admission rejected
 // it — translate to 429/503), or wraps ErrInvalid (400).
 func (s *Service) Submit(spec JobSpec) (Job, error) {
+	return s.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with trace carriage: the context's span context
+// (minted by the HTTP trace middleware from the client's traceparent)
+// becomes the job's causal identity, journaled with the record so every
+// later transition — including a resume in a different process — lands
+// in the submission's trace.
+func (s *Service) SubmitCtx(ctx context.Context, spec JobSpec) (Job, error) {
 	net, err := spec.ResolveNetwork()
 	if err != nil {
 		return Job{}, fmt.Errorf("%w: %v", ErrInvalid, err)
@@ -184,6 +194,10 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 		TopologySHA: sha,
 		State:       StateQueued,
 		SubmittedAt: s.clock().UTC(),
+	}
+	if sc := obs.SpanContextFrom(ctx); sc.Valid() {
+		job.Trace = sc.Trace.String()
+		job.Span = sc.Span.String()
 	}
 	if err := s.store.Create(&job); err != nil {
 		s.adm.Release(spec.Tenant, true)
@@ -266,14 +280,23 @@ func (s *Service) runJob(id string) {
 	job.State = StateRunning
 	job.StartedAt = s.clock().UTC()
 	job.Attempts++
+	queueWait := job.StartedAt.Sub(job.SubmittedAt)
+	if queueWait < 0 {
+		queueWait = 0
+	}
+	job.QueueWaitMs = float64(queueWait.Microseconds()) / 1000
 	if err := s.store.Update(&job); err != nil {
 		obs.Event("service.store_error", obs.F("err", err.Error()))
 	}
 	s.running.Add(1)
-	s.emitJobState(&job)
+	ctx := s.jobTraceCtx(&job)
+	obs.EventCtx(ctx, "service.latency",
+		obs.F("state", "queued"), obs.F("seconds", queueWait.Seconds()), obs.F("job", job.ID))
+	s.emitJobState(ctx, &job)
 
-	result, info, runErr := s.runner.Run(s.jobCtx, &job)
+	result, info, runErr := s.runner.Run(ctx, &job)
 	s.running.Add(-1)
+	runDur := s.clock().UTC().Sub(job.StartedAt)
 
 	switch {
 	case runErr != nil && s.jobCtx.Err() != nil:
@@ -303,17 +326,81 @@ func (s *Service) runJob(id string) {
 		obs.Event("service.store_error", obs.F("err", err.Error()))
 	}
 	s.adm.Release(job.Spec.Tenant, false)
-	s.emitJobState(&job)
+	obs.EventCtx(ctx, "service.latency",
+		obs.F("state", "running"), obs.F("seconds", runDur.Seconds()), obs.F("job", job.ID))
+	s.emitJobState(ctx, &job)
+	s.emitJobWide(ctx, &job, runDur)
 	s.emitDepth()
 	obs.Progress("service.jobs", s.completed.Load()+s.failed.Load(), s.submitted.Load())
 }
 
-func (s *Service) emitJobState(j *Job) {
-	obs.Event("service.job",
+// jobTraceCtx derives the job's execution context: the daemon's job
+// context carrying the journaled submission span context, so every span
+// and event the run emits — in this process or a post-SIGKILL successor —
+// stitches under the submission.
+func (s *Service) jobTraceCtx(j *Job) context.Context {
+	tid, terr := obs.ParseTraceID(j.Trace)
+	sid, serr := obs.ParseSpanID(j.Span)
+	if terr != nil || serr != nil {
+		return s.jobCtx
+	}
+	return obs.WithSpanContext(s.jobCtx, obs.SpanContext{Trace: tid, Span: sid, Sampled: true})
+}
+
+func (s *Service) emitJobState(ctx context.Context, j *Job) {
+	obs.EventCtx(ctx, "service.job",
 		obs.F("job", j.ID),
 		obs.F("state", string(j.State)),
 		obs.F("attempts", j.Attempts),
 		obs.F("tenant", j.Spec.Tenant))
+}
+
+// emitJobWide emits the canonical per-job wide event: one record carrying
+// everything an operator asks of a finished (or parked) job — identity,
+// tenant, lifecycle, queue wait, run time, attempts, salvage count, and
+// the headline result quantities — so a single JSONL line joins the
+// trace to the paper's numbers.
+func (s *Service) emitJobWide(ctx context.Context, j *Job, runDur time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	fields := []obs.Field{
+		obs.F("job", j.ID),
+		obs.F("tenant", j.Spec.Tenant),
+		obs.F("kind", string(j.Spec.Kind)),
+		obs.F("state", string(j.State)),
+		obs.F("attempts", j.Attempts),
+		obs.F("salvaged", j.Salvaged),
+		obs.F("queue_wait_ms", j.QueueWaitMs),
+		obs.F("run_ms", float64(runDur.Microseconds())/1000),
+		obs.F("seed", j.Spec.Seed),
+		obs.F("topology_sha", j.TopologySHA),
+	}
+	if j.Error != "" {
+		fields = append(fields, obs.F("err", j.Error))
+	}
+	if j.State == StateDone && len(j.Result) > 0 {
+		// Headline quantities shared by the result documents; absent
+		// fields stay zero and are omitted below.
+		var head struct {
+			Cc          float64 `json:"cc"`
+			Evaluations int     `json:"evaluations"`
+			Iterations  int     `json:"iterations"`
+			Throughput  float64 `json:"throughput"`
+		}
+		if json.Unmarshal(j.Result, &head) == nil {
+			if head.Cc != 0 {
+				fields = append(fields, obs.F("cc", head.Cc))
+			}
+			if head.Evaluations > 0 {
+				fields = append(fields, obs.F("evaluations", head.Evaluations), obs.F("iterations", head.Iterations))
+			}
+			if head.Throughput != 0 {
+				fields = append(fields, obs.F("throughput", head.Throughput))
+			}
+		}
+	}
+	obs.Wide(ctx, "job.wide", fields...)
 }
 
 func (s *Service) emitDepth() {

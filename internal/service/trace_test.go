@@ -1,0 +1,184 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"commsched/internal/obs"
+)
+
+const testTraceparent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+func postSpecTraced(t *testing.T, url string, spec JobSpec) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", testTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestTraceRoundTrip submits with a known traceparent and checks the
+// whole correlation chain: the echoed header stays in the client's
+// trace (fresh span), the job record journals the trace, and the wide
+// event plus the runner spans carry it.
+func TestTraceRoundTrip(t *testing.T) {
+	mem := &obs.Memory{}
+	obs.SetSink(mem)
+	defer obs.SetSink(nil)
+
+	_, ts := newTestAPI(t, Config{Runner: &stubRunner{result: json.RawMessage(`{"cc":3.25}`)}})
+	resp := postSpecTraced(t, ts.URL+"/jobs", specEval())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	echoed, err := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if err != nil {
+		t.Fatalf("response traceparent %q: %v", resp.Header.Get("traceparent"), err)
+	}
+	want, _ := obs.ParseTraceparent(testTraceparent)
+	if echoed.Trace != want.Trace {
+		t.Fatalf("echoed trace %s, want the submitted %s", echoed.Trace, want.Trace)
+	}
+	if echoed.Span == want.Span {
+		t.Fatal("echo must be a fresh child span, not the client's own")
+	}
+	job := decodeBody[Job](t, resp)
+	if job.Trace != want.Trace.String() {
+		t.Fatalf("job journaled trace %q, want %s", job.Trace, want.Trace)
+	}
+	if job.Span == "" {
+		t.Fatal("job journaled no admission span")
+	}
+
+	// Wait for the terminal wide event.
+	deadline := time.Now().Add(10 * time.Second)
+	var wide obs.Record
+	for {
+		if recs := mem.ByName("job.wide"); len(recs) > 0 {
+			wide = recs[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no job.wide event")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if wide.Trace != want.Trace {
+		t.Fatalf("wide event trace %s, want %s", wide.Trace, want.Trace)
+	}
+	obj := obs.RecordObject(wide)
+	if obj["state"] != "done" || obj["job"] != job.ID {
+		t.Fatalf("wide event = %v", obj)
+	}
+	if _, ok := obj["queue_wait_ms"]; !ok {
+		t.Fatal("wide event missing queue_wait_ms")
+	}
+
+	// The queue-wait latency event shares the trace too.
+	var sawQueued bool
+	for _, r := range mem.ByName("service.latency") {
+		if obs.RecordObject(r)["state"] == "queued" && r.Trace == want.Trace {
+			sawQueued = true
+		}
+	}
+	if !sawQueued {
+		t.Fatal("no queued-state service.latency event in the submission's trace")
+	}
+}
+
+// TestTraceMintedWithoutHeader checks a header-less submission still gets
+// a trace: minted at admission, echoed, and journaled.
+func TestTraceMintedWithoutHeader(t *testing.T) {
+	_, ts := newTestAPI(t, Config{Runner: &stubRunner{result: json.RawMessage(`{}`)}})
+	resp := postSpec(t, ts, "/jobs", specEval())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	sc, err := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if err != nil {
+		t.Fatalf("minted traceparent %q: %v", resp.Header.Get("traceparent"), err)
+	}
+	job := decodeBody[Job](t, resp)
+	if job.Trace != sc.Trace.String() {
+		t.Fatalf("job trace %q, echoed %s", job.Trace, sc.Trace)
+	}
+}
+
+// TestErrorBodiesCarryTrace checks the satellite contract: error JSON
+// carries trace_id (and job_id when known) so audits can correlate.
+func TestErrorBodiesCarryTrace(t *testing.T) {
+	_, ts := newTestAPI(t, Config{Runner: &stubRunner{result: json.RawMessage(`{}`)}})
+
+	// 400: invalid spec.
+	resp := postSpecTraced(t, ts.URL+"/jobs", JobSpec{Kind: "bogus"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid submit = %d, want 400", resp.StatusCode)
+	}
+	e := decodeBody[apiError](t, resp)
+	want, _ := obs.ParseTraceparent(testTraceparent)
+	if e.TraceID != want.Trace.String() {
+		t.Fatalf("400 body trace_id = %q, want %s", e.TraceID, want.Trace)
+	}
+
+	// 404: unknown job — body names both the trace and the job asked for.
+	req, err := http.NewRequest("GET", ts.URL+"/jobs/nope", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", testTraceparent)
+	r404, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", r404.StatusCode)
+	}
+	e = decodeBody[apiError](t, r404)
+	if e.TraceID != want.Trace.String() || e.JobID != "nope" {
+		t.Fatalf("404 body = %+v, want trace %s and job nope", e, want.Trace)
+	}
+}
+
+// TestResultHasNoTraceFields pins the determinism contract: trace
+// identity lives in job status, never inside the result document.
+func TestResultHasNoTraceFields(t *testing.T) {
+	svc, _ := newTestAPI(t, Config{})
+	job, err := svc.Submit(specEval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, _ := svc.Get(job.ID)
+		if j.State.Terminal() {
+			if j.State != StateDone {
+				t.Fatalf("job failed: %s", j.Error)
+			}
+			if strings.Contains(string(j.Result), "trace") {
+				t.Fatalf("result document leaked trace fields: %s", j.Result)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

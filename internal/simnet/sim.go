@@ -512,7 +512,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Metrics, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	sp := obs.StartSpan("simnet.run",
+	sp, ctx := obs.StartSpanCtx(ctx, "simnet.run",
 		obs.F("rate", s.cfg.InjectionRate),
 		obs.F("warmup_cycles", s.cfg.WarmupCycles),
 		obs.F("measure_cycles", s.cfg.MeasureCycles),

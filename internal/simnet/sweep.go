@@ -51,7 +51,7 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 	if len(rates) == 0 {
 		return nil, fmt.Errorf("simnet: empty rate list")
 	}
-	sp := obs.StartSpan("simnet.sweep", obs.F("points", len(rates)), obs.F("max_rate", rates[len(rates)-1]))
+	sp, ctx := obs.StartSpanCtx(ctx, "simnet.sweep", obs.F("points", len(rates)), obs.F("max_rate", rates[len(rates)-1]))
 	// Checkpointing needs a scope identifying the (system, mapping) this
 	// sweep belongs to; without one a point cannot be named durably and
 	// the sweep runs un-checkpointed.
@@ -93,7 +93,7 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 			runstate.Record(key, m)
 		}
 		if obs.Enabled() {
-			obs.Event("simnet.sweep_point",
+			obs.EventCtx(ctx, "simnet.sweep_point",
 				obs.F("point", i+1),
 				obs.F("rate", rates[i]),
 				obs.F("accepted_traffic", m.AcceptedTraffic),

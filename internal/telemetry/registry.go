@@ -52,6 +52,9 @@ type Registry struct {
 	progress map[string]*ProgressState
 	manifest map[string]any
 	runstate map[string]any
+	// RED/SLO latency histograms with per-bucket exemplars (see slo.go).
+	httpLatency  map[string]*latencySeries // by endpoint
+	stateLatency map[string]*latencySeries // by job state
 }
 
 type spanStats struct {
@@ -100,6 +103,8 @@ func (g *Registry) reset() {
 	g.progress = make(map[string]*ProgressState)
 	g.manifest = nil
 	g.runstate = nil
+	g.httpLatency = make(map[string]*latencySeries)
+	g.stateLatency = make(map[string]*latencySeries)
 }
 
 // Emit implements obs.Sink.
@@ -116,10 +121,21 @@ func (g *Registry) Emit(r obs.Record) {
 		}
 		st.count++
 		st.sum += r.Dur.Seconds()
+		if r.Name == "http.request" {
+			if ep, ok := fieldString(r, "endpoint"); ok && ep != "" {
+				g.observeLatency(g.httpLatency, ep, r.Dur.Seconds(), r)
+			}
+		}
 	case "hist":
 		g.ingestHist(r)
 	}
 	switch r.Name {
+	case "service.latency":
+		if state, ok := fieldString(r, "state"); ok && state != "" {
+			if secs, ok := fieldFloat(r, "seconds"); ok {
+				g.observeLatency(g.stateLatency, state, secs, r)
+			}
+		}
 	case "progress":
 		g.ingestProgress(r)
 	case "run.manifest":
@@ -253,6 +269,13 @@ func (g *Registry) RunsJSON() ([]byte, error) {
 // so two registries with the same contents produce byte-identical output
 // (the golden-test and diff-friendly property).
 func (g *Registry) WritePrometheus(w io.Writer) error {
+	return g.writeExposition(w, false)
+}
+
+// writeExposition is the shared renderer behind WritePrometheus (bare)
+// and WriteOpenMetrics (exemplars on latency buckets; the caller appends
+// the "# EOF" terminator).
+func (g *Registry) writeExposition(w io.Writer, exemplars bool) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var b strings.Builder
@@ -295,6 +318,13 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "commsched_hist_count{name=%q} %d\n", name, h.count)
 		})
 	}
+
+	writeLatencyFamily(&b, "commsched_http_request_duration_seconds",
+		"HTTP request latency by endpoint, from http.request spans.",
+		"endpoint", g.httpLatency, exemplars)
+	writeLatencyFamily(&b, "commsched_job_state_duration_seconds",
+		"Time jobs spent in each lifecycle state, from service.latency events.",
+		"state", g.stateLatency, exemplars)
 
 	if len(g.progress) > 0 {
 		b.WriteString("# HELP commsched_progress_done Items completed by a tracked long-running task.\n")

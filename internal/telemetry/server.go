@@ -2,17 +2,22 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
 // Server is the embeddable telemetry endpoint of a long-running command:
 //
-//	/metrics   Prometheus text exposition of the registry (+ SSE stats)
+//	/metrics   Prometheus text exposition of the registry (+ SSE stats);
+//	           clients accepting application/openmetrics-text get the
+//	           OpenMetrics rendering with trace-ID exemplars
 //	/events    Server-Sent-Events stream of live obs records
 //	/runs      run manifest + live progress/ETA, as JSON
+//	/trace/{id}  one retained trace as JSON (404 without a trace store)
 //	/healthz   liveness probe
 //	/debug/pprof/...  the standard pprof handlers
 //
@@ -23,6 +28,9 @@ type Server struct {
 	Registry *Registry
 	// Hub fans records out to /events subscribers.
 	Hub *Hub
+	// Traces, when non-nil, backs GET /trace/{id}. Set it before Start
+	// (it is read per-request, so assigning after NewServer is enough).
+	Traces *Traces
 
 	srv     *http.Server
 	ln      net.Listener
@@ -36,6 +44,7 @@ func NewServer(reg *Registry, hub *Hub) *Server {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -79,8 +88,13 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.Registry.WritePrometheus(w); err != nil {
+	openmetrics := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+	if openmetrics {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
+	if err := s.Registry.writeExposition(w, openmetrics); err != nil {
 		return
 	}
 	subs, emitted, dropped := s.Hub.Stats()
@@ -93,6 +107,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP commsched_sse_dropped_total Records dropped across slow /events clients.\n")
 	fmt.Fprintf(w, "# TYPE commsched_sse_dropped_total counter\n")
 	fmt.Fprintf(w, "commsched_sse_dropped_total %d\n", dropped)
+	if openmetrics {
+		io.WriteString(w, "# EOF\n")
+	}
+}
+
+// handleTrace serves GET /trace/{id}: the retained records of one trace
+// as JSON, or 404 when the ID is unknown (or no trace store is wired).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if s.Traces == nil || id == "" {
+		http.Error(w, `{"error":"trace store disabled or missing id"}`, http.StatusNotFound)
+		return
+	}
+	data, ok := s.Traces.TraceJSON(id)
+	if !ok {
+		http.Error(w, `{"error":"unknown trace"}`, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
 }
 
 // sseBuffer is the per-client record buffer; past it, records are dropped

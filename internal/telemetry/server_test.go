@@ -248,3 +248,80 @@ func TestServiceLifecycle(t *testing.T) {
 		t.Errorf("JSONL trace missing the event:\n%s", lines)
 	}
 }
+
+// TestTraceEndpoint checks GET /trace/{id}: 404 without a store or for
+// unknown IDs, the JSON trace view otherwise.
+func TestTraceEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	if code, _, _ := get(t, ts.URL+"/trace/deadbeef"); code != http.StatusNotFound {
+		t.Fatalf("without a store, status = %d, want 404", code)
+	}
+	s.Traces = NewTraces(0, 0)
+	tr, err := obs.ParseTraceID("0af7651916cd43dd8448eb211c80319c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Traces.Emit(obs.Record{Time: time.Unix(1, 0), Kind: "span", Name: "service.run", Trace: tr})
+	code, body, hdr := get(t, ts.URL+"/trace/"+tr.String())
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var payload struct {
+		Trace   string           `json:"trace"`
+		Records []map[string]any `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("trace view is not JSON: %v\n%s", err, body)
+	}
+	if payload.Trace != tr.String() || len(payload.Records) != 1 || payload.Records[0]["name"] != "service.run" {
+		t.Errorf("trace view = %+v", payload)
+	}
+	if code, _, _ := get(t, ts.URL+"/trace/unknown"); code != http.StatusNotFound {
+		t.Errorf("unknown trace status = %d, want 404", code)
+	}
+}
+
+// TestMetricsContentNegotiation checks the Accept-header switch between
+// Prometheus 0.0.4 and OpenMetrics (exemplars + # EOF).
+func TestMetricsContentNegotiation(t *testing.T) {
+	s, ts := newTestServer(t)
+	tr, err := obs.ParseTraceID("0af7651916cd43dd8448eb211c80319c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Registry.Emit(obs.Record{Time: time.Unix(5, 0), Kind: "span", Name: "http.request",
+		Dur: 3 * time.Millisecond, Trace: tr,
+		Fields: []obs.Field{obs.F("endpoint", "/jobs")}})
+
+	req, err := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Errorf("openmetrics content type = %q", ct)
+	}
+	if !strings.HasSuffix(string(body), "# EOF\n") {
+		t.Error("openmetrics body missing # EOF terminator")
+	}
+	if !strings.Contains(string(body), `# {trace_id="`+tr.String()+`"}`) {
+		t.Error("openmetrics body missing the trace exemplar")
+	}
+
+	_, plain, hdr := get(t, ts.URL+"/metrics")
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("default content type = %q", ct)
+	}
+	if strings.Contains(plain, "trace_id") || strings.Contains(plain, "# EOF") {
+		t.Error("default exposition must stay plain Prometheus 0.0.4")
+	}
+}

@@ -27,9 +27,10 @@ type Options struct {
 type Service struct {
 	// Addr is the bound HTTP address ("" when -serve was off).
 	Addr string
-	// Registry and Hub are non-nil when the server is running.
+	// Registry, Hub, and Traces are non-nil when the server is running.
 	Registry *Registry
 	Hub      *Hub
+	Traces   *Traces
 
 	server  *Server
 	trace   *Trace
@@ -69,16 +70,18 @@ func Start(opts Options) (*Service, error) {
 	if opts.Serve != "" {
 		svc.Registry = NewRegistry()
 		svc.Hub = NewHub()
+		svc.Traces = NewTraces(0, 0)
 		svc.server = NewServer(svc.Registry, svc.Hub)
+		svc.server.Traces = svc.Traces
 		addr, err := svc.server.Start(opts.Serve)
 		if err != nil {
 			return fail(err)
 		}
 		svc.Addr = addr
 		if opts.Banner != nil {
-			fmt.Fprintf(opts.Banner, "telemetry: serving on http://%s (/metrics /events /runs /healthz /debug/pprof)\n", addr)
+			fmt.Fprintf(opts.Banner, "telemetry: serving on http://%s (/metrics /events /runs /trace/{id} /healthz /debug/pprof)\n", addr)
 		}
-		sinks = append(sinks, svc.Registry, svc.Hub)
+		sinks = append(sinks, svc.Registry, svc.Hub, svc.Traces)
 	}
 	if opts.CPUProfile != "" {
 		stop, err := obs.StartCPUProfile(opts.CPUProfile)

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"commsched/internal/obs"
+)
+
+// The RED/SLO layer: the registry turns two instrumentation points into
+// labeled latency histograms whose buckets remember the last trace that
+// landed in them, so a tail-latency bucket on a dashboard links straight
+// to a concrete trace (OpenMetrics exemplars):
+//
+//   - "http.request" spans with an "endpoint" field feed
+//     commsched_http_request_duration_seconds{endpoint=...}
+//   - "service.latency" events with "state" and "seconds" fields feed
+//     commsched_job_state_duration_seconds{state=...} (queued, running)
+//
+// Exemplars only appear in the OpenMetrics exposition (negotiated via the
+// Accept header on /metrics); the Prometheus text 0.0.4 format predates
+// them and renders the same histograms bare.
+
+// latencyBounds are the shared SLO bucket bounds, in seconds. They span
+// sub-millisecond admission work up to multi-second sweep jobs.
+var latencyBounds = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// exemplar is the last observation that landed in one bucket, with the
+// trace that produced it.
+type exemplar struct {
+	trace string
+	value float64
+	ts    time.Time
+}
+
+// latencySeries is one labeled histogram with per-bucket exemplars.
+type latencySeries struct {
+	counts    []int64 // len(latencyBounds)+1, last is +Inf
+	exemplars []exemplar
+	count     int64
+	sum       float64
+}
+
+func newLatencySeries() *latencySeries {
+	return &latencySeries{
+		counts:    make([]int64, len(latencyBounds)+1),
+		exemplars: make([]exemplar, len(latencyBounds)+1),
+	}
+}
+
+// observeLatency files one observation (seconds) into the series for key,
+// remembering the record's trace as the bucket's exemplar. Callers hold
+// g.mu.
+func (g *Registry) observeLatency(m map[string]*latencySeries, key string, v float64, r obs.Record) {
+	s := m[key]
+	if s == nil {
+		s = newLatencySeries()
+		m[key] = s
+	}
+	i := sort.SearchFloat64s(latencyBounds, v) // first bound >= v, i.e. the "le" bucket
+	s.counts[i]++
+	s.count++
+	s.sum += v
+	if !r.Trace.IsZero() {
+		ts := r.Time
+		if ts.IsZero() {
+			ts = g.now()
+		}
+		s.exemplars[i] = exemplar{trace: r.Trace.String(), value: v, ts: ts}
+	}
+}
+
+// writeLatencyFamily renders one labeled latency histogram; with exemplars
+// on, bucket lines carry the OpenMetrics "# {trace_id=...} value ts"
+// suffix when the bucket has seen a traced observation.
+func writeLatencyFamily(b *strings.Builder, name, help, label string, m map[string]*latencySeries, exemplars bool) {
+	if len(m) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	forSortedKeys(m, func(k string, s *latencySeries) {
+		cum := int64(0)
+		for i, c := range s.counts {
+			cum += c
+			le := "+Inf"
+			if i < len(latencyBounds) {
+				le = formatFloat(latencyBounds[i])
+			}
+			fmt.Fprintf(b, "%s_bucket{%s=%q,le=%q} %d", name, label, k, le, cum)
+			if exemplars && s.exemplars[i].trace != "" {
+				e := s.exemplars[i]
+				fmt.Fprintf(b, " # {trace_id=%q} %s %.3f", e.trace, formatFloat(e.value),
+					float64(e.ts.UnixMilli())/1000)
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(b, "%s_sum{%s=%q} %s\n", name, label, k, formatFloat(s.sum))
+		fmt.Fprintf(b, "%s_count{%s=%q} %d\n", name, label, k, s.count)
+	})
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text format:
+// the same families as WritePrometheus, but latency histogram buckets
+// carry trace-ID exemplars, and the exposition ends with the mandatory
+// "# EOF" terminator. Output is deterministic for identical contents,
+// like the Prometheus exposition.
+func (g *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := g.writeExposition(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"commsched/internal/obs"
+)
+
+// Traces is a bounded in-memory store of recent traces, keyed by trace
+// ID — the sink behind the server's GET /trace/{id} view. It retains at
+// most maxTraces traces (oldest-first eviction by first sight) and at
+// most maxRecords records per trace (later records are counted, not
+// stored, so a runaway trace cannot grow without bound). It is an
+// obs.Sink; records without a trace ID are ignored.
+type Traces struct {
+	mu        sync.Mutex
+	maxTraces int
+	maxRecs   int
+	order     []string // trace IDs in first-seen order, for eviction
+	traces    map[string]*traceBuf
+}
+
+type traceBuf struct {
+	records []map[string]any
+	dropped int
+}
+
+// Default capacity bounds for the server-embedded store: enough for a
+// load test's worth of jobs without letting /trace memory grow unbounded.
+const (
+	defaultMaxTraces       = 256
+	defaultMaxTraceRecords = 4096
+)
+
+// NewTraces returns a store bounded to maxTraces traces of maxRecords
+// records each; non-positive arguments select the defaults.
+func NewTraces(maxTraces, maxRecords int) *Traces {
+	if maxTraces <= 0 {
+		maxTraces = defaultMaxTraces
+	}
+	if maxRecords <= 0 {
+		maxRecords = defaultMaxTraceRecords
+	}
+	return &Traces{maxTraces: maxTraces, maxRecs: maxRecords, traces: make(map[string]*traceBuf)}
+}
+
+// Emit implements obs.Sink.
+func (t *Traces) Emit(r obs.Record) {
+	if r.Trace.IsZero() {
+		return
+	}
+	id := r.Trace.String()
+	obj := obs.RecordObject(r)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buf := t.traces[id]
+	if buf == nil {
+		if len(t.order) >= t.maxTraces {
+			evict := t.order[0]
+			t.order = t.order[1:]
+			delete(t.traces, evict)
+		}
+		buf = &traceBuf{}
+		t.traces[id] = buf
+		t.order = append(t.order, id)
+	}
+	if len(buf.records) >= t.maxRecs {
+		buf.dropped++
+		return
+	}
+	buf.records = append(buf.records, obj)
+}
+
+// IDs returns the retained trace IDs, most recent first.
+func (t *Traces) IDs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.order))
+	for i, id := range t.order {
+		out[len(t.order)-1-i] = id
+	}
+	return out
+}
+
+// TraceJSON renders one trace as a JSON document: the trace ID, its
+// records sorted by timestamp (ties keep arrival order), and how many
+// records the per-trace cap dropped. ok is false for an unknown ID.
+func (t *Traces) TraceJSON(id string) (data []byte, ok bool) {
+	t.mu.Lock()
+	buf := t.traces[id]
+	var recs []map[string]any
+	var dropped int
+	if buf != nil {
+		recs = make([]map[string]any, len(buf.records))
+		copy(recs, buf.records)
+		dropped = buf.dropped
+	}
+	t.mu.Unlock()
+	if buf == nil {
+		return nil, false
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		ti, _ := recs[i]["ts"].(string)
+		tj, _ := recs[j]["ts"].(string)
+		return ti < tj
+	})
+	payload := struct {
+		Trace   string           `json:"trace"`
+		Records []map[string]any `json:"records"`
+		Dropped int              `json:"dropped,omitempty"`
+	}{Trace: id, Records: recs, Dropped: dropped}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
