@@ -27,8 +27,19 @@ func TestMain(m *testing.M) {
 		if os.Getenv("PAPERFIGS_CHILD_SERVE") == "1" {
 			opts.Serve = "127.0.0.1:0"
 		}
+		fig := os.Getenv("PAPERFIGS_CHILD_FIG")
+		if fig == "" {
+			fig = "1"
+		}
 		durable := runctl.Config{ResumeDir: os.Getenv("PAPERFIGS_CHILD_RESUME")}
-		if err := mainErr("1", true, os.Getenv("PAPERFIGS_CHILD_CSV"), opts, "", durable); err != nil {
+		if wd := os.Getenv("PAPERFIGS_CHILD_WORKERS_DIR"); wd != "" {
+			durable = runctl.Config{
+				WorkersDir: wd,
+				WorkerID:   os.Getenv("PAPERFIGS_CHILD_WORKER_ID"),
+				LeaseTTL:   time.Second,
+			}
+		}
+		if err := mainErr(fig, true, os.Getenv("PAPERFIGS_CHILD_CSV"), opts, "", durable); err != nil {
 			fmt.Fprintln(os.Stderr, "child:", err)
 			os.Exit(1)
 		}

@@ -118,7 +118,7 @@ func run(ctx context.Context, switches, degree int, topoSeed int64, clusters str
 	fmt.Printf("network %s: %d hosts × %d slots; %d processes in %d applications %v\n",
 		net.Name(), net.Hosts(), slots, pr.Processes(), pr.Clusters(), sizes)
 
-	res, err := tabuUnit(pr, sizes, slots, seed)
+	res, err := tabuUnit(ctx, pr, sizes, slots, seed)
 	if err != nil {
 		return err
 	}
@@ -183,7 +183,7 @@ type tabuPayload struct {
 // store installed, a completed search replays from disk instead of
 // recomputing. The store identity already pins the topology, so the key
 // only needs the problem shape and seed.
-func tabuUnit(pr *procsched.Problem, sizes []int, slots int, seed int64) (*procsched.Result, error) {
+func tabuUnit(ctx context.Context, pr *procsched.Problem, sizes []int, slots int, seed int64) (*procsched.Result, error) {
 	key := fmt.Sprintf("proctabu/%s", runstate.KeyHash(struct {
 		Sizes []int `json:"sizes"`
 		Slots int   `json:"slots"`
@@ -200,7 +200,7 @@ func tabuUnit(pr *procsched.Problem, sizes []int, slots int, seed int64) (*procs
 	}
 	res := procsched.Tabu(pr, procsched.TabuOptions{}, rand.New(rand.NewSource(seed)))
 	if runstate.Enabled() {
-		runstate.Record(key, tabuPayload{
+		runstate.RecordCtx(ctx, key, tabuPayload{
 			HostOf: res.Best.HostOf, BestCost: res.BestCost,
 			Evaluations: res.Evaluations, Iterations: res.Iterations,
 		})

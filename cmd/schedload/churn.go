@@ -1,0 +1,285 @@
+package main
+
+// Churn mode: instead of firing HTTP load at commschedd, schedload
+// exercises the distributed lease layer the way a hostile operator
+// would — spawn a small fleet of worker processes over one shared
+// checkpoint directory, SIGKILL a fraction of them mid-run, restart the
+// casualties under fresh worker IDs, and audit the wreckage. The
+// assertions mirror the load-test ones, transposed to the lease
+// protocol:
+//
+//   - exactly-once results: the merged journal holds every unit exactly
+//     once, with zero determinism violations (byte-divergent duplicates);
+//   - bounded healing: reclaim latency — how long a dead worker's lease
+//     sat past its deadline before a survivor took it over — is reported
+//     as p50/p99 in the same summary block as the queue-wait percentiles.
+//
+// Workers are re-execs of this binary (SCHEDLOAD_CHURN_WORKER=1), each
+// running the same deterministic unit set through the lease pool, so
+// the harness needs no daemon and no extra binaries.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"commsched/internal/lease"
+	"commsched/internal/runstate"
+)
+
+// churnIdentity is the shared-store identity every churn worker (and
+// the audit pass) must agree on.
+func churnIdentity(units int, seed int64) runstate.Identity {
+	return runstate.Identity{
+		Command: "schedload-churn",
+		Seeds:   map[string]int64{"churn": seed, "units": int64(units)},
+	}
+}
+
+// churnUnitKey is the journal key of unit i.
+func churnUnitKey(i int) string { return fmt.Sprintf("churn/u%04d", i) }
+
+// churnValue is the deterministic payload of unit i: an iterated FNV
+// hash of (seed, i). Any two executions of the unit — original,
+// reclaim, or speculation — journal identical bytes.
+func churnValue(i int, seed int64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", seed, i)
+	v := h.Sum64()
+	for k := 0; k < 1000; k++ {
+		v = v*6364136223846793005 + 1442695040888963407
+	}
+	return v
+}
+
+// churnWorkerMain is the re-exec entry point: run the unit set through
+// the lease pool against the shared directory, then print reclaim
+// latencies and pool stats as one JSON line on stdout.
+func churnWorkerMain() int {
+	dir := os.Getenv("SCHEDLOAD_CHURN_DIR")
+	id := os.Getenv("SCHEDLOAD_CHURN_ID")
+	units, _ := strconv.Atoi(os.Getenv("SCHEDLOAD_CHURN_UNITS"))
+	seed, _ := strconv.ParseInt(os.Getenv("SCHEDLOAD_CHURN_SEED"), 10, 64)
+	ttl, _ := time.ParseDuration(os.Getenv("SCHEDLOAD_CHURN_TTL"))
+	unitDur, _ := time.ParseDuration(os.Getenv("SCHEDLOAD_CHURN_UNIT_DUR"))
+	if dir == "" || id == "" || units <= 0 {
+		fmt.Fprintln(os.Stderr, "schedload: churn worker mis-invoked")
+		return 2
+	}
+	st, err := runstate.OpenWorker(dir, churnIdentity(units, seed), id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedload:", err)
+		return 1
+	}
+	defer st.Close()
+	runstate.SetStore(st)
+	defer runstate.SetStore(nil)
+	mgr, err := lease.Open(dir, id, ttl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedload:", err)
+		return 1
+	}
+	pool := lease.NewPool(mgr, lease.PoolOptions{})
+	err = pool.RunLoop(context.Background(), "churn", units, func(ctx context.Context, i int) error {
+		key := churnUnitKey(i)
+		var v uint64
+		if runstate.Lookup(key, &v) {
+			return nil
+		}
+		// Real work takes time; simulate it so kills land mid-unit and
+		// mid-renewal, not in the gaps.
+		time.Sleep(unitDur)
+		runstate.RecordCtx(ctx, key, churnValue(i, seed))
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedload:", err)
+		return 1
+	}
+	var report churnWorkerReport
+	for _, d := range mgr.ReclaimLatencies() {
+		report.ReclaimMs = append(report.ReclaimMs, float64(d)/float64(time.Millisecond))
+	}
+	report.Stats = pool.Stats()
+	json.NewEncoder(os.Stdout).Encode(report) //nolint:errcheck // stdout
+	return 0
+}
+
+// churnWorkerReport is the JSON line a churn worker prints on exit.
+type churnWorkerReport struct {
+	ReclaimMs []float64       `json:"reclaim_ms"`
+	Stats     lease.PoolStats `json:"stats"`
+}
+
+// churnConfig is the parent-side knob set.
+type churnConfig struct {
+	Fraction float64 // of workers SIGKILLed mid-run
+	Workers  int
+	Units    int
+	Seed     int64
+	TTL      time.Duration
+	UnitDur  time.Duration
+	Dir      string // "" = fresh temp dir
+}
+
+// runChurn drives the kill-and-restart scenario and fills the summary.
+func runChurn(cfg churnConfig) (int, summary) {
+	sum := summary{}
+	fail := func(format string, args ...any) (int, summary) {
+		sum.Violations = append(sum.Violations, fmt.Sprintf(format, args...))
+		return 1, sum
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "schedload-churn-*")
+		if err != nil {
+			return fail("temp dir: %v", err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fail("locating own binary: %v", err)
+	}
+	start := time.Now()
+
+	spawn := func(gen, idx int) (*exec.Cmd, *os.File, error) {
+		out, err := os.CreateTemp(dir, "worker-out-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			"SCHEDLOAD_CHURN_WORKER=1",
+			"SCHEDLOAD_CHURN_DIR="+dir,
+			fmt.Sprintf("SCHEDLOAD_CHURN_ID=g%d-w%d", gen, idx),
+			fmt.Sprintf("SCHEDLOAD_CHURN_UNITS=%d", cfg.Units),
+			fmt.Sprintf("SCHEDLOAD_CHURN_SEED=%d", cfg.Seed),
+			"SCHEDLOAD_CHURN_TTL="+cfg.TTL.String(),
+			"SCHEDLOAD_CHURN_UNIT_DUR="+cfg.UnitDur.String(),
+		)
+		cmd.Stdout = out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			out.Close()
+			return nil, nil, err
+		}
+		return cmd, out, nil
+	}
+
+	type worker struct {
+		cmd *exec.Cmd
+		out *os.File
+	}
+	var fleet []worker
+	for w := 0; w < cfg.Workers; w++ {
+		cmd, out, err := spawn(0, w)
+		if err != nil {
+			return fail("spawning worker %d: %v", w, err)
+		}
+		fleet = append(fleet, worker{cmd, out})
+	}
+
+	// Kill the first ceil(fraction×W) workers once they have journaled
+	// something (so the kill lands mid-run, with leases held), then
+	// restart each casualty under a fresh ID — the crashed IDs stay dead,
+	// exactly like a real replacement process.
+	victims := int(cfg.Fraction*float64(cfg.Workers) + 0.999999)
+	if victims > cfg.Workers {
+		victims = cfg.Workers
+	}
+	for v := 0; v < victims; v++ {
+		id := fmt.Sprintf("g0-w%d", v)
+		journal := filepath.Join(dir, "journal-"+id+".jsonl")
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if fi, err := os.Stat(journal); err == nil && fi.Size() > 0 {
+				break
+			}
+			if time.Now().After(deadline) || fleet[v].cmd.ProcessState != nil {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		fleet[v].cmd.Process.Kill() //nolint:errcheck // racing normal exit is fine
+		fleet[v].cmd.Wait()         //nolint:errcheck // expected to be the kill signal
+		fleet[v].out.Close()
+		os.Remove(fleet[v].out.Name())
+		cmd, out, err := spawn(1, v)
+		if err != nil {
+			return fail("restarting worker %d: %v", v, err)
+		}
+		fleet[v] = worker{cmd, out}
+	}
+
+	var reclaims []time.Duration
+	for idx, wk := range fleet {
+		if err := wk.cmd.Wait(); err != nil {
+			return fail("worker %d exited: %v", idx, err)
+		}
+		if _, err := wk.out.Seek(0, 0); err == nil {
+			sc := bufio.NewScanner(wk.out)
+			for sc.Scan() {
+				var rep churnWorkerReport
+				if json.Unmarshal(sc.Bytes(), &rep) == nil {
+					for _, ms := range rep.ReclaimMs {
+						reclaims = append(reclaims, time.Duration(ms*float64(time.Millisecond)))
+					}
+					sum.Done += int(rep.Stats.Executed)
+					sum.Accepted += int(rep.Stats.Executed + rep.Stats.Replayed)
+				}
+			}
+		}
+		wk.out.Close()
+		os.Remove(wk.out.Name())
+	}
+	sum.Submitted = cfg.Units
+	sum.ReclaimP50Ms, sum.ReclaimP99Ms, _ = percentiles(reclaims)
+	sum.Reclaims = len(reclaims)
+	sum.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+
+	// Audit the merged journal with a read-only shared-mode store: every
+	// unit present exactly once (highest token winning), byte-identical
+	// across duplicates, values matching an independent recomputation.
+	st, err := runstate.OpenWorker(dir, churnIdentity(cfg.Units, cfg.Seed), "audit")
+	if err != nil {
+		return fail("audit open: %v", err)
+	}
+	defer st.Close()
+	for i := 0; i < cfg.Units; i++ {
+		var v uint64
+		if !st.Lookup(churnUnitKey(i), &v) {
+			sum.Lost = append(sum.Lost, churnUnitKey(i))
+			continue
+		}
+		if want := churnValue(i, cfg.Seed); v != want {
+			sum.Violations = append(sum.Violations,
+				fmt.Sprintf("unit %s: merged value %d, want %d", churnUnitKey(i), v, want))
+		}
+	}
+	stats := st.Stats()
+	if len(sum.Lost) > 0 {
+		sum.Violations = append(sum.Violations,
+			fmt.Sprintf("%d unit(s) missing from the merged journal", len(sum.Lost)))
+	}
+	if stats.DeterminismViolations > 0 {
+		sum.Violations = append(sum.Violations,
+			fmt.Sprintf("%d determinism violation(s): duplicated executions journaled divergent bytes", stats.DeterminismViolations))
+	}
+	if victims > 0 && sum.Reclaims == 0 {
+		sum.Violations = append(sum.Violations,
+			"killed workers but observed zero lease reclaims — the healing path never ran")
+	}
+	if len(sum.Violations) > 0 {
+		return 1, sum
+	}
+	return 0, sum
+}

@@ -54,8 +54,27 @@ func main() {
 		reqTO    = flag.Duration("request-timeout", 10*time.Second, "per-request timeout")
 		maxRetry = flag.Int("max-retries", 50, "max backpressure retries per submission before counting it rejected")
 		submit   = flag.Bool("submit-only", false, "submit without waiting for completion (drain/restart scenarios: the daemon may go away mid-run)")
+
+		churn        = flag.Float64("churn", 0, "distributed-lease churn mode: SIGKILL this fraction of workers mid-run and restart them; audits exactly-once results and reports reclaim latency p50/p99 (skips the HTTP load test)")
+		churnWorkers = flag.Int("churn-workers", 3, "worker processes in the churn fleet")
+		churnUnits   = flag.Int("churn-units", 48, "units in the churn workload")
+		churnTTL     = flag.Duration("churn-ttl", time.Second, "lease TTL for churn workers")
+		churnUnitDur = flag.Duration("churn-unit-dur", 50*time.Millisecond, "simulated work per churn unit (kills must land mid-unit)")
 	)
+	if os.Getenv("SCHEDLOAD_CHURN_WORKER") == "1" {
+		os.Exit(churnWorkerMain())
+	}
 	flag.Parse()
+	if *churn > 0 {
+		code, summary := runChurn(churnConfig{
+			Fraction: *churn, Workers: *churnWorkers, Units: *churnUnits,
+			Seed: *seed, TTL: *churnTTL, UnitDur: *churnUnitDur,
+		})
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(summary) //nolint:errcheck // stdout
+		os.Exit(code)
+	}
 	code, summary := run(*base, *n, *c, *tenants, *seed, *p99Limit, *wait, *reqTO, *maxRetry, *submit)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -82,10 +101,16 @@ type summary struct {
 	TraceMismatches int `json:"trace_mismatches"`
 	// QueueP50Ms / QueueP99Ms are percentiles of the daemon's own
 	// queue-wait measurement (accept → run start) across finished jobs.
-	QueueP50Ms float64  `json:"queue_p50_ms"`
-	QueueP99Ms float64  `json:"queue_p99_ms"`
-	ElapsedMs  float64  `json:"elapsed_ms"`
-	Violations []string `json:"violations,omitempty"`
+	QueueP50Ms float64 `json:"queue_p50_ms"`
+	QueueP99Ms float64 `json:"queue_p99_ms"`
+	// Reclaims and ReclaimP50Ms/ReclaimP99Ms report, in churn mode, how
+	// many expired leases the surviving workers took over and how long
+	// past their deadlines the dead leases sat first.
+	Reclaims     int      `json:"reclaims,omitempty"`
+	ReclaimP50Ms float64  `json:"reclaim_p50_ms,omitempty"`
+	ReclaimP99Ms float64  `json:"reclaim_p99_ms,omitempty"`
+	ElapsedMs    float64  `json:"elapsed_ms"`
+	Violations   []string `json:"violations,omitempty"`
 }
 
 // traceparentFor mints submission i's W3C traceparent from the mix seed:

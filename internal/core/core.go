@@ -237,7 +237,7 @@ func (s *System) Schedule(ctx context.Context, opts ScheduleOptions) (*Schedule,
 		return nil, err
 	}
 	if key != "" {
-		runstate.Record(key, scheduleUnit{
+		runstate.RecordCtx(ctx, key, scheduleUnit{
 			Assign:       res.Best.Assign(),
 			M:            res.Best.M(),
 			BestIntraSum: res.BestIntraSum,

@@ -388,7 +388,7 @@ func Adversarial(ctx context.Context, cfg AdvConfig) (*AdvResult, error) {
 			return err
 		}
 		if key != "" {
-			runstate.Record(key, row)
+			runstate.RecordCtx(ctx, key, row)
 		}
 		rows[i] = row
 		return nil

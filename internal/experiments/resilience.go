@@ -196,7 +196,7 @@ func resilienceOnNetwork(ctx context.Context, name string, sys *core.System, sch
 			ProbeRate:         probe,
 		}
 		if rowKey != "" {
-			runstate.Record(rowKey, row)
+			runstate.RecordCtx(ctx, rowKey, row)
 		}
 		rows = append(rows, row)
 	}

@@ -1,0 +1,56 @@
+package lease
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRecord hammers the lease-file wire parser with arbitrary
+// bytes. Parse guards every trust decision in the protocol (who holds a
+// lease, which completion won), so its contract is checked from both
+// directions:
+//
+//   - no input may panic it, and a rejected input must report
+//     ErrBadRecord (checked implicitly: Parse returns, never aborts);
+//   - every accepted input must re-encode and re-parse to the same
+//     Record (canonical round trip), with the invariants the manager
+//     relies on: nonzero token, no embedded newlines in any field's
+//     rendering.
+func FuzzParseRecord(f *testing.F) {
+	seeds := []string{
+		Record{Token: 1, Owner: "w1", Unit: "u1", Expires: 1712000000000000000}.String(),
+		Record{Token: 42, Owner: "host-7", Unit: "par.foreach~18~00ff~0/i000003", Expires: 99, Dur: 1234567}.String(),
+		Record{Token: 9, Owner: `q"uote`, Unit: "u\\x", Expires: -1, Err: "deadline exceeded"}.String(),
+		Record{Token: 18446744073709551615, Owner: "", Unit: "", Expires: 0}.String(),
+		"lease/1 token=0 owner=\"w\" unit=\"u\" expires=1\n",
+		"lease/1 token=7 owner=\"w\" unit=\"u\" expires=1", // unterminated
+		"lease/2 token=7 owner=\"w\" unit=\"u\" expires=1\n",
+		"lease/1 token=7 owner=\"w\" unit=\"u\" expires=1 dur=5 err=\"x\"\n",
+		"lease/1  token=7\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted records obey the manager's invariants.
+		if rec.Token == 0 {
+			t.Fatalf("accepted reserved token 0: %q", data)
+		}
+		line := rec.String()
+		if strings.Count(line, "\n") != 1 || !strings.HasSuffix(line, "\n") {
+			t.Fatalf("re-encoding of %+v is not one terminated line: %q", rec, line)
+		}
+		back, err := Parse([]byte(line))
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", line, err)
+		}
+		if back != rec {
+			t.Fatalf("round trip drift: %+v -> %q -> %+v", rec, line, back)
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package lease
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTestManager(t *testing.T, dir, owner string, ttl time.Duration) *Manager {
+	t.Helper()
+	m, err := Open(dir, owner, ttl)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", owner, err)
+	}
+	return m
+}
+
+func TestAcquireRenewRelease(t *testing.T) {
+	dir := t.TempDir()
+	m := openTestManager(t, dir, "w1", time.Minute)
+	l, err := m.Acquire("u1", false)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if l.Mode != ModeOwned || l.Token == 0 {
+		t.Fatalf("fresh acquire: %+v", l)
+	}
+	if _, err := m.Acquire("u1", false); !errors.Is(err, ErrHeld) {
+		t.Fatalf("second acquire of a held unit: %v, want ErrHeld", err)
+	}
+	before := l.Expires
+	if err := m.Renew(l); err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	if !l.Expires.After(before.Add(-time.Second)) {
+		t.Fatalf("Renew did not extend: %v -> %v", before, l.Expires)
+	}
+	m.Release(l)
+	if l2, err := m.Acquire("u1", false); err != nil || l2.Token <= l.Token {
+		t.Fatalf("re-acquire after release: %+v, %v (prev token %d)", l2, err, l.Token)
+	}
+}
+
+func TestExpiredLeaseIsReclaimedWithHigherToken(t *testing.T) {
+	dir := t.TempDir()
+	m1 := openTestManager(t, dir, "w1", time.Minute)
+	m2 := openTestManager(t, dir, "w2", time.Minute)
+	l1, err := m1.Acquire("u1", false)
+	if err != nil {
+		t.Fatalf("w1 acquire: %v", err)
+	}
+	// w2 sees a valid lease...
+	if _, err := m2.Acquire("u1", false); !errors.Is(err, ErrHeld) {
+		t.Fatalf("w2 acquire while held: %v", err)
+	}
+	// ...until w1's clock-based deadline passes (simulated by advancing
+	// w2's clock past the TTL).
+	m2.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
+	l2, err := m2.Acquire("u1", false)
+	if err != nil {
+		t.Fatalf("w2 reclaim: %v", err)
+	}
+	if l2.Mode != ModeReclaim {
+		t.Fatalf("mode %q, want reclaim", l2.Mode)
+	}
+	if l2.Token <= l1.Token {
+		t.Fatalf("fencing violation: reclaim token %d not above original %d", l2.Token, l1.Token)
+	}
+	// The zombie's renewal must now fail with ErrLost.
+	if err := m1.Renew(l1); !errors.Is(err, ErrLost) {
+		t.Fatalf("zombie renew: %v, want ErrLost", err)
+	}
+	s2 := m2.Stats()
+	if s2.Reclaimed != 1 {
+		t.Fatalf("w2 reclaimed counter %d, want 1", s2.Reclaimed)
+	}
+	if lats := m2.ReclaimLatencies(); len(lats) != 1 || lats[0] <= 0 {
+		t.Fatalf("reclaim latencies %v, want one positive sample", lats)
+	}
+	if m1.Stats().Lost != 1 {
+		t.Fatalf("w1 lost counter %d, want 1", m1.Stats().Lost)
+	}
+}
+
+func TestTornLeaseIsReclaimable(t *testing.T) {
+	dir := t.TempDir()
+	m := openTestManager(t, dir, "w1", time.Minute)
+	// Simulate a crash between create and write: an empty lease file.
+	path := filepath.Join(dir, "lease", "units", "u1.lease")
+	if err := os.WriteFile(path, []byte("lease/1 token=9 owner=\"dead\" un"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := m.Acquire("u1", false)
+	if err != nil {
+		t.Fatalf("acquire over torn lease: %v", err)
+	}
+	if l.Mode != ModeReclaim {
+		t.Fatalf("mode %q, want reclaim", l.Mode)
+	}
+}
+
+func TestTokensAreUniqueAndMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	m1 := openTestManager(t, dir, "w1", time.Minute)
+	m2 := openTestManager(t, dir, "w2", time.Minute)
+	seen := map[uint64]bool{}
+	var last uint64
+	for i := 0; i < 20; i++ {
+		m := m1
+		if i%2 == 1 {
+			m = m2
+		}
+		tok, err := m.AllocToken()
+		if err != nil {
+			t.Fatalf("AllocToken: %v", err)
+		}
+		if seen[tok] {
+			t.Fatalf("token %d allocated twice", tok)
+		}
+		if tok <= last {
+			t.Fatalf("token regression: %d after %d", tok, last)
+		}
+		seen[tok] = true
+		last = tok
+	}
+}
+
+func TestMarkDoneFirstWins(t *testing.T) {
+	dir := t.TempDir()
+	m1 := openTestManager(t, dir, "w1", time.Minute)
+	m2 := openTestManager(t, dir, "w2", time.Minute)
+	won, err := m1.MarkDone("u1", 3, 50*time.Millisecond, nil)
+	if err != nil || !won {
+		t.Fatalf("first MarkDone: won=%v err=%v", won, err)
+	}
+	// A speculative duplicate with a higher token still loses the marker.
+	won, err = m2.MarkDone("u1", 9, time.Millisecond, nil)
+	if err != nil || won {
+		t.Fatalf("second MarkDone: won=%v err=%v, want lost", won, err)
+	}
+	rec, ok := m2.Done("u1")
+	if !ok || rec.Token != 3 || rec.Owner != "w1" || rec.Dur != int64(50*time.Millisecond) {
+		t.Fatalf("Done record %+v ok=%v, want w1's token-3 marker", rec, ok)
+	}
+}
+
+func TestDoneMarkerCarriesError(t *testing.T) {
+	dir := t.TempDir()
+	m := openTestManager(t, dir, "w1", time.Minute)
+	if _, err := m.MarkDone("u1", 3, time.Millisecond, errors.New("permanent failure")); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := m.Done("u1")
+	if !ok || rec.Err != "permanent failure" {
+		t.Fatalf("done record %+v ok=%v, want carried error", rec, ok)
+	}
+}
+
+func TestLiveWorkersRegistry(t *testing.T) {
+	dir := t.TempDir()
+	m1 := openTestManager(t, dir, "w1", time.Minute)
+	openTestManager(t, dir, "w2", time.Minute)
+	live := m1.LiveWorkers(time.Minute)
+	if len(live) != 2 || live[0] != "w1" || live[1] != "w2" {
+		t.Fatalf("live workers %v, want [w1 w2]", live)
+	}
+	// Outside the liveness window only the caller itself remains.
+	m1.now = func() time.Time { return time.Now().Add(time.Hour) }
+	if live := m1.LiveWorkers(time.Minute); len(live) != 1 || live[0] != "w1" {
+		t.Fatalf("live workers after expiry %v, want [w1]", live)
+	}
+}
+
+func TestSanitizedUnitNamesStayDistinct(t *testing.T) {
+	dir := t.TempDir()
+	m := openTestManager(t, dir, "w1", time.Minute)
+	units := []string{"a/b", "a%2fb", "a\\b", "plain"}
+	for _, u := range units {
+		if _, err := m.Acquire(u, false); err != nil {
+			t.Fatalf("Acquire(%q): %v", u, err)
+		}
+	}
+	for _, u := range units {
+		if _, err := m.Acquire(u, false); !errors.Is(err, ErrHeld) {
+			t.Fatalf("re-acquire %q: %v, want ErrHeld (collision?)", u, err)
+		}
+	}
+}

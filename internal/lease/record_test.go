@@ -1,0 +1,73 @@
+package lease
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []Record{
+		{Token: 1, Owner: "w1", Unit: "sweep/p1"},
+		{Token: 7, Owner: "host-42", Unit: "par.foreach~18~deadbeef~0/i000003", Expires: 1712345678901234567},
+		{Token: 18446744073709551615, Owner: `we"ird owner`, Unit: "u\twith\ttabs", Expires: -5},
+		{Token: 3, Owner: "w2", Unit: "done-unit", Expires: 99, Dur: 123456789},
+		{Token: 4, Owner: "w3", Unit: "failed-unit", Expires: 99, Dur: 42, Err: "boom: deadline exceeded"},
+		{Token: 5, Owner: "w4", Unit: "u", Expires: 0, Err: `quoted "err" with \ backslash`},
+	}
+	for _, want := range cases {
+		line := want.String()
+		if !strings.HasSuffix(line, "\n") {
+			t.Fatalf("String() not newline-terminated: %q", line)
+		}
+		got, err := Parse([]byte(line))
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", line, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+		// The newline is the terminator: without it the record is torn.
+		if _, err := Parse([]byte(strings.TrimSuffix(line, "\n"))); err == nil {
+			t.Fatalf("Parse accepted unterminated record %q", line)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	good := Record{Token: 7, Owner: "w1", Unit: "u1", Expires: 99}.String()
+	bad := []string{
+		"",
+		"lease/2 token=7 owner=\"w\" unit=\"u\" expires=1\n", // wrong version
+		"nonsense\n", // no magic
+		"lease/1 token=7 owner=\"w\" unit=\"u\"\n",                   // missing expires
+		"lease/1 owner=\"w\" unit=\"u\" expires=1\n",                 // missing token
+		"lease/1 token=0 owner=\"w\" unit=\"u\" expires=1\n",         // reserved token
+		"lease/1 token=7 token=8 owner=\"w\" unit=\"u\" expires=1\n", // duplicate key
+		"lease/1 token=7 owner=\"w\" unit=\"u\" expires=1 zap=3\n",   // unknown key
+		"lease/1 token=x owner=\"w\" unit=\"u\" expires=1\n",         // bad number
+		"lease/1 token=7 owner=\"w unit=\"u\" expires=1\n",           // unterminated quote
+		"lease/1 token=-1 owner=\"w\" unit=\"u\" expires=1\n",        // negative token
+		"lease/1 token=7 owner=\"w\" unit=\"u\"\nexpires=1\n",        // embedded newline
+		good[:len(good)-8], // torn tail must not parse as a shorter valid record
+	}
+	for _, s := range bad {
+		if rec, err := Parse([]byte(s)); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", s, rec)
+		} else if !errors.Is(err, ErrBadRecord) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrBadRecord", s, err)
+		}
+	}
+}
+
+// TestParsePrefixSafety asserts the torn-write property exhaustively:
+// no strict prefix of a valid record parses successfully.
+func TestParsePrefixSafety(t *testing.T) {
+	full := Record{Token: 987, Owner: "worker-3", Unit: "sweep/i07", Expires: 1712345678, Dur: 31415, Err: "x"}.String()
+	for cut := 0; cut < len(full)-1; cut++ {
+		if rec, err := Parse([]byte(full[:cut])); err == nil {
+			// The only acceptable "prefix" is the full record minus '\n'.
+			t.Fatalf("prefix of len %d parsed as %+v", cut, rec)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Executor runs a parallel loop: fn(ctx, i) for every i in [0, n),
+// first error wins. The local bounded-worker pool (forEach) is the
+// default implementation; the lease-backed distributed pool in
+// internal/lease is another. fn arrives already wrapped in the unit
+// Policy (retries, deadlines, salvage), so an executor only decides
+// *where and when* items run, never how failures are handled.
+type Executor interface {
+	RunLoop(ctx context.Context, name string, n int, fn func(ctx context.Context, i int) error) error
+}
+
+var executor atomic.Pointer[Executor]
+
+// SetExecutor installs a process-wide loop executor that top-level
+// parallel loops route through (runctl installs the distributed pool
+// here when -workers-dir is set). A nil argument restores the local
+// pool.
+func SetExecutor(e Executor) {
+	if e == nil {
+		executor.Store(nil)
+		return
+	}
+	executor.Store(&e)
+}
+
+// CurrentExecutor returns the installed executor, or nil when loops run
+// on the local pool.
+func CurrentExecutor() Executor {
+	if p := executor.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+type executorScopeKey struct{}
+
+// WithExecutorScope marks the context as already inside a distributed
+// unit. Loops nested under the marker run on the local pool: a unit is
+// the granularity of lease-based distribution, and fanning its interior
+// back out across workers would deadlock the dispatcher on itself.
+func WithExecutorScope(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, executorScopeKey{}, true)
+}
+
+// InExecutor reports whether ctx is inside a distributed unit.
+func InExecutor(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	in, _ := ctx.Value(executorScopeKey{}).(bool)
+	return in
+}
+
+// runLoop routes a loop to the installed executor when one is set and
+// this is a top-level loop worth distributing; everything else runs on
+// the local bounded-worker pool. Single-item loops stay local — the
+// lease round-trip would cost more than the parallelism is worth.
+func runLoop(ctx context.Context, name string, n int, fn func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = RootContext()
+	}
+	if e := CurrentExecutor(); e != nil && n > 1 && !InExecutor(ctx) {
+		return e.RunLoop(ctx, name, n, fn)
+	}
+	return forEach(ctx, n, fn)
+}

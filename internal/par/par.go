@@ -34,7 +34,7 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 			return RunUnit(ctx, "par.foreach", i, func(ctx context.Context) error { return inner(ctx, i) })
 		}
 	}
-	return forEach(ctx, n, fn)
+	return runLoop(ctx, "par.foreach", n, fn)
 }
 
 // rootCtx is the process-wide root context installed by SetRootContext.

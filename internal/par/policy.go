@@ -266,7 +266,7 @@ func ForEachPartial(ctx context.Context, name string, n int, fn func(ctx context
 		mu     sync.Mutex
 		failed []UnitError
 	)
-	err := forEach(ctx, n, func(ctx context.Context, i int) error {
+	err := runLoop(ctx, name, n, func(ctx context.Context, i int) error {
 		uerr := RunUnit(ctx, name, i, func(ctx context.Context) error { return fn(ctx, i) })
 		if uerr == nil {
 			return nil

@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"commsched/internal/lease"
 	"commsched/internal/obs"
 	"commsched/internal/par"
 	"commsched/internal/runstate"
@@ -69,6 +70,19 @@ type Config struct {
 	// ErrorBudget is how many units may fail permanently before the run
 	// aborts; failed units within the budget are salvaged as incomplete.
 	ErrorBudget int
+	// WorkersDir enables distributed execution: a checkpoint directory
+	// shared by several worker processes that lease units from each other
+	// ("" = local execution). It doubles as the resume directory.
+	WorkersDir string
+	// WorkerID names this process in the lease protocol; "" derives
+	// hostname-pid. Must be unique per live worker — restarting a crashed
+	// worker under a new ID is always safe.
+	WorkerID string
+	// LeaseTTL is how long a worker may go without renewing a unit lease
+	// before siblings may reclaim it.
+	LeaseTTL time.Duration
+	// Speculate enables duplicate execution of straggling units.
+	Speculate bool
 }
 
 // Flags registers the durable-run flags on the default FlagSet and
@@ -87,26 +101,72 @@ func Flags(full bool) *Config {
 		flag.IntVar(&cfg.ErrorBudget, "errorbudget", 0,
 			"units allowed to fail permanently before the run aborts; failed units are salvaged as incomplete (0 = fail fast)")
 	}
+	flag.StringVar(&cfg.WorkersDir, "workers-dir", "",
+		"shared checkpoint directory for distributed execution: every worker process started with the same -workers-dir (and identical arguments) leases units from it; implies -resume semantics on that directory")
+	flag.StringVar(&cfg.WorkerID, "worker-id", "",
+		"unique name of this worker in the lease protocol (default hostname-pid); restart a crashed worker under a fresh ID")
+	flag.DurationVar(&cfg.LeaseTTL, "lease-ttl", 5*time.Second,
+		"unit lease time-to-live: a worker silent this long is presumed dead and its units are reclaimed")
+	flag.BoolVar(&cfg.Speculate, "speculate", false,
+		"speculatively re-execute straggling units on idle workers (first completion wins; determinism keeps output identical)")
 	return cfg
 }
 
-// Activate installs the unit policy and, when a resume directory is set,
-// opens the checkpoint store under the given run identity. It returns a
-// finish function that uninstalls everything, prints the salvage warning
-// and checkpoint summary to warn, and surfaces the store's first error.
+// Activate installs the unit policy and, when a resume (or shared
+// workers) directory is set, opens the checkpoint store under the given
+// run identity. With -workers-dir it additionally opens the lease
+// manager and installs the distributed pool as the process-wide loop
+// executor. It returns a finish function that uninstalls everything,
+// prints the salvage warning and checkpoint/lease summaries to warn,
+// and surfaces the store's first error.
 func Activate(cfg Config, id runstate.Identity, warn io.Writer) (func() error, error) {
+	if cfg.WorkersDir != "" && cfg.ResumeDir != "" && cfg.ResumeDir != cfg.WorkersDir {
+		return nil, fmt.Errorf("runctl: -resume %q conflicts with -workers-dir %q (the workers directory is the checkpoint directory)", cfg.ResumeDir, cfg.WorkersDir)
+	}
 	par.SetPolicy(par.Policy{
 		Timeout:     cfg.Timeout,
 		Retries:     cfg.Retries,
 		Backoff:     100 * time.Millisecond,
 		ErrorBudget: cfg.ErrorBudget,
 	})
+	cleanup := func() { par.SetPolicy(par.Policy{}) }
 	var st *runstate.Store
-	if cfg.ResumeDir != "" {
+	var pool *lease.Pool
+	switch {
+	case cfg.WorkersDir != "":
+		workerID := cfg.WorkerID
+		if workerID == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "worker"
+			}
+			workerID = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		st, err := runstate.OpenWorker(cfg.WorkersDir, id, workerID)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		mgr, err := lease.Open(cfg.WorkersDir, workerID, cfg.LeaseTTL)
+		if err != nil {
+			st.Close()
+			cleanup()
+			return nil, err
+		}
+		runstate.SetStore(st)
+		pool = lease.NewPool(mgr, lease.PoolOptions{Speculate: cfg.Speculate})
+		par.SetExecutor(pool)
+		if warn != nil {
+			fmt.Fprintf(warn, "lease: worker %s joined %s (ttl %v, %d unit(s) already on disk)\n",
+				workerID, cfg.WorkersDir, mgr.TTL(), st.Units())
+		}
+		installRootTrace(id)
+		return finishFunc(cfg, st, pool, warn), nil
+	case cfg.ResumeDir != "":
 		var err error
 		st, err = runstate.Open(cfg.ResumeDir, id)
 		if err != nil {
-			par.SetPolicy(par.Policy{})
+			cleanup()
 			return nil, err
 		}
 		runstate.SetStore(st)
@@ -116,9 +176,19 @@ func Activate(cfg Config, id runstate.Identity, warn io.Writer) (func() error, e
 		}
 	}
 	installRootTrace(id)
+	return finishFunc(cfg, st, nil, warn), nil
+}
+
+// finishFunc builds Activate's teardown: uninstall the executor and
+// policy, print the lease/salvage/checkpoint summaries, close the store.
+func finishFunc(cfg Config, st *runstate.Store, pool *lease.Pool, warn io.Writer) func() error {
 	return func() error {
 		obs.SetRootSpanContext(obs.SpanContext{})
+		par.SetExecutor(nil)
 		par.SetPolicy(par.Policy{})
+		if pool != nil && warn != nil {
+			fmt.Fprintln(warn, pool.Stats().Summary())
+		}
 		if n := par.Salvaged(); n > 0 && warn != nil {
 			fmt.Fprintf(warn, "warning: %d unit(s) failed permanently and were salvaged as incomplete; results are partial\n", n)
 		}
@@ -128,11 +198,19 @@ func Activate(cfg Config, id runstate.Identity, warn io.Writer) (func() error, e
 		runstate.SetStore(nil)
 		stats := st.Stats()
 		if warn != nil {
+			dir := cfg.ResumeDir
+			if cfg.WorkersDir != "" {
+				dir = cfg.WorkersDir
+			}
 			fmt.Fprintf(warn, "runstate: checkpoint %s: %d unit(s) recorded this run, %d replayed, %d on disk\n",
-				cfg.ResumeDir, stats.Recorded, stats.Replayed, st.Units())
+				dir, stats.Recorded, stats.Replayed, st.Units())
+			if stats.Conflicts > 0 || stats.DeterminismViolations > 0 {
+				fmt.Fprintf(warn, "runstate: merge: %d fencing conflict(s), %d determinism violation(s)\n",
+					stats.Conflicts, stats.DeterminismViolations)
+			}
 		}
 		return st.Close()
-	}, nil
+	}
 }
 
 // traceRootUnit is the durable form of the run's root span context — the

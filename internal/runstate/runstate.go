@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -94,28 +95,66 @@ type Stats struct {
 	// Open (at most the crash-interrupted final append on a healthy
 	// filesystem).
 	SkippedPartial int64 `json:"skipped_partial"`
+	// Conflicts counts keys journaled more than once under distinct
+	// fencing tokens — a zombie worker racing its successor, or a
+	// speculative duplicate. The highest token wins the merge.
+	Conflicts int64 `json:"conflicts"`
+	// DeterminismViolations counts conflicting records whose payload
+	// bytes differed. Every unit in this module is a pure function of its
+	// key, so this gauge is expected to stay zero; anything else is a
+	// reproducibility bug worth stopping for.
+	DeterminismViolations int64 `json:"determinism_violations"`
 }
 
 // Store is one open checkpoint directory. All methods are safe for
 // concurrent use; sweep workers record units in parallel.
+//
+// In shared (distributed) mode — OpenWorker — every worker process
+// appends to its own journal-<worker>.jsonl, and the merged view is the
+// union of all journals with the highest fencing token winning each key.
+// Snapshot compaction is disabled in shared mode: journals stay
+// append-only so no worker ever truncates state a sibling still needs.
 type Store struct {
-	dir string
+	dir      string
+	workerID string // "" in solo mode
+	shared   bool
 
 	mu      sync.Mutex
-	units   map[string]json.RawMessage
+	units   map[string]unitEntry
 	journal *os.File
 	err     error // first write error, surfaced at Close
+	// offsets tracks how far each sibling journal has been consumed by
+	// Refresh; only complete (newline-terminated) lines are ingested, so
+	// a sibling's in-flight append is picked up on a later pass instead
+	// of being misread as torn.
+	offsets map[string]int64
 
 	replayed       atomic.Int64
 	recorded       atomic.Int64
 	hits           atomic.Int64
 	skippedPartial atomic.Int64
+	conflicts      atomic.Int64
+	determinism    atomic.Int64
+}
+
+// unitEntry is one merged unit: its payload and the fencing token it was
+// journaled under (0 for solo-mode records).
+type unitEntry struct {
+	data  json.RawMessage
+	token uint64
 }
 
 type journalLine struct {
 	V       int             `json:"v"`
 	Key     string          `json:"key"`
 	Payload json.RawMessage `json:"payload"`
+	// Token is the fencing token of the lease (or speculation) the unit
+	// was computed under; 0 in solo mode. On merge the highest token
+	// wins, so a zombie that lost its lease can never clobber the
+	// successor's result.
+	Token uint64 `json:"token,omitempty"`
+	// Worker is the journaling worker's ID (shared mode only).
+	Worker string `json:"worker,omitempty"`
 }
 
 type snapshotFile struct {
@@ -130,6 +169,22 @@ type snapshotFile struct {
 // for appends. Counters are mirrored into the obs stream so /metrics
 // reports checkpoint replay and write activity.
 func Open(dir string, id Identity) (*Store, error) {
+	return open(dir, id, "")
+}
+
+// OpenWorker opens a checkpoint directory in shared (distributed) mode:
+// this process journals to journal-<workerID>.jsonl and the replayed
+// view merges every worker's journal, highest fencing token winning each
+// key. The identity contract is unchanged — all workers of a run must
+// agree on it, which refuses mixed-command or mixed-scale fleets.
+func OpenWorker(dir string, id Identity, workerID string) (*Store, error) {
+	if workerID == "" {
+		return nil, fmt.Errorf("runstate: shared mode needs a worker ID")
+	}
+	return open(dir, id, workerID)
+}
+
+func open(dir string, id Identity, workerID string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("runstate: empty checkpoint directory")
 	}
@@ -162,11 +217,26 @@ func Open(dir string, id Identity) (*Store, error) {
 		return nil, fmt.Errorf("runstate: reading %s: %w", idPath, err)
 	}
 
-	s := &Store{dir: dir, units: make(map[string]json.RawMessage)}
+	s := &Store{
+		dir: dir, workerID: workerID, shared: workerID != "",
+		units:   make(map[string]unitEntry),
+		offsets: make(map[string]int64),
+	}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
 	}
-	if err := s.replayJournal(); err != nil {
+	if s.shared {
+		// A previous incarnation of this worker ID may have been killed
+		// mid-append; seal the torn tail with a newline so the reopened
+		// journal's next record starts on a fresh line (the sealed
+		// garbage line is skipped and counted on every replay).
+		if err := sealTornTail(s.journalPath()); err != nil {
+			return nil, err
+		}
+		if err := s.refreshLocked(true); err != nil {
+			return nil, err
+		}
+	} else if err := s.replayJournal(); err != nil {
 		return nil, err
 	}
 	j, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -193,11 +263,69 @@ func summarize(canon []byte) string {
 	return fmt.Sprintf("%s (sha256 %x)", canon, sum[:6])
 }
 
-func (s *Store) journalPath() string  { return filepath.Join(s.dir, "journal.jsonl") }
+func (s *Store) journalPath() string {
+	if s.shared {
+		return filepath.Join(s.dir, "journal-"+sanitizeWorker(s.workerID)+".jsonl")
+	}
+	return filepath.Join(s.dir, "journal.jsonl")
+}
 func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.json") }
 
 // Dir returns the checkpoint directory path.
 func (s *Store) Dir() string { return s.dir }
+
+// Worker returns the worker ID ("" in solo mode).
+func (s *Store) Worker() string { return s.workerID }
+
+// Shared reports whether the store is in distributed (shared-directory)
+// mode.
+func (s *Store) Shared() bool { return s.shared }
+
+// sanitizeWorker keeps worker-derived file names flat and portable.
+func sanitizeWorker(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c == '/' || c == '\\' || c == 0 || c == '.' {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// sealTornTail appends a newline to path when its last byte is not one —
+// the torn final append of a SIGKILLed writer — so reopening the file
+// with O_APPEND cannot splice a fresh record onto the garbage.
+func sealTornTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runstate: sealing journal tail: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, st.Size()-1); err != nil {
+		return err
+	}
+	if buf[0] == '\n' {
+		return nil
+	}
+	if _, err := f.WriteAt([]byte{'\n'}, st.Size()); err != nil {
+		return fmt.Errorf("runstate: sealing journal tail: %w", err)
+	}
+	return f.Sync()
+}
 
 func (s *Store) loadSnapshot() error {
 	data, err := os.ReadFile(s.snapshotPath())
@@ -215,9 +343,136 @@ func (s *Store) loadSnapshot() error {
 		return fmt.Errorf("runstate: snapshot schema %d, this binary speaks %d", snap.Schema, SchemaVersion)
 	}
 	for k, v := range snap.Units {
-		s.units[k] = v
+		s.units[k] = unitEntry{data: v}
 	}
 	return nil
+}
+
+// Refresh ingests any new complete lines sibling workers appended to
+// their journals since the last call (shared mode; a no-op otherwise).
+// The distributed executor calls it before replaying units completed by
+// other workers, so their recorded payloads answer the local lookups.
+func (s *Store) Refresh() error {
+	if !s.shared {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refreshLocked(false)
+}
+
+// refreshLocked scans every journal-*.jsonl (plus the solo journal.jsonl
+// a directory may hold from a pre-distributed run) and ingests complete
+// lines past the remembered offsets. includeOwn is set for the initial
+// replay at Open; afterwards this process's own appends are ingested at
+// Record time and its file is skipped.
+func (s *Store) refreshLocked(includeOwn bool) error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("runstate: scanning %s: %w", s.dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "journal") || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		if !includeOwn && filepath.Join(s.dir, name) == s.journalPath() {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := s.refreshFile(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refreshFile ingests the complete lines of one journal file past its
+// remembered offset. A line that fails to parse — the sealed torn tail
+// of a killed incarnation — is counted and skipped; an incomplete final
+// line (a sibling's append in flight) is left for the next pass.
+func (s *Store) refreshFile(name string) error {
+	path := filepath.Join(s.dir, name)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runstate: opening %s: %w", name, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	off := s.offsets[name]
+	if st.Size() <= off {
+		return nil
+	}
+	buf := make([]byte, st.Size()-off)
+	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return fmt.Errorf("runstate: reading %s: %w", name, err)
+	}
+	last := bytes.LastIndexByte(buf, '\n')
+	if last < 0 {
+		return nil // only an in-flight partial line so far
+	}
+	complete := buf[:last+1]
+	s.offsets[name] = off + int64(last+1)
+	for len(complete) > 0 {
+		nl := bytes.IndexByte(complete, '\n')
+		line := complete[:nl]
+		complete = complete[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var jl journalLine
+		if err := json.Unmarshal(line, &jl); err != nil || jl.Key == "" || jl.V != SchemaVersion {
+			s.skippedPartial.Add(1)
+			continue
+		}
+		s.ingestLocked(jl.Key, jl.Payload, jl.Token)
+	}
+	return nil
+}
+
+// ingestLocked merges one journaled record into the unit map under the
+// fencing rule: the highest token wins, duplicates count as conflicts,
+// and byte-diverging duplicates count as determinism violations (every
+// unit is a pure function of its key, so divergence is a bug surfaced
+// loudly, never silently resolved).
+func (s *Store) ingestLocked(key string, data json.RawMessage, token uint64) {
+	old, ok := s.units[key]
+	if !ok {
+		s.units[key] = unitEntry{data: data, token: token}
+		return
+	}
+	if token == old.token {
+		if !bytes.Equal(data, old.data) {
+			s.determinism.Add(1)
+			obs.Event("runstate.determinism_violation", obs.F("value", s.determinism.Load()), obs.F("key", key))
+		}
+		if token == 0 {
+			// Tokenless re-record (solo mode refreshing a stale unit):
+			// last write wins, the historical behavior. Fenced tokens are
+			// globally unique, so an equal nonzero token is a re-read of
+			// the same line and keeps the first copy.
+			s.units[key] = unitEntry{data: data, token: token}
+		}
+		return
+	}
+	s.conflicts.Add(1)
+	if !bytes.Equal(data, old.data) {
+		s.determinism.Add(1)
+		obs.Event("runstate.determinism_violation", obs.F("value", s.determinism.Load()), obs.F("key", key))
+	}
+	if token > old.token {
+		s.units[key] = unitEntry{data: data, token: token}
+	}
 }
 
 // replayJournal loads every well-formed journal line. Lines that do not
@@ -239,7 +494,7 @@ func (s *Store) replayJournal() error {
 			s.skippedPartial.Add(1)
 			return nil
 		}
-		s.units[jl.Key] = jl.Payload
+		s.ingestLocked(jl.Key, jl.Payload, jl.Token)
 		return nil
 	})
 	if err != nil {
@@ -254,12 +509,12 @@ func (s *Store) replayJournal() error {
 // unit is treated as absence (the unit is recomputed and re-recorded).
 func (s *Store) Lookup(key string, out any) bool {
 	s.mu.Lock()
-	payload, ok := s.units[key]
+	entry, ok := s.units[key]
 	s.mu.Unlock()
 	if !ok {
 		return false
 	}
-	if err := json.Unmarshal(payload, out); err != nil {
+	if err := json.Unmarshal(entry.data, out); err != nil {
 		return false
 	}
 	s.hits.Add(1)
@@ -272,12 +527,21 @@ func (s *Store) Lookup(key string, out any) bool {
 // through obs, and surfaced at Close — the run itself keeps going; a
 // broken checkpoint disk must not fail otherwise-healthy science.
 func (s *Store) Record(key string, payload any) {
+	s.RecordToken(key, payload, 0)
+}
+
+// RecordToken is Record under a fencing token: the journal line carries
+// the token of the lease (or speculation) the unit was computed under,
+// and the merge keeps the highest token per key. Distributed executions
+// thread their token through the context (WithToken), so instrumented
+// loops never see the difference.
+func (s *Store) RecordToken(key string, payload any, token uint64) {
 	data, err := json.Marshal(payload)
 	if err != nil {
 		s.fail(fmt.Errorf("runstate: encoding unit %q: %w", key, err))
 		return
 	}
-	line, err := json.Marshal(journalLine{V: SchemaVersion, Key: key, Payload: data})
+	line, err := json.Marshal(journalLine{V: SchemaVersion, Key: key, Payload: data, Token: token, Worker: s.workerID})
 	if err != nil {
 		s.fail(fmt.Errorf("runstate: encoding journal line %q: %w", key, err))
 		return
@@ -290,7 +554,7 @@ func (s *Store) Record(key string, payload any) {
 		} else if serr := s.journal.Sync(); serr != nil {
 			s.failLocked(fmt.Errorf("runstate: journal fsync: %w", serr))
 		} else {
-			s.units[key] = data
+			s.ingestLocked(key, data, token)
 		}
 	}
 	s.mu.Unlock()
@@ -318,10 +582,12 @@ func (s *Store) failLocked(err error) {
 // Stats returns the store's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Replayed:       s.replayed.Load(),
-		Recorded:       s.recorded.Load(),
-		Hits:           s.hits.Load(),
-		SkippedPartial: s.skippedPartial.Load(),
+		Replayed:              s.replayed.Load(),
+		Recorded:              s.recorded.Load(),
+		Hits:                  s.hits.Load(),
+		SkippedPartial:        s.skippedPartial.Load(),
+		Conflicts:             s.conflicts.Load(),
+		DeterminismViolations: s.determinism.Load(),
 	}
 }
 
@@ -356,10 +622,14 @@ func (s *Store) emitStatus() {
 	s.mu.Unlock()
 	obs.Event("runstate.status",
 		obs.F("dir", s.dir),
+		obs.F("worker", s.workerID),
 		obs.F("units", units),
 		obs.F("replayed", s.replayed.Load()),
 		obs.F("recorded", s.recorded.Load()),
-		obs.F("skipped_partial", s.skippedPartial.Load()))
+		obs.F("hits", s.hits.Load()),
+		obs.F("skipped_partial", s.skippedPartial.Load()),
+		obs.F("conflicts", s.conflicts.Load()),
+		obs.F("determinism_violations", s.determinism.Load()))
 }
 
 // Snapshot compacts the store: all known units are written to
@@ -370,7 +640,17 @@ func (s *Store) emitStatus() {
 func (s *Store) Snapshot() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	snap := snapshotFile{Schema: SchemaVersion, Units: s.units}
+	if s.shared {
+		// Shared directories stay append-only: a worker compacting "its"
+		// view would truncate nothing it owns exclusively and could race
+		// every sibling's replay. Journals are merged at read time instead.
+		return nil
+	}
+	units := make(map[string]json.RawMessage, len(s.units))
+	for k, v := range s.units {
+		units[k] = v.data
+	}
+	snap := snapshotFile{Schema: SchemaVersion, Units: units}
 	data, err := json.MarshalIndent(snap, "", " ")
 	if err != nil {
 		return fmt.Errorf("runstate: encoding snapshot: %w", err)
@@ -472,6 +752,26 @@ func Record(key string, payload any) {
 	}
 }
 
+// RecordCtx journals a unit under the fencing token carried by the
+// context (WithToken). Instrumented loops call this form so a unit
+// computed inside a distributed lease (or a speculative duplicate) is
+// journaled under the token that authorized it; outside distributed
+// execution the token is 0 and the behavior is exactly Record.
+func RecordCtx(ctx context.Context, key string, payload any) {
+	if s := global.Load(); s != nil {
+		s.RecordToken(key, payload, TokenFrom(ctx))
+	}
+}
+
+// Refresh ingests sibling workers' new journal records on the installed
+// store (shared mode; no-op otherwise or when no store is installed).
+func Refresh() error {
+	if s := global.Load(); s != nil {
+		return s.Refresh()
+	}
+	return nil
+}
+
 // KeyHash renders any JSON-encodable value as a short stable hash — the
 // building block of unit keys ("the sweep config, whatever its fields").
 func KeyHash(v any) string {
@@ -510,4 +810,29 @@ func ScopeFrom(ctx context.Context) string {
 		return s
 	}
 	return ""
+}
+
+type tokenKey struct{}
+
+// WithToken attaches a fencing token to the context. The distributed
+// executor wraps each leased (or speculative) unit's context with its
+// token, so every RecordCtx inside the unit — however deep — journals
+// under the token that authorized the work.
+func WithToken(ctx context.Context, token uint64) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, tokenKey{}, token)
+}
+
+// TokenFrom returns the attached fencing token (0 when none — solo
+// execution).
+func TokenFrom(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	if t, ok := ctx.Value(tokenKey{}).(uint64); ok {
+		return t
+	}
+	return 0
 }

@@ -90,7 +90,7 @@ func Sweep(ctx context.Context, net *topology.Network, rt *routing.UpDown, patte
 		}
 		points[i] = SweepPoint{Index: i + 1, Rate: rates[i], Metrics: m}
 		if key != "" {
-			runstate.Record(key, m)
+			runstate.RecordCtx(ctx, key, m)
 		}
 		if obs.Enabled() {
 			obs.EventCtx(ctx, "simnet.sweep_point",
@@ -202,7 +202,7 @@ func FindSaturation(ctx context.Context, net *topology.Network, rt *routing.UpDo
 		}
 		m, err := sim.RunContext(ctx)
 		if err == nil && key != "" {
-			runstate.Record(key, m)
+			runstate.RecordCtx(ctx, key, m)
 		}
 		if err == nil && obs.Enabled() {
 			probes++

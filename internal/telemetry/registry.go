@@ -38,7 +38,10 @@ import (
 //   - "run.manifest" events are retained verbatim for /runs
 //   - "runstate.status" events (the durable checkpoint store's state) are
 //     retained verbatim for /runs, so an operator can see whether a run
-//     is resumable and how many units it has replayed
+//     is resumable and how many units it has replayed; their numeric
+//     fields also populate the commsched_runstate gauge family
+//   - "lease.status" events (the distributed pool's counters) are
+//     retained for /runs and populate the commsched_lease gauge family
 type Registry struct {
 	// now is the clock, swappable in tests for a deterministic ETA.
 	now func() time.Time
@@ -52,6 +55,12 @@ type Registry struct {
 	progress map[string]*ProgressState
 	manifest map[string]any
 	runstate map[string]any
+	lease    map[string]any
+	// runstateGauges/leaseGauges hold the numeric fields of the latest
+	// runstate.status / lease.status events, exposed as dedicated metric
+	// families so chaos runs are auditable straight from /metrics.
+	runstateGauges map[string]float64
+	leaseGauges    map[string]float64
 	// RED/SLO latency histograms with per-bucket exemplars (see slo.go).
 	httpLatency  map[string]*latencySeries // by endpoint
 	stateLatency map[string]*latencySeries // by job state
@@ -103,6 +112,9 @@ func (g *Registry) reset() {
 	g.progress = make(map[string]*ProgressState)
 	g.manifest = nil
 	g.runstate = nil
+	g.lease = nil
+	g.runstateGauges = make(map[string]float64)
+	g.leaseGauges = make(map[string]float64)
 	g.httpLatency = make(map[string]*latencySeries)
 	g.stateLatency = make(map[string]*latencySeries)
 }
@@ -142,6 +154,10 @@ func (g *Registry) Emit(r obs.Record) {
 		g.manifest = obs.RecordObject(r)
 	case "runstate.status":
 		g.runstate = obs.RecordObject(r)
+		collectNumericFields(r, g.runstateGauges)
+	case "lease.status":
+		g.lease = obs.RecordObject(r)
+		collectNumericFields(r, g.leaseGauges)
 	default:
 		if v, ok := fieldFloat(r, "value"); ok {
 			g.values[r.Name] = v
@@ -249,15 +265,32 @@ func (g *Registry) Runstate() map[string]any {
 	return out
 }
 
+// Lease returns the last ingested lease.status record — the distributed
+// pool's counters — or nil when the run is not distributed.
+func (g *Registry) Lease() map[string]any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.lease == nil {
+		return nil
+	}
+	out := make(map[string]any, len(g.lease))
+	for k, v := range g.lease {
+		out[k] = v
+	}
+	return out
+}
+
 // RunsJSON renders the /runs payload: the run manifest (when seen), the
-// durable-run checkpoint state (when the run is resumable), plus the
-// live progress table.
+// durable-run checkpoint state (when the run is resumable), the lease
+// pool state (when the run is distributed), plus the live progress
+// table.
 func (g *Registry) RunsJSON() ([]byte, error) {
 	payload := struct {
 		Manifest map[string]any  `json:"manifest,omitempty"`
 		Runstate map[string]any  `json:"runstate,omitempty"`
+		Lease    map[string]any  `json:"lease,omitempty"`
 		Progress []ProgressState `json:"progress"`
-	}{Manifest: g.Manifest(), Runstate: g.Runstate(), Progress: g.Progress()}
+	}{Manifest: g.Manifest(), Runstate: g.Runstate(), Lease: g.Lease(), Progress: g.Progress()}
 	if payload.Progress == nil {
 		payload.Progress = []ProgressState{}
 	}
@@ -316,6 +349,22 @@ func (g *Registry) writeExposition(w io.Writer, exemplars bool) error {
 			}
 			fmt.Fprintf(&b, "commsched_hist_sum{name=%q} %s\n", name, formatFloat(h.sum))
 			fmt.Fprintf(&b, "commsched_hist_count{name=%q} %d\n", name, h.count)
+		})
+	}
+
+	if len(g.runstateGauges) > 0 {
+		b.WriteString("# HELP commsched_runstate Durable checkpoint store counters (latest runstate.status event): units, replayed, recorded, hits, skipped_partial torn lines, merge conflicts, determinism_violations.\n")
+		b.WriteString("# TYPE commsched_runstate gauge\n")
+		forSortedKeys(g.runstateGauges, func(field string, v float64) {
+			fmt.Fprintf(&b, "commsched_runstate{field=%q} %s\n", field, formatFloat(v))
+		})
+	}
+
+	if len(g.leaseGauges) > 0 {
+		b.WriteString("# HELP commsched_lease Distributed lease pool counters (latest lease.status event): acquisitions, steals, reclaims, losses, conflicts, renewals, executions, replays, speculation.\n")
+		b.WriteString("# TYPE commsched_lease gauge\n")
+		forSortedKeys(g.leaseGauges, func(field string, v float64) {
+			fmt.Fprintf(&b, "commsched_lease{field=%q} %s\n", field, formatFloat(v))
 		})
 	}
 
@@ -393,6 +442,20 @@ func formatFloat(v float64) string {
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%g", v)
+}
+
+// collectNumericFields copies every numeric field of the record into
+// dst, keyed by field name (status events are cumulative snapshots, so
+// last-wins is the current state).
+func collectNumericFields(r obs.Record, dst map[string]float64) {
+	for _, f := range r.Fields {
+		if _, isString := f.Value.(string); isString {
+			continue
+		}
+		if v, ok := toFloat(f.Value); ok {
+			dst[f.Key] = v
+		}
+	}
 }
 
 // fieldFloat extracts a numeric field by key.

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -210,5 +211,82 @@ func TestRegistryRunstateStatus(t *testing.T) {
 	}
 	if inner["replayed"] != float64(5) {
 		t.Fatalf("replayed = %v", inner["replayed"])
+	}
+}
+
+func TestRegistryLeaseAndRunstateGauges(t *testing.T) {
+	g := NewRegistry()
+	if g.Lease() != nil {
+		t.Fatal("lease must start nil")
+	}
+	g.Emit(obs.Record{Kind: "event", Name: "runstate.status", Time: time.Unix(0, 0), Fields: []obs.Field{
+		obs.F("dir", "/tmp/ckpt"),
+		obs.F("units", 12),
+		obs.F("conflicts", int64(2)),
+		obs.F("determinism_violations", int64(0)),
+	}})
+	g.Emit(obs.Record{Kind: "event", Name: "lease.status", Time: time.Unix(1, 0), Fields: []obs.Field{
+		obs.F("worker", "w1"),
+		obs.F("acquired", int64(9)),
+		obs.F("stolen", int64(3)),
+		obs.F("reclaimed", int64(1)),
+		obs.F("spec_wins", int64(0)),
+	}})
+
+	ls := g.Lease()
+	if ls == nil || ls["worker"] != "w1" {
+		t.Fatalf("lease snapshot = %v", ls)
+	}
+
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exposition := buf.String()
+	for _, want := range []string{
+		"# TYPE commsched_runstate gauge\n",
+		"commsched_runstate{field=\"units\"} 12\n",
+		"commsched_runstate{field=\"conflicts\"} 2\n",
+		"commsched_runstate{field=\"determinism_violations\"} 0\n",
+		"# TYPE commsched_lease gauge\n",
+		"commsched_lease{field=\"acquired\"} 9\n",
+		"commsched_lease{field=\"stolen\"} 3\n",
+		"commsched_lease{field=\"reclaimed\"} 1\n",
+		"commsched_lease{field=\"spec_wins\"} 0\n",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The worker ID is a string, not a gauge.
+	if strings.Contains(exposition, "field=\"worker\"") {
+		t.Error("string field leaked into the lease gauge family")
+	}
+
+	// Both snapshots ride along on /runs.
+	data, err := g.RunsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Lease map[string]any `json:"lease"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Lease["stolen"] != float64(3) {
+		t.Fatalf("/runs lease.stolen = %v", payload.Lease["stolen"])
+	}
+	// A later status event replaces, never accumulates.
+	g.Emit(obs.Record{Kind: "event", Name: "lease.status", Time: time.Unix(2, 0), Fields: []obs.Field{
+		obs.F("worker", "w1"),
+		obs.F("acquired", int64(10)),
+	}})
+	buf.Reset()
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "commsched_lease{field=\"acquired\"} 10\n") {
+		t.Errorf("lease gauge did not track the latest status event")
 	}
 }
